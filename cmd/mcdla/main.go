@@ -1,0 +1,307 @@
+// Command mcdla regenerates the paper's tables and figures and runs ad-hoc
+// simulations of the evaluated system design points.
+//
+// Usage:
+//
+//	mcdla <subcommand> [flags]
+//
+// Subcommands:
+//
+//	fig2       single-device execution time across accelerator generations
+//	fig9       collective latency vs ring size
+//	fig11      latency breakdowns (flag: -strategy dp|mp)
+//	fig12      CPU memory bandwidth usage
+//	fig13      normalized performance (flag: -strategy dp|mp)
+//	fig14      batch-size sensitivity
+//	tab4       memory-node power (Table IV / §V-C)
+//	headline   §V-B aggregate speedups
+//	sens       §V-B sensitivity sweep (gen4 / TPUv2 / DGX-2 / cDMA)
+//	scale      §V-D scalability experiment
+//	explore    §III-B design-space sweep over link technology
+//	plane      §VI scale-out plane study (flag: -nodes 1,2,4,8)
+//	trace      write a Chrome trace of one iteration (flags as `run` + -o)
+//	networks   Table III benchmark inventory
+//	config     Table II device and memory-node configuration
+//	run        one simulation (flags: -design, -workload, -strategy, -batch)
+//	all        everything above, in paper order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/memcentric/mcdla/internal/accel"
+	"github.com/memcentric/mcdla/internal/core"
+	"github.com/memcentric/mcdla/internal/dnn"
+	"github.com/memcentric/mcdla/internal/experiments"
+	"github.com/memcentric/mcdla/internal/trace"
+	"github.com/memcentric/mcdla/internal/train"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mcdla:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "fig2":
+		rows, err := experiments.Fig2()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig2(rows))
+	case "fig9":
+		fmt.Print(experiments.RenderFig9(experiments.Fig9()))
+	case "fig11":
+		strategy, err := strategyFlag(rest)
+		if err != nil {
+			return err
+		}
+		rows, err := experiments.Fig11(strategy)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig11(rows, strategy))
+	case "fig12":
+		rows, err := experiments.Fig12()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig12(rows))
+	case "fig13":
+		strategy, err := strategyFlag(rest)
+		if err != nil {
+			return err
+		}
+		rows, speedups, err := experiments.Fig13(strategy)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig13(rows, speedups, strategy))
+	case "fig14":
+		rows, err := experiments.Fig14()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig14(rows))
+	case "tab4":
+		fmt.Print(experiments.RenderTable4())
+	case "headline":
+		h, err := experiments.RunHeadline()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderHeadline(h))
+	case "sens":
+		rows, err := experiments.Sensitivity()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderSensitivity(rows))
+	case "scale":
+		rows, err := experiments.Scalability()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderScalability(rows))
+	case "explore":
+		rows, err := experiments.Explore([]int{4, 6, 8, 12}, []float64{25, 50, 100})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderExplore(rows))
+	case "plane":
+		fs := flag.NewFlagSet("plane", flag.ContinueOnError)
+		workload := fs.String("workload", "VGG-E", "Table III benchmark")
+		nodesCSV := fs.String("nodes", "1,2,4,8,16", "system-node counts")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		var counts []int
+		for _, part := range strings.Split(*nodesCSV, ",") {
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &n); err != nil {
+				return fmt.Errorf("bad node count %q", part)
+			}
+			counts = append(counts, n)
+		}
+		pts, err := experiments.ScaleOutRows(*workload, counts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderScaleOut(*workload, pts))
+	case "trace":
+		return runTrace(rest)
+	case "networks":
+		fmt.Println("Table III benchmarks (per-device shapes at batch 64):")
+		for _, name := range dnn.BenchmarkNames() {
+			g := dnn.MustBuild(name, 64)
+			fmt.Printf("  %s  (paper layer count: %d)\n", g.Summary(), dnn.PaperLayerCount(name))
+		}
+	case "config":
+		dev := accel.Default()
+		fmt.Printf(`Device-node (Table II):
+  PEs:              %d × %d MACs @ %.0f GHz (peak %.0f TMAC/s)
+  SRAM per PE:      %v
+  HBM:              %v, %d-cycle latency
+  links:            N=%d × B=%v (aggregate %v)
+`, dev.PEs, dev.MACsPerPE, dev.FreqHz/1e9, dev.PeakMACsPerSec()/1e12,
+			dev.SRAMPerPE, dev.MemBW, dev.MemLatencyCycles,
+			dev.Links, dev.LinkBW, dev.AggregateLinkBW())
+		fmt.Print(experiments.MemNodeSummary())
+		fmt.Println("Design points:")
+		for _, d := range core.StandardDesigns() {
+			fmt.Printf("  %-10s virt=%v sync=%v×%d-node rings  shared-links=%v oracle=%v\n",
+				d.Name, d.VirtBW, d.Sync.AggregateBW(), d.Sync.Nodes, d.SharedLinks, d.Oracle)
+		}
+	case "run":
+		return runOne(rest)
+	case "all":
+		for _, sub := range []string{"config", "networks", "fig2", "fig9", "fig11", "fig12", "fig13", "fig14", "tab4", "headline", "sens", "scale", "explore", "plane"} {
+			fmt.Printf("\n================ %s ================\n", sub)
+			var err error
+			switch sub {
+			case "fig11", "fig13":
+				err = run([]string{sub, "-strategy", "dp"})
+				if err == nil {
+					err = run([]string{sub, "-strategy", "mp"})
+				}
+			default:
+				err = run([]string{sub})
+			}
+			if err != nil {
+				return err
+			}
+		}
+	case "help", "-h", "--help":
+		usage()
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+	return nil
+}
+
+func strategyFlag(args []string) (train.Strategy, error) {
+	fs := flag.NewFlagSet("strategy", flag.ContinueOnError)
+	s := fs.String("strategy", "dp", "parallelization strategy: dp or mp")
+	if err := fs.Parse(args); err != nil {
+		return 0, err
+	}
+	return parseStrategy(*s)
+}
+
+func parseStrategy(s string) (train.Strategy, error) {
+	switch strings.ToLower(s) {
+	case "dp", "data", "data-parallel":
+		return train.DataParallel, nil
+	case "mp", "model", "model-parallel":
+		return train.ModelParallel, nil
+	}
+	return 0, fmt.Errorf("unknown strategy %q (want dp or mp)", s)
+}
+
+func runOne(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	design := fs.String("design", "MC-DLA(B)", "system design point")
+	workload := fs.String("workload", "VGG-E", "Table III benchmark")
+	strategyS := fs.String("strategy", "dp", "dp or mp")
+	batch := fs.Int("batch", experiments.Batch, "global batch size")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	strategy, err := parseStrategy(*strategyS)
+	if err != nil {
+		return err
+	}
+	d, err := core.DesignByName(*design)
+	if err != nil {
+		return err
+	}
+	s, err := train.Build(*workload, *batch, experiments.Workers, strategy)
+	if err != nil {
+		return err
+	}
+	r, err := core.Simulate(d, s)
+	if err != nil {
+		return err
+	}
+	fmt.Printf(`%s × %s (%v, batch %d, %d devices)
+  iteration time:        %v
+  compute (standalone):  %v
+  sync (standalone):     %v
+  virt (standalone):     %v
+  virt traffic/device:   %v
+  sync payload/device:   %v
+  prefetch stalls:       %v
+`, r.Design, r.Workload, r.Strategy, *batch, experiments.Workers,
+		r.IterationTime, r.Breakdown.Compute, r.Breakdown.Sync, r.Breakdown.Virt,
+		r.VirtTraffic, r.SyncTraffic, r.StallVirt)
+	if r.HostBytes > 0 {
+		fmt.Printf("  CPU socket bandwidth:  avg %v, max %v\n", r.AvgHostSocketBW, r.MaxHostSocketBW)
+	}
+	return nil
+}
+
+func runTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	design := fs.String("design", "MC-DLA(B)", "system design point")
+	workload := fs.String("workload", "VGG-E", "Table III benchmark")
+	strategyS := fs.String("strategy", "dp", "dp or mp")
+	batch := fs.Int("batch", experiments.Batch, "global batch size")
+	out := fs.String("o", "trace.json", "output file (chrome://tracing format)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	strategy, err := parseStrategy(*strategyS)
+	if err != nil {
+		return err
+	}
+	d, err := core.DesignByName(*design)
+	if err != nil {
+		return err
+	}
+	s, err := train.Build(*workload, *batch, experiments.Workers, strategy)
+	if err != nil {
+		return err
+	}
+	tr := &trace.Log{}
+	r, err := core.SimulateTraced(d, s, tr)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := tr.WriteChrome(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d spans over %v (compute covers %.0f%% of the iteration)\n",
+		*out, len(tr.Spans), r.IterationTime, 100*tr.CriticalPathShare())
+	return nil
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `mcdla — memory-centric deep-learning system simulator (MICRO-51 reproduction)
+
+subcommands:
+  fig2 | fig9 | fig11 | fig12 | fig13 | fig14   regenerate a figure
+  tab4 | headline | sens | scale               tables and sweeps
+  explore | plane                              design-space and §VI scale-out sweeps
+  networks | config                            inventories
+  run -design D -workload W -strategy dp|mp    one simulation
+  trace -design D -workload W -o out.json      chrome://tracing timeline
+  all                                          everything`)
+}

@@ -1,0 +1,16 @@
+// Package mcdla is a system-level simulator reproducing "Beyond the Memory
+// Wall: A Case for Memory-centric HPC System for Deep Learning" (Kwon & Rhu,
+// MICRO-51, 2018).
+//
+// The library lives under internal/: the dnn package models the Table III
+// workloads, accel the Table II PE-array device, topo/collective the
+// device-side interconnects and ring collectives, memnode/vmem/cudart the
+// memory-node architecture and virtualization runtime, train the
+// parallelization strategies, and core assembles the six evaluated system
+// design points and simulates full training iterations. The experiments
+// package regenerates every table and figure of the paper's evaluation; the
+// root-level benchmarks in bench_test.go expose one benchmark per table and
+// figure, each reporting its headline number as a custom metric.
+//
+// See README.md for a tour and EXPERIMENTS.md for paper-vs-measured results.
+package mcdla

@@ -1,0 +1,50 @@
+// Quickstart: simulate one training iteration of VGG-E on the paper's
+// 8-device node under every system design point, and print the iteration
+// times, the MC-DLA(B) speedup, and where the time goes.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/memcentric/mcdla/internal/core"
+	"github.com/memcentric/mcdla/internal/train"
+)
+
+func main() {
+	// 1. Build the per-device training schedule: VGG-E, global batch 512,
+	//    data-parallel across the 8 device-nodes (Table III / §IV).
+	schedule, err := train.Build("VGG-E", 512, 8, train.DataParallel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %s, %v, batch %d across %d devices (%d per device)\n\n",
+		schedule.Name, schedule.Strategy, schedule.GlobalBatch, schedule.Workers, schedule.DeviceBatch())
+
+	// 2. Simulate every design point of §V.
+	var dc, mcB core.Result
+	fmt.Printf("%-10s %14s %12s %12s %12s\n", "design", "iteration", "compute", "sync", "virt")
+	for _, design := range core.StandardDesigns() {
+		r, err := core.Simulate(design, schedule)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %14v %12v %12v %12v\n",
+			r.Design, r.IterationTime, r.Breakdown.Compute, r.Breakdown.Sync, r.Breakdown.Virt)
+		switch design.Kind {
+		case core.DCDLA:
+			dc = r
+		case core.MCDLAB:
+			mcB = r
+		}
+	}
+
+	// 3. The headline comparison.
+	fmt.Printf("\nMC-DLA(B) speedup over DC-DLA: %.2fx\n",
+		dc.IterationTime.Seconds()/mcB.IterationTime.Seconds())
+	fmt.Printf("backing-store traffic per device per iteration: %v\n", mcB.VirtTraffic)
+	fmt.Printf("DC-DLA loses %v per iteration waiting on PCIe prefetches; MC-DLA(B) loses %v.\n",
+		dc.StallVirt, mcB.StallVirt)
+}

@@ -1,0 +1,55 @@
+// Scale-out plane explorer — the §VI / Figure 15 future-work direction as a
+// runnable study: NVSwitch-class system nodes housing device-nodes and
+// memory-nodes, tied into a datacenter plane. Prints strong scaling for the
+// DC- and MC-planes and the memory pool each plane size exposes.
+//
+//	go run ./examples/scaleout [workload]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/memcentric/mcdla/internal/scaleout"
+)
+
+func main() {
+	workload := "VGG-E"
+	if len(os.Args) > 1 {
+		workload = os.Args[1]
+	}
+	nodeCounts := []int{1, 2, 4, 8, 16, 32}
+	// A batch divisible by every plane size keeps the comparison strong
+	// scaling (fixed problem, more devices).
+	batch := 8 * nodeCounts[len(nodeCounts)-1] * 16
+
+	fmt.Printf("Scale-out plane study: %s, global batch %d\n\n", workload, batch)
+	fmt.Printf("%-7s %-8s %-22s %-22s %-10s\n", "nodes", "devices", "DC-plane iter / scale", "MC-plane iter / scale", "pool (TB)")
+	var baseDC, baseMC float64
+	for i, n := range nodeCounts {
+		p := scaleout.Default(n)
+		dc, err := p.Estimate(workload, batch, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mc, err := p.Estimate(workload, batch, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			baseDC, baseMC = dc.Iteration.Seconds(), mc.Iteration.Seconds()
+		}
+		fmt.Printf("%-7d %-8d %-12s %6.2fx   %-12s %6.2fx   %-10.1f\n",
+			n, p.TotalDevices(),
+			dc.Iteration.String(), baseDC/dc.Iteration.Seconds(),
+			mc.Iteration.String(), baseMC/mc.Iteration.Seconds(),
+			float64(p.PoolCapacity())/1e12)
+	}
+
+	big := scaleout.Default(nodeCounts[len(nodeCounts)-1])
+	fmt.Printf("\nAt %d devices the plane exposes %.0f TB of deviceremote memory —\n",
+		big.TotalDevices(), float64(big.PoolCapacity())/1e12)
+	fmt.Println("the §VI regime where memory-centric design meets BrainWave-style")
+	fmt.Println("datacenter-scale device-side interconnects.")
+}

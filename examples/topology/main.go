@@ -1,0 +1,94 @@
+// Topology explorer: builds the four device-side interconnects of the paper
+// (the DGX cube-mesh of Figure 5 and the three MC-DLA candidates of
+// Figure 7), validates their link budgets, and compares their ring structure
+// and collective/virtualization characteristics — the §III-B design-space
+// discussion in executable form. It also exercises the Table I runtime API
+// against a simulated MC-DLA device.
+//
+//	go run ./examples/topology
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/memcentric/mcdla/internal/collective"
+	"github.com/memcentric/mcdla/internal/cudart"
+	"github.com/memcentric/mcdla/internal/topo"
+	"github.com/memcentric/mcdla/internal/units"
+	"github.com/memcentric/mcdla/internal/vmem"
+)
+
+func main() {
+	p := topo.DefaultParams()
+	builds := []struct {
+		name  string
+		build func(topo.Params) *topo.Topology
+		// virtBW is the per-device virtualization bandwidth the design
+		// unlocks (§III-B).
+		virtBW units.Bandwidth
+	}{
+		{"Figure 5  cube-mesh (DC-DLA)", topo.CubeMesh, units.GBps(12)},
+		{"Figure 7a star (derivative)", topo.MCDLAStar, units.GBps(50)},
+		{"Figure 7b folded (MC-DLA(S))", topo.MCDLAFolded, units.GBps(50)},
+		{"Figure 7c ring (MC-DLA(L/B))", topo.MCDLARing, vmem.BWAware.RemoteBandwidth(p.LinksN, p.LinkBW)},
+	}
+
+	for _, b := range builds {
+		t := b.build(p)
+		if err := t.Validate(p.LinksN); err != nil {
+			log.Fatalf("%s: %v", b.name, err)
+		}
+		fmt.Printf("%s\n", b.name)
+		fmt.Printf("  nodes: %d device + %d memory; rings: %v hops (device participation %v)\n",
+			len(t.NodesOf(topo.DeviceNode)), len(t.NodesOf(topo.MemoryNode)),
+			t.RingHopCounts(), t.DeviceRingParticipation())
+		d0Mem := t.LinksToMemory(0)
+		fmt.Printf("  device D0: %d/%d links to memory-nodes -> virtualization bandwidth %v\n",
+			d0Mem, p.LinksN, b.virtBW)
+		// Collective cost on this interconnect's ring structure for the
+		// paper's 8 MB synchronization size.
+		nodes := t.MaxRingHops()
+		cfg := collective.Config{
+			Nodes: nodes, Rings: float64(len(t.Rings)),
+			LinkBW: p.LinkBW, ChunkBytes: collective.DefaultChunk,
+			StepAlpha: collective.DefaultAlpha,
+		}
+		if t.Name == "mc-dla-star" {
+			cfg.Rings = 3 // the memory-only 4th ring carries no device data
+		}
+		fmt.Printf("  8 MB all-reduce over the longest ring: %v\n\n",
+			collective.Latency(collective.AllReduce, 8*units.MB, cfg))
+	}
+
+	// Exercise the Table I runtime API on an MC-DLA(B)-attached device.
+	fmt.Println("Table I runtime API on an MC-DLA(B) device:")
+	dev, err := cudart.NewDevice(cudart.Config{
+		Local:      16 * units.GB,
+		RemoteHalf: 640 * units.GB,
+		Links:      p.LinksN,
+		LinkBW:     p.LinkBW,
+		HostBW:     units.GBps(12),
+		Placement:  vmem.BWAware,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  device memory visible to the driver: %v\n", dev.Capacity())
+	buf, err := dev.MallocRemote(8 * units.GB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	region, _ := dev.Resolve(buf)
+	fmt.Printf("  cudaMallocRemote(8 GB) -> %#x (%v)\n", uint64(buf), region)
+	ev, err := dev.MemcpyAsync(8*units.GB, cudart.LocalToRemote)
+	if err != nil {
+		log.Fatal(err)
+	}
+	done := dev.Sync(ev)
+	fmt.Printf("  cudaMemcpyAsync(LocalToRemote, 8 GB) completed at t=%v (BW_AWARE, N*B)\n", done)
+	if err := dev.FreeRemote(buf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  cudaFreeRemote: ok")
+}

@@ -1,0 +1,93 @@
+// Video-workload capacity planner — the §V-E user-productivity scenario.
+//
+// State-of-the-art video understanding models combine a per-frame CNN with
+// LSTMs over the frame sequence; training them end-to-end is "practically
+// impossible" on a 16 GB device because the memory footprint scales with the
+// number of input frames and recurrent timesteps. This example quantifies
+// that: it builds a VGG-E-frontend + LSTM video model at growing clip
+// lengths, reports the training footprint, and shows which configurations
+// only MC-DLA's deviceremote pool can hold — and what each memory-node DIMM
+// choice costs in power (Table IV).
+//
+//	go run ./examples/videocapacity
+package main
+
+import (
+	"fmt"
+
+	"github.com/memcentric/mcdla/internal/dnn"
+	"github.com/memcentric/mcdla/internal/memnode"
+	"github.com/memcentric/mcdla/internal/power"
+	"github.com/memcentric/mcdla/internal/units"
+)
+
+// videoModel builds an end-to-end video captioning model: a CNN trunk
+// evaluated per frame feeding a 2-layer LSTM over the sequence.
+func videoModel(batch, frames, hidden int) *dnn.Graph {
+	b := dnn.NewBuilder(fmt.Sprintf("video-%df", frames), batch)
+	x := b.Input(3, 224, 224)
+	// VGG-style trunk (per clip the trunk runs once per frame; the builder
+	// models one frame and the planner scales by the frame count).
+	stageC := []int{64, 128, 256, 512, 512}
+	for s, c := range stageC {
+		x = b.Conv(fmt.Sprintf("conv%d_1", s+1), x, c, 3, 1, 1)
+		x = b.ReLU(fmt.Sprintf("relu%d_1", s+1), x)
+		x = b.Conv(fmt.Sprintf("conv%d_2", s+1), x, c, 3, 1, 1)
+		x = b.ReLU(fmt.Sprintf("relu%d_2", s+1), x)
+		x = b.Pool(fmt.Sprintf("pool%d", s+1), x, 2, 2, 0)
+	}
+	x = b.FC("embed", x, hidden)
+	for t := 1; t <= frames; t++ {
+		x = b.LSTMCell(fmt.Sprintf("lstm1_t%d", t), x, hidden, "video/lstm1")
+	}
+	for t := 1; t <= frames; t++ {
+		x = b.LSTMCell(fmt.Sprintf("lstm2_t%d", t), x, hidden, "video/lstm2")
+	}
+	b.FC("decode", x, 10000)
+	return b.Finish()
+}
+
+func main() {
+	const (
+		batch  = 32
+		hidden = 1024
+	)
+	deviceHBM := 16 * units.GB
+	node := memnode.Default()
+	pool := units.Bytes(2) * node.GroupCapacity() // each device owns two halves
+
+	fmt.Printf("Per-device memory budget: HBM %v; MC-DLA deviceremote pool %v\n\n", deviceHBM, pool)
+	fmt.Printf("%-8s %-14s %-14s %-12s %-12s\n", "frames", "weights", "training set", "fits HBM?", "fits MC-DLA?")
+	for _, frames := range []int{4, 8, 16, 32, 64, 128} {
+		g := videoModel(batch, frames, hidden)
+		// The CNN trunk runs per frame: its feature maps replicate per frame.
+		trunkFmaps := int64(0)
+		lstmStash := int64(0)
+		for _, l := range g.Layers {
+			if l.Kind == dnn.LSTMCell {
+				lstmStash += l.OutBytes() + l.StashExtraBytes
+			} else {
+				trunkFmaps += l.OutBytes()
+			}
+		}
+		weights := units.Bytes(g.TotalWeightBytes())
+		footprint := units.Bytes(trunkFmaps*int64(frames)+lstmStash) + weights
+		fits := func(budget units.Bytes) string {
+			if footprint <= budget {
+				return "yes"
+			}
+			return fmt.Sprintf("no (%.1fx)", float64(footprint)/float64(budget))
+		}
+		fmt.Printf("%-8d %-14v %-14v %-12s %-12s\n", frames, weights, footprint,
+			fits(deviceHBM), fits(deviceHBM+pool))
+	}
+
+	fmt.Println("\nMemory-node DIMM choices (Table IV):")
+	for _, r := range power.AnalyzeAll() {
+		fmt.Printf("  %-13s node %v, 8-node pool %5.2f TB, +%2.0f%% system power, %5.1f GB/W\n",
+			r.DIMM.Name, units.Bytes(10)*r.DIMM.Capacity, r.PoolTB, 100*r.OverheadFraction, r.GBPerWatt)
+	}
+	fmt.Println("\nTakeaway: beyond ~16 frames the end-to-end video model exceeds any")
+	fmt.Println("single-device HBM, but fits comfortably inside the memory-centric pool —")
+	fmt.Println("the class of workload MC-DLA unlocks (§V-E).")
+}

@@ -1,0 +1,195 @@
+package collective
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/memcentric/mcdla/internal/units"
+)
+
+func fig9Config(nodes int) Config {
+	// Figure 9: each link 50 GB/s bi-directional (25 GB/s per direction),
+	// one ring, 4 KB messages.
+	return Config{
+		Nodes:      nodes,
+		Rings:      1,
+		LinkBW:     units.GBps(25),
+		ChunkBytes: DefaultChunk,
+		StepAlpha:  DefaultAlpha,
+	}
+}
+
+func TestAllReduceBandwidthTerm(t *testing.T) {
+	// 8-node ring, 8 MB: wire bytes = 2·(7/8)·8 MB = 14 MB.
+	c := Estimate(AllReduce, 8*units.MB, fig9Config(8))
+	want := units.Bytes(2 * 7 * 8 * units.MB / 8)
+	if c.WireBytes != want {
+		t.Fatalf("all-reduce wire bytes = %d, want %d", c.WireBytes, want)
+	}
+}
+
+func TestAllGatherHalfOfAllReduce(t *testing.T) {
+	ar := Estimate(AllReduce, 8*units.MB, fig9Config(8))
+	ag := Estimate(AllGather, 8*units.MB, fig9Config(8))
+	if ag.WireBytes*2 != ar.WireBytes {
+		t.Fatalf("all-gather wire %d should be half of all-reduce %d", ag.WireBytes, ar.WireBytes)
+	}
+}
+
+func TestBroadcastWireIsFullBuffer(t *testing.T) {
+	c := Estimate(Broadcast, 8*units.MB, fig9Config(8))
+	if c.WireBytes != 8*units.MB {
+		t.Fatalf("broadcast wire bytes = %d, want full 8 MB", c.WireBytes)
+	}
+}
+
+func TestMCDLASixteenNodeOverheadNearSevenPercent(t *testing.T) {
+	// The paper's headline Figure 9 annotation: doubling the ring from 8
+	// nodes (DC-DLA) to 16 (MC-DLA) costs ≈7% extra all-reduce latency at
+	// the 8 MB target synchronization size.
+	l8 := Latency(AllReduce, 8*units.MB, fig9Config(8)).Seconds()
+	l16 := Latency(AllReduce, 8*units.MB, fig9Config(16)).Seconds()
+	overhead := l16/l8 - 1
+	if overhead < 0.05 || overhead > 0.10 {
+		t.Fatalf("16-vs-8-node all-reduce overhead = %.1f%%, want ≈7%%", overhead*100)
+	}
+}
+
+func TestSmallMessagesDominatedByAlpha(t *testing.T) {
+	// For tiny synchronization sizes the latency must grow roughly
+	// linearly with ring size (the regime where MC-DLA is worse but
+	// Amdahl-irrelevant).
+	small := units.Bytes(4 * units.KB)
+	l8 := Latency(AllReduce, small, fig9Config(8)).Seconds()
+	l32 := Latency(AllReduce, small, fig9Config(32)).Seconds()
+	if l32 < 2*l8 {
+		t.Fatalf("small-message latency should grow with nodes: l8=%g l32=%g", l8, l32)
+	}
+}
+
+func TestLargeMessagesFlatAcrossRingSizes(t *testing.T) {
+	// For the 8 MB sync size, latency from 8 to 36 nodes must stay within
+	// ~20% (the flat region of Figure 9).
+	l8 := Latency(AllReduce, 8*units.MB, fig9Config(8)).Seconds()
+	l36 := Latency(AllReduce, 8*units.MB, fig9Config(36)).Seconds()
+	if l36 > l8*1.25 {
+		t.Fatalf("large-message latency not flat: l8=%g l36=%g", l8, l36)
+	}
+}
+
+func TestNormalizedLatencyAtTwoNodes(t *testing.T) {
+	// Figure 9 normalizes to a 2-node ring; the 2-node all-reduce is a
+	// single exchange of S/2 in each of 2 steps.
+	c := Estimate(AllReduce, 8*units.MB, fig9Config(2))
+	if c.WireBytes != 8*units.MB {
+		t.Fatalf("2-node all-reduce wire bytes = %d, want 8 MB", c.WireBytes)
+	}
+}
+
+func TestMultiRingStriping(t *testing.T) {
+	// Three rings triple the aggregate bandwidth: the DGX all-reduce runs
+	// ≈3× faster than a single ring for large buffers.
+	one := fig9Config(8)
+	three := one
+	three.Rings = 3
+	l1 := Latency(AllReduce, 64*units.MB, one).Seconds()
+	l3 := Latency(AllReduce, 64*units.MB, three).Seconds()
+	if ratio := l1 / l3; ratio < 2.7 || ratio > 3.0 {
+		t.Fatalf("3-ring speedup = %.2f, want ≈3", ratio)
+	}
+}
+
+func TestFractionalRings(t *testing.T) {
+	// HC-DLA's 3 remaining links form 1.5 rings: aggregate 37.5 GB/s.
+	cfg := fig9Config(8)
+	cfg.Rings = 1.5
+	if got := cfg.AggregateBW().GBps(); got != 37.5 {
+		t.Fatalf("aggregate bw = %g, want 37.5", got)
+	}
+}
+
+func TestZeroSizeCollectiveHasOnlyFixedCost(t *testing.T) {
+	c := Estimate(AllReduce, 0, fig9Config(8))
+	if c.WireBytes != 0 {
+		t.Fatalf("zero-size wire bytes = %d", c.WireBytes)
+	}
+	if c.Fixed <= 0 {
+		t.Fatal("zero-size collective must still pay step overheads")
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	good := fig9Config(8)
+	cases := []func(*Config){
+		func(c *Config) { c.Nodes = 1 },
+		func(c *Config) { c.Rings = 0 },
+		func(c *Config) { c.LinkBW = 0 },
+		func(c *Config) { c.ChunkBytes = 0 },
+		func(c *Config) { c.StepAlpha = -1 },
+	}
+	for i, mutate := range cases {
+		c := good
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: config unexpectedly valid", i)
+		}
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	if AllGather.String() != "all-gather" || AllReduce.String() != "all-reduce" || Broadcast.String() != "broadcast" {
+		t.Fatal("op strings wrong")
+	}
+	if Op(9).String() != "Op(9)" {
+		t.Fatal("unknown op string wrong")
+	}
+}
+
+func TestEstimatePanicsOnNegativeSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Estimate(AllReduce, -1, fig9Config(8))
+}
+
+// Property: latency is monotone in message size and never below the pure
+// bandwidth bound for every op and ring size.
+func TestPropertyLatencyMonotoneAndBounded(t *testing.T) {
+	f := func(sizeKB uint16, nodesRaw uint8, opRaw uint8) bool {
+		nodes := int(nodesRaw%35) + 2
+		op := Op(opRaw % 3)
+		size := units.Bytes(sizeKB) * units.KB
+		cfg := fig9Config(nodes)
+		l1 := Latency(op, size, cfg)
+		l2 := Latency(op, size*2, cfg)
+		if l2 < l1 {
+			return false
+		}
+		bwBound := units.TransferTime(Estimate(op, size, cfg).WireBytes, cfg.AggregateBW())
+		return l1 >= bwBound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: all-reduce moves at least as many wire bytes as all-gather,
+// which moves at least (n-1)/n of the buffer.
+func TestPropertyOpOrdering(t *testing.T) {
+	f := func(sizeKB uint16, nodesRaw uint8) bool {
+		nodes := int(nodesRaw%35) + 2
+		size := units.Bytes(sizeKB)*units.KB + 1
+		cfg := fig9Config(nodes)
+		ar := Estimate(AllReduce, size, cfg).WireBytes
+		ag := Estimate(AllGather, size, cfg).WireBytes
+		return ar >= ag
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

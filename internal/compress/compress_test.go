@@ -1,0 +1,61 @@
+package compress
+
+import (
+	"testing"
+
+	"github.com/memcentric/mcdla/internal/dnn"
+)
+
+func TestCNNRatiosNearPaper(t *testing.T) {
+	// The paper reports an average 2.6× PCIe-traffic reduction on the four
+	// CNN workloads; our per-layer model must land in that neighbourhood.
+	var sum float64
+	for _, name := range dnn.CNNNames() {
+		g := dnn.MustBuild(name, 64)
+		r := GraphRatio(g)
+		if r < 1.2 || r > 3.5 {
+			t.Errorf("%s: compression ratio %.2f outside plausible band", name, r)
+		}
+		sum += r
+	}
+	avg := sum / 4
+	if avg < 1.7 || avg > 3.2 {
+		t.Fatalf("average CNN ratio = %.2f, want ≈2.6", avg)
+	}
+}
+
+func TestRNNStateDoesNotCompress(t *testing.T) {
+	// Recurrent gate state is dense: RNN ratios must stay near 1.
+	for _, name := range dnn.RNNNames() {
+		g := dnn.MustBuild(name, 64)
+		if r := GraphRatio(g); r > 1.3 {
+			t.Errorf("%s: ratio %.2f — recurrent stash should barely compress", name, r)
+		}
+	}
+}
+
+func TestLayerRatios(t *testing.T) {
+	if LayerRatio(dnn.ReLU) <= LayerRatio(dnn.Conv) {
+		t.Fatal("post-activation tensors must compress better than dense conv outputs")
+	}
+	if LayerRatio(dnn.LSTMCell) != 1.0 {
+		t.Fatal("recurrent cells must not compress")
+	}
+	if LayerRatio(dnn.FC) < 1.0 {
+		t.Fatal("ratios must never be below 1")
+	}
+}
+
+func TestRatioScaleInvariantInBatch(t *testing.T) {
+	a := GraphRatio(dnn.MustBuild("VGG-E", 16))
+	b := GraphRatio(dnn.MustBuild("VGG-E", 64))
+	if a != b {
+		t.Fatalf("ratio depends on batch: %g vs %g", a, b)
+	}
+}
+
+func TestCDMAConstant(t *testing.T) {
+	if CDMARatio != 2.6 {
+		t.Fatalf("paper constant = %g", CDMARatio)
+	}
+}

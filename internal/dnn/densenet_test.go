@@ -1,0 +1,90 @@
+package dnn
+
+import "testing"
+
+func TestDenseNet121Structure(t *testing.T) {
+	g := MustBuild("DenseNet-121", 8)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 121 weighted layers: conv0 + 58×2 dense convs + 3 transition convs +
+	// fc = 1 + 116 + 3 + 1.
+	convs, fcs := 0, 0
+	for _, l := range g.Layers {
+		switch l.Kind {
+		case Conv:
+			convs++
+		case FC:
+			fcs++
+		}
+	}
+	if convs+fcs != 121 {
+		t.Fatalf("weighted layers = %d, want 121", convs+fcs)
+	}
+	// ≈8.0 M parameters (published 7.98 M; BN affine pairs add ~0.08 M).
+	params := g.TotalWeightBytes() / ElemBytes
+	if params < 7.6e6 || params > 8.4e6 {
+		t.Fatalf("parameter count = %d, want ≈8.0 M", params)
+	}
+	// ≈2.9 GMACs forward per image.
+	macs := MustBuild("DenseNet-121", 1).TotalMACs()
+	if macs < 2.6e9 || macs > 3.2e9 {
+		t.Fatalf("MACs = %d, want ≈2.9 G", macs)
+	}
+}
+
+func TestDenseNetChannelGrowth(t *testing.T) {
+	g := MustBuild("DenseNet-121", 1)
+	// Block outputs: 64+6·32=256 → /2=128; 128+12·32=512 → 256;
+	// 256+24·32=1024 → 512; 512+16·32=1024.
+	want := map[string]int{
+		"dense1_6/concat":  256,
+		"dense2_12/concat": 512,
+		"dense3_24/concat": 1024,
+		"dense4_16/concat": 1024,
+	}
+	found := 0
+	for _, l := range g.Layers {
+		if c, ok := want[l.Name]; ok {
+			found++
+			if l.Out.C != c {
+				t.Errorf("%s channels = %d, want %d", l.Name, l.Out.C, c)
+			}
+		}
+	}
+	if found != len(want) {
+		t.Fatalf("found %d/%d block outputs", found, len(want))
+	}
+}
+
+func TestDenseNetStretchesReuseDistances(t *testing.T) {
+	// The capacity-wall argument (paper [22]): dense connectivity keeps
+	// tensors live far past their production point. The maximum forward
+	// reuse distance in DenseNet must dwarf VGG's strictly sequential one,
+	// and the analyzer must still produce a consistent stash plan.
+	dense := MustBuild("DenseNet-121", 8)
+	vgg := MustBuild("VGG-E", 8)
+	maxDist := func(g *Graph) int {
+		last := g.LastForwardUse()
+		max := 0
+		for id, lu := range last {
+			if d := lu - id; d > max {
+				max = d
+			}
+		}
+		return max
+	}
+	dd, vd := maxDist(dense), maxDist(vgg)
+	if dd < 5*vd {
+		t.Fatalf("DenseNet max reuse distance %d not ≫ VGG's %d", dd, vd)
+	}
+}
+
+func TestDenseNetTrainableEndToEnd(t *testing.T) {
+	// The extended workload must flow through the whole stack: the
+	// fc output (1000) is divisible by 8, so both strategies build.
+	g := MustBuild("DenseNet-121", 64)
+	if g.StashBytes() <= 0 || g.StashBytes() >= g.TotalFeatureMapBytes() {
+		t.Fatalf("stash %d outside (0, fmaps %d)", g.StashBytes(), g.TotalFeatureMapBytes())
+	}
+}

@@ -1,0 +1,392 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V) plus the motivational Figure 2 and the collective-latency
+// Figure 9. Each experiment returns structured rows so that benchmarks, the
+// CLI, and tests consume the same generators; Render* helpers print them in
+// the paper's presentation shape.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/memcentric/mcdla/internal/accel"
+	"github.com/memcentric/mcdla/internal/collective"
+	"github.com/memcentric/mcdla/internal/core"
+	"github.com/memcentric/mcdla/internal/dnn"
+	"github.com/memcentric/mcdla/internal/metrics"
+	"github.com/memcentric/mcdla/internal/train"
+	"github.com/memcentric/mcdla/internal/units"
+)
+
+// Paper-wide evaluation constants (§IV).
+const (
+	Batch   = 512
+	Workers = 8
+)
+
+// designNames is the Figure 11/13 presentation order.
+var designNames = []string{"DC-DLA", "HC-DLA", "MC-DLA(S)", "MC-DLA(L)", "MC-DLA(B)", "DC-DLA(O)"}
+
+// DesignNames returns the evaluated design points in paper order.
+func DesignNames() []string { return append([]string(nil), designNames...) }
+
+// runAll simulates every workload × design for one strategy at a batch size.
+func runAll(strategy train.Strategy, batch int) (map[string]map[string]core.Result, error) {
+	out := make(map[string]map[string]core.Result)
+	for _, name := range dnn.BenchmarkNames() {
+		s, err := train.Build(name, batch, Workers, strategy)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = make(map[string]core.Result)
+		for _, d := range core.StandardDesigns() {
+			r, err := core.Simulate(d, s)
+			if err != nil {
+				return nil, err
+			}
+			out[name][d.Name] = r
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------- Figure 2
+
+// Fig2Row is one device generation's result for one CNN.
+type Fig2Row struct {
+	Network    string
+	Generation string
+	// NormTime is the device execution time (no virtualization — the
+	// figure's left axis measures raw device performance) normalized to
+	// the network's Kepler run.
+	NormTime float64
+	// OverheadPct is the share of execution time lost to PCIe memory
+	// virtualization: (T_virt − T_oracle) / T_virt.
+	OverheadPct float64
+}
+
+// Fig2 reproduces Figure 2: single-device execution time across five
+// accelerator generations with PCIe gen3 memory virtualization, and the
+// virtualization overhead percentage.
+func Fig2() ([]Fig2Row, error) {
+	const batch = 256 // single-device motivational runs
+	var rows []Fig2Row
+	for _, net := range dnn.CNNNames() {
+		s, err := train.Build(net, batch, 1, train.DataParallel)
+		if err != nil {
+			return nil, err
+		}
+		var keplerTime float64
+		for _, gen := range accel.Generations() {
+			d := core.NewDCDLA(gen.Config, 1)
+			virt, err := core.Simulate(d, s)
+			if err != nil {
+				return nil, err
+			}
+			oracle, err := core.Simulate(core.NewDCDLAO(gen.Config, 1), s)
+			if err != nil {
+				return nil, err
+			}
+			tv := virt.IterationTime.Seconds()
+			to := oracle.IterationTime.Seconds()
+			if gen.Name == "Kepler" {
+				keplerTime = to
+			}
+			rows = append(rows, Fig2Row{
+				Network:     net,
+				Generation:  gen.Name,
+				NormTime:    to / keplerTime,
+				OverheadPct: 100 * (tv - to) / tv,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderFig2 prints Figure 2 as a table.
+func RenderFig2(rows []Fig2Row) string {
+	t := metrics.NewTable("network", "generation", "time (norm. to Kepler)", "virt overhead %")
+	for _, r := range rows {
+		t.AddRow(r.Network, r.Generation, fmt.Sprintf("%.4f", r.NormTime), fmt.Sprintf("%.1f", r.OverheadPct))
+	}
+	return "Figure 2: single-device execution time across accelerator generations\n" + t.String()
+}
+
+// ---------------------------------------------------------------- Figure 9
+
+// Fig9Point is one ring size's normalized latency for the three collectives.
+type Fig9Point struct {
+	Nodes                           int
+	Broadcast, AllGather, AllReduce float64 // normalized to the 2-node ring
+}
+
+// Fig9 reproduces Figure 9: collective latency vs ring size for 4 KB
+// messages at an 8 MB synchronization size over 50 GB/s bidirectional links.
+func Fig9() []Fig9Point {
+	cfg := func(n int) collective.Config {
+		return collective.Config{
+			Nodes:      n,
+			Rings:      1,
+			LinkBW:     units.GBps(25),
+			ChunkBytes: collective.DefaultChunk,
+			StepAlpha:  collective.DefaultAlpha,
+		}
+	}
+	const sync = 8 * units.MB
+	base := map[collective.Op]float64{}
+	for _, op := range []collective.Op{collective.Broadcast, collective.AllGather, collective.AllReduce} {
+		base[op] = collective.Latency(op, sync, cfg(2)).Seconds()
+	}
+	var pts []Fig9Point
+	for n := 2; n <= 36; n += 2 {
+		pts = append(pts, Fig9Point{
+			Nodes:     n,
+			Broadcast: collective.Latency(collective.Broadcast, sync, cfg(n)).Seconds() / base[collective.Broadcast],
+			AllGather: collective.Latency(collective.AllGather, sync, cfg(n)).Seconds() / base[collective.AllGather],
+			AllReduce: collective.Latency(collective.AllReduce, sync, cfg(n)).Seconds() / base[collective.AllReduce],
+		})
+	}
+	return pts
+}
+
+// RenderFig9 prints the figure's three series.
+func RenderFig9(pts []Fig9Point) string {
+	bc := metrics.Series{Name: "broadcast"}
+	ag := metrics.Series{Name: "all-gather"}
+	ar := metrics.Series{Name: "all-reduce"}
+	for _, p := range pts {
+		label := fmt.Sprintf("%d", p.Nodes)
+		bc.Add(label, p.Broadcast)
+		ag.Add(label, p.AllGather)
+		ar.Add(label, p.AllReduce)
+	}
+	var b strings.Builder
+	b.WriteString("Figure 9: collective latency vs ring size (normalized to 2 nodes)\n")
+	b.WriteString(metrics.RenderSeries([]metrics.Series{bc, ag, ar}))
+	l8 := 0.0
+	l16 := 0.0
+	for _, p := range pts {
+		if p.Nodes == 8 {
+			l8 = p.AllReduce
+		}
+		if p.Nodes == 16 {
+			l16 = p.AllReduce
+		}
+	}
+	fmt.Fprintf(&b, "MC-DLA (16 nodes) vs DC-DLA (8 nodes) all-reduce overhead: %.1f%% (paper: ~7%%)\n", 100*(l16/l8-1))
+	return b.String()
+}
+
+// --------------------------------------------------------------- Figure 11
+
+// Fig11Row is one stacked bar: a workload × design latency breakdown
+// normalized to the tallest stack within the workload group.
+type Fig11Row struct {
+	Workload string
+	Design   string
+	Compute  float64
+	Sync     float64
+	Virt     float64
+}
+
+// Fig11 reproduces Figure 11(a) (data-parallel) or 11(b) (model-parallel).
+func Fig11(strategy train.Strategy) ([]Fig11Row, error) {
+	rs, err := runAll(strategy, Batch)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig11Row
+	for _, net := range dnn.BenchmarkNames() {
+		maxStack := 0.0
+		for _, dn := range designNames {
+			if s := rs[net][dn].Breakdown.Total().Seconds(); s > maxStack {
+				maxStack = s
+			}
+		}
+		for _, dn := range designNames {
+			b := rs[net][dn].Breakdown
+			rows = append(rows, Fig11Row{
+				Workload: net,
+				Design:   dn,
+				Compute:  b.Compute.Seconds() / maxStack,
+				Sync:     b.Sync.Seconds() / maxStack,
+				Virt:     b.Virt.Seconds() / maxStack,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderFig11 prints the stacked-bar data.
+func RenderFig11(rows []Fig11Row, strategy train.Strategy) string {
+	t := metrics.NewTable("workload", "design", "compute", "synchronization", "memory virtualization", "stack")
+	for _, r := range rows {
+		t.AddRow(r.Workload, r.Design,
+			fmt.Sprintf("%.3f", r.Compute), fmt.Sprintf("%.3f", r.Sync),
+			fmt.Sprintf("%.3f", r.Virt), fmt.Sprintf("%.3f", r.Compute+r.Sync+r.Virt))
+	}
+	return fmt.Sprintf("Figure 11 (%v): latency breakdown, normalized per workload\n", strategy) + t.String()
+}
+
+// --------------------------------------------------------------- Figure 12
+
+// Fig12Row is one workload's CPU memory bandwidth usage under one design.
+type Fig12Row struct {
+	Design   string
+	Workload string
+	// AvgDP / AvgMP are the average per-socket usages (GB/s) for the two
+	// strategies; Max is the maximum across both.
+	AvgDP, AvgMP, Max float64
+}
+
+// Fig12 reproduces Figure 12 for DC-DLA, HC-DLA and MC-DLA(B).
+func Fig12() ([]Fig12Row, error) {
+	dp, err := runAll(train.DataParallel, Batch)
+	if err != nil {
+		return nil, err
+	}
+	mp, err := runAll(train.ModelParallel, Batch)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig12Row
+	for _, dn := range []string{"DC-DLA", "HC-DLA", "MC-DLA(B)"} {
+		for _, net := range dnn.BenchmarkNames() {
+			a, b := dp[net][dn], mp[net][dn]
+			max := a.MaxHostSocketBW.GBps()
+			if m := b.MaxHostSocketBW.GBps(); m > max {
+				max = m
+			}
+			rows = append(rows, Fig12Row{
+				Design:   dn,
+				Workload: net,
+				AvgDP:    a.AvgHostSocketBW.GBps(),
+				AvgMP:    b.AvgHostSocketBW.GBps(),
+				Max:      max,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderFig12 prints the bandwidth-usage table.
+func RenderFig12(rows []Fig12Row) string {
+	t := metrics.NewTable("design", "workload", "avg DP (GB/s)", "avg MP (GB/s)", "max (GB/s)")
+	for _, r := range rows {
+		t.AddRow(r.Design, r.Workload,
+			fmt.Sprintf("%.1f", r.AvgDP), fmt.Sprintf("%.1f", r.AvgMP), fmt.Sprintf("%.1f", r.Max))
+	}
+	return "Figure 12: CPU memory bandwidth usage per socket\n" + t.String()
+}
+
+// --------------------------------------------------------------- Figure 13
+
+// Fig13Row is one workload × design performance bar, normalized to the
+// oracle DC-DLA(O).
+type Fig13Row struct {
+	Workload    string
+	Design      string
+	Performance float64
+}
+
+// Fig13 reproduces Figure 13(a)/(b).
+func Fig13(strategy train.Strategy) ([]Fig13Row, []float64, error) {
+	rs, err := runAll(strategy, Batch)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rows []Fig13Row
+	var speedups []float64
+	for _, net := range dnn.BenchmarkNames() {
+		oracle := rs[net]["DC-DLA(O)"]
+		for _, dn := range designNames {
+			rows = append(rows, Fig13Row{
+				Workload:    net,
+				Design:      dn,
+				Performance: rs[net][dn].Performance(oracle),
+			})
+		}
+		speedups = append(speedups,
+			rs[net]["DC-DLA"].IterationTime.Seconds()/rs[net]["MC-DLA(B)"].IterationTime.Seconds())
+	}
+	return rows, speedups, nil
+}
+
+// RenderFig13 prints the performance bars plus the headline speedup.
+func RenderFig13(rows []Fig13Row, speedups []float64, strategy train.Strategy) string {
+	t := metrics.NewTable("workload", "design", "performance (norm. to DC-DLA(O))")
+	for _, r := range rows {
+		t.AddRow(r.Workload, r.Design, fmt.Sprintf("%.3f", r.Performance))
+	}
+	return fmt.Sprintf("Figure 13 (%v): performance normalized to the oracle\n%sHarmonic-mean MC-DLA(B) speedup over DC-DLA: %.2fx\n",
+		strategy, t.String(), metrics.HarmonicMean(speedups))
+}
+
+// --------------------------------------------------------------- Figure 14
+
+// Fig14Row is MC-DLA(B)'s speedup over DC-DLA for one workload × batch.
+type Fig14Row struct {
+	Batch    int
+	Workload string // "HarMean" for the aggregate entry
+	DP, MP   float64
+}
+
+// Fig14Batches are the sensitivity batch sizes of Figure 14.
+var Fig14Batches = []int{128, 256, 1024, 2048}
+
+// Fig14 reproduces the batch-size sensitivity study.
+func Fig14() ([]Fig14Row, error) {
+	var rows []Fig14Row
+	for _, batch := range Fig14Batches {
+		var dps, mps []float64
+		for _, net := range dnn.BenchmarkNames() {
+			row := Fig14Row{Batch: batch, Workload: net}
+			for _, strategy := range []train.Strategy{train.DataParallel, train.ModelParallel} {
+				s, err := train.Build(net, batch, Workers, strategy)
+				if err != nil {
+					return nil, err
+				}
+				dc, err := core.Simulate(mustDesign("DC-DLA"), s)
+				if err != nil {
+					return nil, err
+				}
+				b, err := core.Simulate(mustDesign("MC-DLA(B)"), s)
+				if err != nil {
+					return nil, err
+				}
+				sp := dc.IterationTime.Seconds() / b.IterationTime.Seconds()
+				if strategy == train.DataParallel {
+					row.DP = sp
+					dps = append(dps, sp)
+				} else {
+					row.MP = sp
+					mps = append(mps, sp)
+				}
+			}
+			rows = append(rows, row)
+		}
+		rows = append(rows, Fig14Row{
+			Batch: batch, Workload: "HarMean",
+			DP: metrics.HarmonicMean(dps), MP: metrics.HarmonicMean(mps),
+		})
+	}
+	return rows, nil
+}
+
+// RenderFig14 prints the sensitivity table.
+func RenderFig14(rows []Fig14Row) string {
+	t := metrics.NewTable("batch", "workload", "DP speedup", "MP speedup")
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("%d", r.Batch), r.Workload,
+			fmt.Sprintf("%.2f", r.DP), fmt.Sprintf("%.2f", r.MP))
+	}
+	return "Figure 14: MC-DLA(B) speedup over DC-DLA vs input batch size\n" + t.String()
+}
+
+func mustDesign(name string) core.Design {
+	d, err := core.DesignByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

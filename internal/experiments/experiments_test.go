@@ -1,0 +1,322 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/memcentric/mcdla/internal/dnn"
+	"github.com/memcentric/mcdla/internal/train"
+)
+
+func TestFig2ShapeMatchesPaper(t *testing.T) {
+	rows, err := Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4*5 {
+		t.Fatalf("row count = %d, want 4 CNNs × 5 generations", len(rows))
+	}
+	byNet := map[string][]Fig2Row{}
+	for _, r := range rows {
+		byNet[r.Network] = append(byNet[r.Network], r)
+	}
+	for net, rs := range byNet {
+		// Execution time reduced by 20×–34× over the five generations
+		// (Kepler → Volta; TPUv2 continues the trend).
+		kepler, volta := rs[0], rs[3]
+		if kepler.Generation != "Kepler" || volta.Generation != "Volta" {
+			t.Fatalf("%s: generation order wrong: %v %v", net, kepler.Generation, volta.Generation)
+		}
+		reduction := kepler.NormTime / volta.NormTime
+		// The paper quotes 20x-34x; our roofline compresses that for the
+		// memory-bound fractions (HBM grew only 3.1x across the span), so
+		// accept 8x-34x.
+		if reduction < 8 || reduction > 34 {
+			t.Errorf("%s: Kepler→Volta time reduction = %.1fx, want within 8-34x", net, reduction)
+		}
+		// Virtualization overhead must grow monotonically-ish: the newest
+		// devices lose a (much) larger share of time to PCIe than Kepler.
+		if rs[4].OverheadPct <= rs[0].OverheadPct {
+			t.Errorf("%s: overhead does not grow across generations (%.1f%% -> %.1f%%)",
+				net, rs[0].OverheadPct, rs[4].OverheadPct)
+		}
+		if rs[3].OverheadPct < 40 {
+			t.Errorf("%s: Volta-era PCIe overhead = %.1f%%, expected substantial (>40%%)", net, rs[3].OverheadPct)
+		}
+	}
+	if !strings.Contains(RenderFig2(rows), "Kepler") {
+		t.Error("render output missing generations")
+	}
+}
+
+func TestFig9ShapeMatchesPaper(t *testing.T) {
+	pts := Fig9()
+	if len(pts) != 18 {
+		t.Fatalf("point count = %d, want 18 (2..36 step 2)", len(pts))
+	}
+	if pts[0].Nodes != 2 || pts[0].AllReduce != 1 {
+		t.Fatalf("first point must be the normalization base, got %+v", pts[0])
+	}
+	var p8, p16 Fig9Point
+	for _, p := range pts {
+		if p.Nodes == 8 {
+			p8 = p
+		}
+		if p.Nodes == 16 {
+			p16 = p
+		}
+	}
+	overhead := p16.AllReduce/p8.AllReduce - 1
+	if overhead < 0.05 || overhead > 0.10 {
+		t.Errorf("16-vs-8-node all-reduce overhead = %.1f%%, want ≈7%%", overhead*100)
+	}
+	// All three primitives stay within ~2.5× of the 2-node latency across
+	// the sweep (the figure's y-axis tops at 2.5).
+	for _, p := range pts {
+		for _, v := range []float64{p.Broadcast, p.AllGather, p.AllReduce} {
+			if v < 0.3 || v > 2.5 {
+				t.Errorf("n=%d: normalized latency %.2f outside the figure's range", p.Nodes, v)
+			}
+		}
+	}
+	if !strings.Contains(RenderFig9(pts), "7%") {
+		t.Error("render missing the 7% annotation")
+	}
+}
+
+func TestFig11Normalization(t *testing.T) {
+	for _, strategy := range []train.Strategy{train.DataParallel, train.ModelParallel} {
+		rows, err := Fig11(strategy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 8*6 {
+			t.Fatalf("row count = %d, want 48", len(rows))
+		}
+		byNet := map[string]float64{}
+		for _, r := range rows {
+			stack := r.Compute + r.Sync + r.Virt
+			if stack < 0 || stack > 1.0001 {
+				t.Errorf("%s/%s: normalized stack = %.3f outside [0,1]", r.Workload, r.Design, stack)
+			}
+			if stack > byNet[r.Workload] {
+				byNet[r.Workload] = stack
+			}
+		}
+		for net, max := range byNet {
+			if max < 0.999 {
+				t.Errorf("%s: tallest stack = %.3f, want 1.0 (per-workload normalization)", net, max)
+			}
+		}
+		_ = RenderFig11(rows, strategy)
+	}
+}
+
+func TestFig11OracleHasNoVirt(t *testing.T) {
+	rows, err := Fig11(train.DataParallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Design == "DC-DLA(O)" && r.Virt != 0 {
+			t.Errorf("%s: oracle shows virtualization latency", r.Workload)
+		}
+		if r.Design == "DC-DLA" && r.Virt == 0 {
+			t.Errorf("%s: DC-DLA shows no virtualization latency", r.Workload)
+		}
+	}
+}
+
+func TestFig12MCDLAIsZero(t *testing.T) {
+	rows, err := Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3*8 {
+		t.Fatalf("row count = %d, want 24", len(rows))
+	}
+	foundHot := false
+	for _, r := range rows {
+		switch r.Design {
+		case "MC-DLA(B)":
+			if r.AvgDP != 0 || r.AvgMP != 0 || r.Max != 0 {
+				t.Errorf("%s: MC-DLA uses CPU memory bandwidth", r.Workload)
+			}
+		case "HC-DLA":
+			if r.Max > 300.001 {
+				t.Errorf("%s: HC-DLA max %.1f exceeds socket provisioning", r.Workload, r.Max)
+			}
+			if r.AvgDP > 0.8*300 {
+				foundHot = true
+			}
+		case "DC-DLA":
+			if r.Max > 48.001 {
+				t.Errorf("%s: DC-DLA max %.1f exceeds 4 × sustained PCIe", r.Workload, r.Max)
+			}
+		}
+	}
+	if !foundHot {
+		t.Error("no workload drives HC-DLA near its socket limit (paper: ≈92%)")
+	}
+	_ = RenderFig12(rows)
+}
+
+func TestFig13OracleIsUnity(t *testing.T) {
+	for _, strategy := range []train.Strategy{train.DataParallel, train.ModelParallel} {
+		rows, speedups, err := Fig13(strategy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(speedups) != 8 {
+			t.Fatalf("speedup count = %d", len(speedups))
+		}
+		for _, r := range rows {
+			if r.Design == "DC-DLA(O)" && (r.Performance < 0.999 || r.Performance > 1.001) {
+				t.Errorf("%s: oracle performance = %.3f, want 1", r.Workload, r.Performance)
+			}
+			if r.Performance <= 0 || r.Performance > 1.2 {
+				t.Errorf("%s/%s: performance %.3f out of range", r.Workload, r.Design, r.Performance)
+			}
+		}
+		_ = RenderFig13(rows, speedups, strategy)
+	}
+}
+
+func TestFig14Robustness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("batch sweep is slow")
+	}
+	rows, err := Fig14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Fig14Batches)*(8+1) {
+		t.Fatalf("row count = %d", len(rows))
+	}
+	// The paper: an average 2.17× speedup across all batch sizes. Check the
+	// across-batch mean of the per-batch harmonic means stays in a generous
+	// band around that.
+	var sum float64
+	var n int
+	for _, r := range rows {
+		if r.Workload == "HarMean" {
+			sum += (r.DP + r.MP) / 2
+			n++
+			if r.DP < 1 || r.MP < 1 {
+				t.Errorf("batch %d: MC-DLA(B) slower than DC-DLA (DP %.2f, MP %.2f)", r.Batch, r.DP, r.MP)
+			}
+		}
+	}
+	avg := sum / float64(n)
+	if avg < 1.6 || avg > 3.4 {
+		t.Fatalf("across-batch average speedup = %.2f, want ≈2.17 band", avg)
+	}
+	_ = RenderFig14(rows)
+}
+
+func TestHeadlineBands(t *testing.T) {
+	h, err := RunHeadline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.DP["MC-DLA(B)"] < 2.8 || h.DP["MC-DLA(B)"] > 4.2 {
+		t.Errorf("DP headline = %.2f, want ≈3.5", h.DP["MC-DLA(B)"])
+	}
+	if h.MP["MC-DLA(B)"] < 1.6 || h.MP["MC-DLA(B)"] > 2.6 {
+		t.Errorf("MP headline = %.2f, want ≈2.1", h.MP["MC-DLA(B)"])
+	}
+	if h.Average["MC-DLA(B)"] < 2.1 || h.Average["MC-DLA(B)"] > 3.3 {
+		t.Errorf("average headline = %.2f, want ≈2.8", h.Average["MC-DLA(B)"])
+	}
+	if h.Average["DC-DLA"] != 1 {
+		t.Errorf("DC-DLA baseline = %.2f, want exactly 1", h.Average["DC-DLA"])
+	}
+	out := RenderHeadline(h)
+	if !strings.Contains(out, "MC-DLA(B)") || !strings.Contains(out, "Paper reference") {
+		t.Error("headline render incomplete")
+	}
+}
+
+func TestSensitivityShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sensitivity sweep is slow")
+	}
+	rows, err := Sensitivity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	for _, r := range rows {
+		byName[r.Variant] = r.Gap
+	}
+	// PCIe gen4 narrows the gap; cDMA narrows it on CNNs; the faster
+	// device widens it (DC-DLA becomes fully virtualization-bound).
+	if byName["DC-DLA with PCIe gen4"] >= byName["baseline"] {
+		t.Errorf("gen4 gap %.2f should be below baseline %.2f", byName["DC-DLA with PCIe gen4"], byName["baseline"])
+	}
+	if byName["DC-DLA with cDMA (CNNs)"] >= byName["baseline"]*1.15 {
+		t.Errorf("cDMA gap %.2f should not exceed baseline %.2f", byName["DC-DLA with cDMA (CNNs)"], byName["baseline"])
+	}
+	if byName["TPUv2-class device-node"] <= byName["baseline"] {
+		t.Errorf("TPUv2-class gap %.2f should exceed baseline %.2f (paper: 3.2x vs 2.8x)",
+			byName["TPUv2-class device-node"], byName["baseline"])
+	}
+	_ = RenderSensitivity(rows)
+}
+
+func TestScalabilityShape(t *testing.T) {
+	rows, err := Scalability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4*3 {
+		t.Fatalf("row count = %d, want 12", len(rows))
+	}
+	for _, r := range rows {
+		if r.GPUs == 1 {
+			continue
+		}
+		ideal := float64(r.GPUs)
+		// Without virtualization, scaling is near ideal (§V-D: "close to
+		// 4× and 8×"; AlexNet's 61M-parameter all-reduce costs it the most).
+		if r.SpeedupOracle < 0.65*ideal {
+			t.Errorf("%s @%d GPUs: oracle scaling %.2f too far from ideal %g", r.Network, r.GPUs, r.SpeedupOracle, ideal)
+		}
+		// With virtualization over the shared host interface, scaling
+		// collapses (paper: 1.3×/2.7×).
+		if r.SpeedupVirt > 0.6*ideal {
+			t.Errorf("%s @%d GPUs: virtualized scaling %.2f did not collapse", r.Network, r.GPUs, r.SpeedupVirt)
+		}
+		// MC-DLA regains it.
+		if r.SpeedupMC < 0.65*ideal {
+			t.Errorf("%s @%d GPUs: MC-DLA scaling %.2f not regained", r.Network, r.GPUs, r.SpeedupMC)
+		}
+		if r.SpeedupMC <= r.SpeedupVirt {
+			t.Errorf("%s @%d GPUs: MC-DLA (%.2f) must out-scale DC-DLA (%.2f)", r.Network, r.GPUs, r.SpeedupMC, r.SpeedupVirt)
+		}
+	}
+	_ = RenderScalability(rows)
+}
+
+func TestTable4Render(t *testing.T) {
+	out := RenderTable4()
+	for _, want := range []string{"8GB-RDIMM", "128GB-LRDIMM", "10.1", "+32%", "+7%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table IV output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(MemNodeSummary(), "N=6") {
+		t.Error("memory-node summary incomplete")
+	}
+}
+
+func TestDesignNamesOrder(t *testing.T) {
+	names := DesignNames()
+	if len(names) != 6 || names[0] != "DC-DLA" || names[5] != "DC-DLA(O)" {
+		t.Fatalf("design order = %v", names)
+	}
+	// The registry must match what dnn exposes.
+	if len(dnn.BenchmarkNames()) != 8 {
+		t.Fatal("benchmark registry changed")
+	}
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/memcentric/mcdla/internal/accel"
+	"github.com/memcentric/mcdla/internal/core"
+	"github.com/memcentric/mcdla/internal/dnn"
+	"github.com/memcentric/mcdla/internal/metrics"
+	"github.com/memcentric/mcdla/internal/scaleout"
+	"github.com/memcentric/mcdla/internal/train"
+	"github.com/memcentric/mcdla/internal/units"
+)
+
+// ExploreRow is one point of the §III-B design-space sweep: the paper calls
+// a full exploration "beyond the scope of this paper"; this is the tool for
+// it. Each point re-derives the MC-DLA(B) design from a hypothetical link
+// technology (N links of B GB/s per node) and reports its speedup over the
+// correspondingly-equipped DC-DLA.
+type ExploreRow struct {
+	Links   int
+	LinkBW  float64 // GB/s
+	VirtBW  float64 // derived N×B
+	Speedup float64 // harmonic mean over the 8 workloads, data-parallel
+}
+
+// Explore sweeps link counts and per-link bandwidths.
+func Explore(linkCounts []int, linkGBps []float64) ([]ExploreRow, error) {
+	var rows []ExploreRow
+	for _, n := range linkCounts {
+		for _, b := range linkGBps {
+			dev := accel.Default()
+			dev.Links = n
+			dev.LinkBW = units.GBps(b)
+			var sp []float64
+			for _, net := range dnn.BenchmarkNames() {
+				s, err := train.Build(net, Batch, Workers, train.DataParallel)
+				if err != nil {
+					return nil, err
+				}
+				dc, err := core.Simulate(core.NewDCDLA(dev, Workers), s)
+				if err != nil {
+					return nil, err
+				}
+				mc, err := core.Simulate(core.NewMCDLAB(dev, Workers), s)
+				if err != nil {
+					return nil, err
+				}
+				sp = append(sp, dc.IterationTime.Seconds()/mc.IterationTime.Seconds())
+			}
+			rows = append(rows, ExploreRow{
+				Links:   n,
+				LinkBW:  b,
+				VirtBW:  float64(n) * b,
+				Speedup: metrics.HarmonicMean(sp),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderExplore prints the sweep.
+func RenderExplore(rows []ExploreRow) string {
+	t := metrics.NewTable("links N", "B (GB/s)", "virt N*B", "MC-DLA(B) speedup")
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("%d", r.Links), fmt.Sprintf("%.0f", r.LinkBW),
+			fmt.Sprintf("%.0f", r.VirtBW), fmt.Sprintf("%.2fx", r.Speedup))
+	}
+	return "Design-space exploration (§III-B): link technology vs MC-DLA(B) advantage\n" + t.String() +
+		"The memory-centric advantage scales with the signaling technology —\n" +
+		"the paper's argument that MC-DLA, unlike host-attached designs, is not\n" +
+		"capped by CPU socket bandwidth.\n"
+}
+
+// ScaleOutRows runs the §VI plane study for the CLI.
+func ScaleOutRows(workload string, nodeCounts []int) ([]scaleout.ScalingPoint, error) {
+	// Pick a batch divisible by every plane size.
+	maxNodes := 0
+	for _, n := range nodeCounts {
+		if n > maxNodes {
+			maxNodes = n
+		}
+	}
+	batch := 8 * maxNodes * 64
+	return scaleout.Scaling(workload, batch, nodeCounts)
+}
+
+// RenderScaleOut prints the plane study.
+func RenderScaleOut(workload string, pts []scaleout.ScalingPoint) string {
+	t := metrics.NewTable("system nodes", "devices", "DC-plane speedup", "MC-plane speedup", "pool (TB)")
+	for _, p := range pts {
+		t.AddRow(fmt.Sprintf("%d", p.SystemNodes), fmt.Sprintf("%d", p.Devices),
+			fmt.Sprintf("%.2fx", p.SpeedupDC), fmt.Sprintf("%.2fx", p.SpeedupMC),
+			fmt.Sprintf("%.1f", p.PoolTB))
+	}
+	return fmt.Sprintf("Scale-out plane (§VI, Figure 15): %s strong scaling across system nodes\n", workload) + t.String()
+}

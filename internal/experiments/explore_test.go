@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExploreSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow")
+	}
+	rows, err := Explore([]int{4, 6}, []float64{25, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("row count = %d", len(rows))
+	}
+	byVirt := map[float64]float64{}
+	for _, r := range rows {
+		if r.Speedup <= 1 {
+			t.Errorf("N=%d B=%g: MC-DLA(B) speedup %.2f not above 1", r.Links, r.LinkBW, r.Speedup)
+		}
+		if r.VirtBW != float64(r.Links)*r.LinkBW {
+			t.Errorf("derived virt bw wrong: %+v", r)
+		}
+		byVirt[r.VirtBW] = r.Speedup
+	}
+	// The §III-B scaling claim: more link bandwidth → larger advantage.
+	if byVirt[300] <= byVirt[100] {
+		t.Fatalf("speedup must grow with link technology: %+v", byVirt)
+	}
+	out := RenderExplore(rows)
+	if !strings.Contains(out, "Design-space exploration") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestScaleOutRowsDivisibleBatch(t *testing.T) {
+	pts, err := ScaleOutRows("ResNet", []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("point count = %d", len(pts))
+	}
+	if pts[2].Devices != 32 {
+		t.Fatalf("devices = %d", pts[2].Devices)
+	}
+	out := RenderScaleOut("ResNet", pts)
+	if !strings.Contains(out, "Figure 15") {
+		t.Error("render incomplete")
+	}
+}

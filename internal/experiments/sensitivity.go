@@ -1,0 +1,306 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/memcentric/mcdla/internal/accel"
+	"github.com/memcentric/mcdla/internal/compress"
+	"github.com/memcentric/mcdla/internal/core"
+	"github.com/memcentric/mcdla/internal/dnn"
+	"github.com/memcentric/mcdla/internal/memnode"
+	"github.com/memcentric/mcdla/internal/metrics"
+	"github.com/memcentric/mcdla/internal/power"
+	"github.com/memcentric/mcdla/internal/train"
+	"github.com/memcentric/mcdla/internal/units"
+)
+
+// Headline summarizes the §V-B aggregate comparison.
+type Headline struct {
+	// Speedups of each design over DC-DLA, per strategy (harmonic means).
+	DP, MP map[string]float64
+	// Average combines both strategies (the paper's "average 2.8×").
+	Average map[string]float64
+	// OracleFraction is MC-DLA(B)'s performance relative to DC-DLA(O).
+	OracleFractionDP, OracleFractionMP float64
+}
+
+// RunHeadline computes the §V-B aggregates.
+func RunHeadline() (Headline, error) {
+	h := Headline{
+		DP: map[string]float64{}, MP: map[string]float64{}, Average: map[string]float64{},
+	}
+	perStrategy := func(strategy train.Strategy) (map[string][]float64, []float64, error) {
+		rs, err := runAll(strategy, Batch)
+		if err != nil {
+			return nil, nil, err
+		}
+		sp := map[string][]float64{}
+		var oracle []float64
+		for _, net := range dnn.BenchmarkNames() {
+			dc := rs[net]["DC-DLA"].IterationTime.Seconds()
+			for _, dn := range designNames {
+				sp[dn] = append(sp[dn], dc/rs[net][dn].IterationTime.Seconds())
+			}
+			oracle = append(oracle, rs[net]["MC-DLA(B)"].Performance(rs[net]["DC-DLA(O)"]))
+		}
+		return sp, oracle, nil
+	}
+	dp, odp, err := perStrategy(train.DataParallel)
+	if err != nil {
+		return h, err
+	}
+	mp, omp, err := perStrategy(train.ModelParallel)
+	if err != nil {
+		return h, err
+	}
+	for _, dn := range designNames {
+		h.DP[dn] = metrics.HarmonicMean(dp[dn])
+		h.MP[dn] = metrics.HarmonicMean(mp[dn])
+		h.Average[dn] = metrics.HarmonicMean(append(append([]float64(nil), dp[dn]...), mp[dn]...))
+	}
+	h.OracleFractionDP = metrics.HarmonicMean(odp)
+	h.OracleFractionMP = metrics.HarmonicMean(omp)
+	return h, nil
+}
+
+// RenderHeadline prints the aggregate table with the paper's reference
+// numbers alongside.
+func RenderHeadline(h Headline) string {
+	t := metrics.NewTable("design", "DP speedup", "MP speedup", "average")
+	for _, dn := range designNames {
+		t.AddRow(dn, fmt.Sprintf("%.2f", h.DP[dn]), fmt.Sprintf("%.2f", h.MP[dn]), fmt.Sprintf("%.2f", h.Average[dn]))
+	}
+	return fmt.Sprintf(`Headline (§V-B) — speedup over DC-DLA (harmonic means)
+%sPaper reference: MC-DLA(B) 3.5x DP / 2.1x MP / 2.8x average; HC-DLA 1.32x DP / 1.38x MP.
+MC-DLA(B) vs oracle: DP %.0f%%, MP %.0f%% (paper: 84%%-99%%, avg 95%%)
+`, t.String(), 100*h.OracleFractionDP, 100*h.OracleFractionMP)
+}
+
+// ----------------------------------------------------------- §V-B sweeps
+
+// SensitivityRow is one §V-B design variant's aggregate result.
+type SensitivityRow struct {
+	Variant string
+	// Gap is the harmonic-mean MC-DLA(B)/DC-DLA-variant speedup across the
+	// studied workloads and both strategies.
+	Gap float64
+	// Note carries the paper's reference value.
+	Note string
+}
+
+// Sensitivity reproduces the §V-B sensitivity studies: PCIe gen4 DC-DLA,
+// a TPUv2-class device-node, a DGX-2-class scaled node, and cDMA-compressed
+// DC-DLA on the CNNs.
+func Sensitivity() ([]SensitivityRow, error) {
+	gap := func(dcVariant func(workloads []string) (map[string]float64, error), workloads []string, mcDev accel.Config) (float64, error) {
+		dcTimes, err := dcVariant(workloads)
+		if err != nil {
+			return 0, err
+		}
+		var ratios []float64
+		for _, strategy := range []train.Strategy{train.DataParallel, train.ModelParallel} {
+			for _, net := range workloads {
+				s, err := train.Build(net, Batch, Workers, strategy)
+				if err != nil {
+					return 0, err
+				}
+				b, err := core.Simulate(core.NewMCDLAB(mcDev, Workers), s)
+				if err != nil {
+					return 0, err
+				}
+				key := fmt.Sprintf("%s/%v", net, strategy)
+				ratios = append(ratios, dcTimes[key]/b.IterationTime.Seconds())
+			}
+		}
+		return metrics.HarmonicMean(ratios), nil
+	}
+
+	dcPlain := func(dev accel.Config, virtScale float64, gen4 bool) func([]string) (map[string]float64, error) {
+		return func(workloads []string) (map[string]float64, error) {
+			out := map[string]float64{}
+			for _, strategy := range []train.Strategy{train.DataParallel, train.ModelParallel} {
+				for _, net := range workloads {
+					s, err := train.Build(net, Batch, Workers, strategy)
+					if err != nil {
+						return nil, err
+					}
+					var d core.Design
+					if gen4 {
+						d = core.NewDCDLAGen4(dev, Workers)
+					} else {
+						d = core.NewDCDLA(dev, Workers)
+					}
+					if virtScale != 1 {
+						// cDMA: the compressor multiplies the effective PCIe
+						// bandwidth by the workload's compression factor.
+						g := dnn.MustBuild(net, Batch)
+						d.VirtBW = units.Bandwidth(float64(d.VirtBW) * compress.GraphRatio(g))
+					}
+					r, err := core.Simulate(d, s)
+					if err != nil {
+						return nil, err
+					}
+					out[fmt.Sprintf("%s/%v", net, strategy)] = r.IterationTime.Seconds()
+				}
+			}
+			return out, nil
+		}
+	}
+
+	all := dnn.BenchmarkNames()
+	dev := accel.Default()
+	var rows []SensitivityRow
+
+	base, err := gap(dcPlain(dev, 1, false), all, dev)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, SensitivityRow{"baseline", base, "paper: 2.8x"})
+
+	g4, err := gap(dcPlain(dev, 1, true), all, dev)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, SensitivityRow{"DC-DLA with PCIe gen4", g4, "paper: gap narrows to 2.1x"})
+
+	tpu := accel.TPUv2Class()
+	fast, err := gap(dcPlain(tpu, 1, false), all, tpu)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, SensitivityRow{"TPUv2-class device-node", fast, "paper: 3.2x"})
+
+	dgx2 := dev
+	dgx2.Name = "DGX-2-class"
+	dgx2.MACsPerPE *= 2                       // 2 PFLOPS-class node
+	dgx2.LinkBW = units.GBps(2400.0 / 8 / 12) // 2.4 TB/s of device-side interconnect
+	dgx2.Links = 12
+	big, err := gap(dcPlain(dgx2, 1, false), all, dgx2)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, SensitivityRow{"DGX-2-class node", big, "paper: 2.9x"})
+
+	cdma, err := gap(dcPlain(dev, 2.6, false), dnn.CNNNames(), dev)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, SensitivityRow{"DC-DLA with cDMA (CNNs)", cdma, "paper: gap narrows to 2.3x"})
+
+	return rows, nil
+}
+
+// RenderSensitivity prints the sweep.
+func RenderSensitivity(rows []SensitivityRow) string {
+	t := metrics.NewTable("variant", "MC-DLA(B) gap", "reference")
+	for _, r := range rows {
+		t.AddRow(r.Variant, fmt.Sprintf("%.2fx", r.Gap), r.Note)
+	}
+	return "Sensitivity (§V-B): MC-DLA(B) speedup under design variants\n" + t.String()
+}
+
+// ------------------------------------------------------------ §V-D scaling
+
+// ScalingRow is one point of the §V-D scalability experiment.
+type ScalingRow struct {
+	Network string
+	GPUs    int
+	// SpeedupOracle is the scaling without memory virtualization (near
+	// ideal); SpeedupVirt is with virtualization over the shared host
+	// interface; SpeedupMC is MC-DLA(B), which regains the scaling.
+	SpeedupOracle, SpeedupVirt, SpeedupMC float64
+}
+
+// Scalability reproduces §V-D: strong scaling of the four CNNs across 1, 4,
+// and 8 devices. The DC-DLA host interface models the shared per-socket root
+// complex (one sustained ×16 per socket), which is what breaks scaling.
+func Scalability() ([]ScalingRow, error) {
+	var rows []ScalingRow
+	socketShare := units.GBps(PCIeSustainedGBps)
+	for _, net := range dnn.CNNNames() {
+		base := map[string]float64{}
+		for _, gpus := range []int{1, 4, 8} {
+			s, err := train.Build(net, Batch, gpus, train.DataParallel)
+			if err != nil {
+				return nil, err
+			}
+			dev := accel.Default()
+			dc := core.NewDCDLA(dev, gpus)
+			dc.HostSocketShared = socketShare
+			virt, err := core.Simulate(dc, s)
+			if err != nil {
+				return nil, err
+			}
+			oracle, err := core.Simulate(core.NewDCDLAO(dev, gpus), s)
+			if err != nil {
+				return nil, err
+			}
+			mc, err := core.Simulate(core.NewMCDLAB(dev, gpus), s)
+			if err != nil {
+				return nil, err
+			}
+			if gpus == 1 {
+				base["virt"] = virt.IterationTime.Seconds()
+				base["oracle"] = oracle.IterationTime.Seconds()
+				base["mc"] = mc.IterationTime.Seconds()
+			}
+			rows = append(rows, ScalingRow{
+				Network:       net,
+				GPUs:          gpus,
+				SpeedupOracle: base["oracle"] / oracle.IterationTime.Seconds(),
+				SpeedupVirt:   base["virt"] / virt.IterationTime.Seconds(),
+				SpeedupMC:     base["mc"] / mc.IterationTime.Seconds(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// PCIeSustainedGBps is the sustained host bandwidth used by the scalability
+// experiment's shared-socket model.
+const PCIeSustainedGBps = 12
+
+// RenderScalability prints the §V-D table.
+func RenderScalability(rows []ScalingRow) string {
+	t := metrics.NewTable("network", "GPUs", "no-virtualization", "DC-DLA (virt)", "MC-DLA(B)")
+	for _, r := range rows {
+		t.AddRow(r.Network, fmt.Sprintf("%d", r.GPUs),
+			fmt.Sprintf("%.2fx", r.SpeedupOracle),
+			fmt.Sprintf("%.2fx", r.SpeedupVirt),
+			fmt.Sprintf("%.2fx", r.SpeedupMC))
+	}
+	return "Scalability (§V-D): strong scaling of CNN training (paper: virt caps at 1.3x/2.7x; MC-DLA regains it)\n" + t.String()
+}
+
+// ------------------------------------------------------------- Table IV
+
+// RenderTable4 prints Table IV plus the §V-C system-level analysis.
+func RenderTable4() string {
+	t := metrics.NewTable("DDR4 module", "DIMM TDP (W)", "node TDP (W)", "GB/W", "pool (TB)", "system power", "perf/W @2.8x")
+	for _, r := range power.AnalyzeAll() {
+		t.AddRow(r.DIMM.Name,
+			fmt.Sprintf("%.1f", r.DIMM.TDPWatts),
+			fmt.Sprintf("%.0f", r.NodeTDP),
+			fmt.Sprintf("%.1f", r.GBPerWatt),
+			fmt.Sprintf("%.2f", r.PoolTB),
+			fmt.Sprintf("+%.0f%%", 100*r.OverheadFraction),
+			fmt.Sprintf("%.1fx", power.PerfPerWatt(2.8, r.OverheadFraction)))
+	}
+	lo, hi := power.LowPowerChoice(), power.HighCapacityChoice()
+	return fmt.Sprintf(`Table IV (§V-C): memory-node power (DDR4-2400, 10 DIMMs per node, 8 nodes)
+%sPaper reference: +7%% (8 GB RDIMM) to +31%% (128 GB LRDIMM) system power;
+perf/W gain 2.6x to 2.1x; pool up to %.1f TB. Low-power pick: %s (+%.0f%%); capacity pick: %s (%.1f GB/W).
+`, t.String(), hi.PoolTB, lo.DIMM.Name, 100*lo.OverheadFraction, hi.DIMM.Name, hi.GBPerWatt)
+}
+
+// MemNodeSummary prints the Table II / §III-A memory-node configuration.
+func MemNodeSummary() string {
+	c := memnode.Default()
+	return fmt.Sprintf(`Memory-node (Table II / §III-A):
+  DIMMs:            %d × %s
+  capacity:         %v (pool of 8: %.1f TB)
+  memory bandwidth: %v
+  links:            N=%d × B=%v (groups M=%d, %v per group)
+`, c.DIMMCount, c.DIMM.Name, c.Capacity(), float64(memnode.PoolCapacity(c, 8))/1e12,
+		c.MemBW(), c.Links, c.LinkBW, c.Groups, c.GroupBW())
+}

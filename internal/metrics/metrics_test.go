@@ -1,0 +1,188 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHarmonicMean(t *testing.T) {
+	if got := HarmonicMean([]float64{1, 1, 1}); got != 1 {
+		t.Fatalf("HM(1,1,1) = %g", got)
+	}
+	// HM(1, 3) = 2/(1 + 1/3) = 1.5.
+	if got := HarmonicMean([]float64{1, 3}); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("HM(1,3) = %g, want 1.5", got)
+	}
+	if got := HarmonicMean(nil); got != 0 {
+		t.Fatalf("HM() = %g, want 0", got)
+	}
+}
+
+func TestHarmonicMeanPanicsOnNonpositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	HarmonicMean([]float64{1, 0})
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("GM(2,8) = %g, want 4", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("GM() should be 0")
+	}
+}
+
+func TestGeoMeanPanicsOnNonpositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GeoMean([]float64{-1})
+}
+
+func TestNormalize(t *testing.T) {
+	out := Normalize([]float64{2, 4, 1})
+	want := []float64{0.5, 1, 0.25}
+	for i := range want {
+		if math.Abs(out[i]-want[i]) > 1e-12 {
+			t.Fatalf("normalize = %v", out)
+		}
+	}
+	zero := Normalize([]float64{0, 0})
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Fatal("all-zero normalize must stay zero")
+	}
+	// Input must not be mutated.
+	in := []float64{3, 6}
+	Normalize(in)
+	if in[0] != 3 {
+		t.Fatal("Normalize mutated its input")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("min/max = %g/%g", Min(xs), Max(xs))
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("design", "speedup")
+	tb.AddRow("DC-DLA", "1.00")
+	tb.AddRowf("MC-DLA(B)", 2.8)
+	tb.AddRow("short") // padded
+	out := tb.String()
+	for _, want := range []string{"design", "speedup", "DC-DLA", "MC-DLA(B)", "2.800", "-----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // header + rule + 3 rows
+		t.Fatalf("line count = %d", len(lines))
+	}
+	// Column alignment: every line is at least as wide as the header cell.
+	if !strings.HasPrefix(lines[2], "DC-DLA") {
+		t.Fatalf("row misaligned: %q", lines[2])
+	}
+}
+
+func TestAddRowfTypes(t *testing.T) {
+	tb := NewTable("a", "b", "c")
+	tb.AddRowf("x", 1.5, 42)
+	out := tb.String()
+	for _, want := range []string{"x", "1.500", "42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %s", want, out)
+		}
+	}
+}
+
+func TestSeriesRendering(t *testing.T) {
+	a := Series{Name: "all-reduce"}
+	a.Add("2", 1.0)
+	a.Add("4", 1.5)
+	b := Series{Name: "broadcast"}
+	b.Add("2", 1.0)
+	out := RenderSeries([]Series{a, b})
+	for _, want := range []string{"point", "all-reduce", "broadcast", "1.5000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("series output missing %q:\n%s", want, out)
+		}
+	}
+	if RenderSeries(nil) != "" {
+		t.Fatal("empty series set should render empty")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	keys := SortedKeys(map[string]float64{"b": 1, "a": 2, "c": 3})
+	if len(keys) != 3 || keys[0] != "a" || keys[2] != "c" {
+		t.Fatalf("sorted keys = %v", keys)
+	}
+}
+
+// Property: HM ≤ GM ≤ max for positive inputs (AM–GM–HM inequality).
+func TestPropertyMeanInequality(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, r := range raw[:minInt(len(raw), 8)] {
+			xs = append(xs, float64(r%1000)+1)
+		}
+		hm, gm := HarmonicMean(xs), GeoMean(xs)
+		return hm <= gm*(1+1e-9) && gm <= Max(xs)*(1+1e-9) && hm >= Min(xs)*(1-1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Normalize output is within [0,1] with max exactly 1 for
+// nonnegative nonzero inputs.
+func TestPropertyNormalizeBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		any := false
+		for i, r := range raw {
+			xs[i] = float64(r)
+			if r > 0 {
+				any = true
+			}
+		}
+		out := Normalize(xs)
+		maxSeen := 0.0
+		for _, v := range out {
+			if v < 0 || v > 1 {
+				return false
+			}
+			if v > maxSeen {
+				maxSeen = v
+			}
+		}
+		return !any || math.Abs(maxSeen-1) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

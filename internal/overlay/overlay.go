@@ -1,0 +1,189 @@
+// Package overlay is the runtime memory manager of §II-B/§IV implemented
+// against the Table I driver API: it takes the compile-time plan produced by
+// vmem.Analyze and replays a training iteration on a cudart.Device — real
+// (simulated) allocations, cudaMemcpyAsync offloads after last forward use,
+// a chained prefetch pipeline through backprop, and recompute of cheap
+// layers. It is both a worked example of how a DL framework integrates
+// MC-DLA and an independent cross-check of the core engine: for a single
+// device the two must agree on the iteration time.
+package overlay
+
+import (
+	"fmt"
+
+	"github.com/memcentric/mcdla/internal/accel"
+	"github.com/memcentric/mcdla/internal/cudart"
+	"github.com/memcentric/mcdla/internal/dnn"
+	"github.com/memcentric/mcdla/internal/units"
+	"github.com/memcentric/mcdla/internal/vmem"
+)
+
+// Runtime executes memory-overlaid training iterations on one device.
+type Runtime struct {
+	dev    *cudart.Device
+	device accel.Config
+	plan   *vmem.Plan
+	graph  *dnn.Graph
+	// remote is true when the backing store is deviceremote memory
+	// (MC-DLA); false routes the traffic over the host interface (DC-DLA).
+	remote bool
+
+	// buffers maps stashed tensor producers to their backing-store
+	// allocations (live across the iteration).
+	buffers map[int]cudart.Ptr
+}
+
+// New builds a runtime for the graph on the device. remote selects the
+// backing store tier.
+func New(dev *cudart.Device, device accel.Config, g *dnn.Graph, remote bool) (*Runtime, error) {
+	plan := vmem.Analyze(g, vmem.Options{})
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return &Runtime{
+		dev:     dev,
+		device:  device,
+		plan:    plan,
+		graph:   g,
+		remote:  remote,
+		buffers: make(map[int]cudart.Ptr),
+	}, nil
+}
+
+// Plan exposes the memory-overlaying schedule.
+func (r *Runtime) Plan() *vmem.Plan { return r.plan }
+
+func (r *Runtime) directions() (out, in cudart.Direction) {
+	if r.remote {
+		return cudart.LocalToRemote, cudart.RemoteToLocal
+	}
+	return cudart.LocalToHost, cudart.HostToLocal
+}
+
+// allocate reserves backing-store space for every stash tensor, using
+// cudaMallocRemote on the memory-centric tier.
+func (r *Runtime) allocate() error {
+	for id, tp := range r.plan.Tensors {
+		if tp.Action != vmem.Stash {
+			continue
+		}
+		var p cudart.Ptr
+		var err error
+		if r.remote {
+			p, err = r.dev.MallocRemote(units.Bytes(tp.Bytes))
+		} else {
+			// Host-tier staging: no device allocation needed; track a
+			// sentinel so release() stays symmetric.
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("overlay: tensor %d: %w", id, err)
+		}
+		r.buffers[id] = p
+	}
+	return nil
+}
+
+// release frees the backing-store allocations.
+func (r *Runtime) release() error {
+	for id, p := range r.buffers {
+		if err := r.dev.FreeRemote(p); err != nil {
+			return fmt.Errorf("overlay: tensor %d: %w", id, err)
+		}
+		delete(r.buffers, id)
+	}
+	return nil
+}
+
+// layerTime estimates the forward latency of a layer on the full (single
+// device) graph.
+func (r *Runtime) layerTime(l *dnn.Layer) units.Time {
+	var in int64
+	for _, id := range l.Inputs {
+		in += r.graph.Layer(id).OutBytes()
+	}
+	return r.device.LayerForward(l, in)
+}
+
+// Iteration runs one memory-overlaid training iteration and returns the
+// device clock at completion (relative to the start).
+func (r *Runtime) Iteration() (units.Time, error) {
+	start := r.dev.Now()
+	if err := r.allocate(); err != nil {
+		return 0, err
+	}
+	outDir, inDir := r.directions()
+
+	// ---- Forward: compute, then offload tensors past their last use ----
+	var offloads []*cudart.Event
+	for _, l := range r.graph.Layers {
+		r.dev.Advance(r.layerTime(l))
+		tensors, extra := r.plan.OffloadsAfter(l.ID)
+		for _, id := range tensors {
+			e, err := r.dev.MemcpyAsync(units.Bytes(r.plan.Tensors[id].Bytes), outDir)
+			if err != nil {
+				return 0, err
+			}
+			offloads = append(offloads, e)
+		}
+		if extra > 0 {
+			e, err := r.dev.MemcpyAsync(units.Bytes(extra), outDir)
+			if err != nil {
+				return 0, err
+			}
+			offloads = append(offloads, e)
+		}
+	}
+
+	// ---- Backward: chained prefetch pipeline + recompute + compute ----
+	type pending struct {
+		layer int
+		event *cudart.Event
+	}
+	next := len(r.graph.Layers) - 1
+	issue := func() (*pending, error) {
+		for next >= 0 {
+			id := next
+			next--
+			bytes := r.plan.PrefetchFor(id)
+			if bytes > 0 {
+				e, err := r.dev.MemcpyAsync(units.Bytes(bytes), inDir)
+				if err != nil {
+					return nil, err
+				}
+				return &pending{layer: id, event: e}, nil
+			}
+		}
+		return nil, nil
+	}
+	inflight, err := issue()
+	if err != nil {
+		return 0, err
+	}
+	recomputed := make(map[int]bool)
+	for id := len(r.graph.Layers) - 1; id >= 0; id-- {
+		if inflight != nil && inflight.layer == id {
+			r.dev.Sync(inflight.event)
+			if inflight, err = issue(); err != nil {
+				return 0, err
+			}
+		}
+		for _, rid := range r.plan.RecomputeFor(id) {
+			if !recomputed[rid] {
+				recomputed[rid] = true
+				r.dev.Advance(r.layerTime(r.graph.Layer(rid)))
+			}
+		}
+		l := r.graph.Layer(id)
+		r.dev.Advance(units.Time(accel.BackwardFactor * float64(r.layerTime(l))))
+	}
+
+	// Outstanding offloads must land before the iteration retires.
+	for _, e := range offloads {
+		r.dev.Sync(e)
+	}
+	if err := r.release(); err != nil {
+		return 0, err
+	}
+	return r.dev.Now() - start, nil
+}

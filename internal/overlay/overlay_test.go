@@ -1,0 +1,135 @@
+package overlay
+
+import (
+	"testing"
+
+	"github.com/memcentric/mcdla/internal/accel"
+	"github.com/memcentric/mcdla/internal/core"
+	"github.com/memcentric/mcdla/internal/cudart"
+	"github.com/memcentric/mcdla/internal/dnn"
+	"github.com/memcentric/mcdla/internal/train"
+	"github.com/memcentric/mcdla/internal/units"
+	"github.com/memcentric/mcdla/internal/vmem"
+)
+
+func newDevice(t *testing.T, placement vmem.Placement) *cudart.Device {
+	t.Helper()
+	d, err := cudart.NewDevice(cudart.Config{
+		Local:      16 * units.GB,
+		RemoteHalf: 640 * units.GB,
+		Links:      6,
+		LinkBW:     units.GBps(25),
+		HostBW:     units.GBps(12),
+		Placement:  placement,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestIterationRemoteBeatsHost(t *testing.T) {
+	g := dnn.MustBuild("AlexNet", 64)
+	dev := accel.Default()
+
+	host, err := New(newDevice(t, vmem.BWAware), dev, g, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := host.Iteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := New(newDevice(t, vmem.BWAware), dev, g, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := mem.Iteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm >= th {
+		t.Fatalf("deviceremote iteration %v not faster than host-tier %v", tm, th)
+	}
+}
+
+// The overlay runtime — written against the Table I API — must agree with
+// the core engine's single-device simulation: same policy, same device,
+// same channels.
+func TestCrossValidatesCoreEngine(t *testing.T) {
+	for _, name := range []string{"AlexNet", "VGG-E", "RNN-LSTM-1"} {
+		g := dnn.MustBuild(name, 64)
+		dev := accel.Default()
+
+		rt, err := New(newDevice(t, vmem.BWAware), dev, g, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := rt.Iteration()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		s := train.MustBuild(name, 64, 1, train.DataParallel)
+		ref := core.MustSimulate(core.NewDCDLA(dev, 1), s)
+
+		ratio := got.Seconds() / ref.IterationTime.Seconds()
+		if ratio < 0.9 || ratio > 1.1 {
+			t.Errorf("%s: overlay %v vs core %v (ratio %.3f) — engines disagree",
+				name, got, ref.IterationTime, ratio)
+		}
+	}
+}
+
+func TestAllocationLifecycle(t *testing.T) {
+	g := dnn.MustBuild("GoogLeNet", 32)
+	d := newDevice(t, vmem.BWAware)
+	rt, err := New(d, accel.Default(), g, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Iteration(); err != nil {
+		t.Fatal(err)
+	}
+	// Every backing-store allocation must be released at iteration end.
+	local, remote := d.Usage()
+	if local != 0 || remote != 0 {
+		t.Fatalf("leaked allocations: local %v remote %v", local, remote)
+	}
+	// And a second iteration must run on the same device.
+	if _, err := rt.Iteration(); err != nil {
+		t.Fatalf("second iteration: %v", err)
+	}
+}
+
+func TestRuntimeRejectsOversizedModels(t *testing.T) {
+	// A device with a tiny remote pool cannot host VGG-E's stash.
+	d, err := cudart.NewDevice(cudart.Config{
+		Local:      16 * units.GB,
+		RemoteHalf: 8 * units.MB,
+		Links:      6,
+		LinkBW:     units.GBps(25),
+		HostBW:     units.GBps(12),
+		Placement:  vmem.BWAware,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(d, accel.Default(), dnn.MustBuild("VGG-E", 64), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Iteration(); err == nil {
+		t.Fatal("expected out-of-memory error from the driver")
+	}
+}
+
+func TestPlanExposed(t *testing.T) {
+	rt, err := New(newDevice(t, vmem.Local), accel.Default(), dnn.MustBuild("AlexNet", 8), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Plan() == nil || rt.Plan().OffloadBytes() <= 0 {
+		t.Fatal("plan not exposed")
+	}
+}

@@ -1,0 +1,60 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"github.com/memcentric/mcdla/internal/memnode"
+	"github.com/memcentric/mcdla/internal/units"
+)
+
+func TestIterationEnergy(t *testing.T) {
+	cat := memnode.Catalog()
+	// DGX baseline: no memory-nodes, 100 ms iteration at 3200 W = 320 J.
+	base := IterationEnergy(units.Milliseconds(100), DGXSystemTDPWatts, cat[0], 0)
+	if math.Abs(base.EnergyJ-320) > 1e-9 {
+		t.Fatalf("baseline energy = %g J, want 320", base.EnergyJ)
+	}
+	// MC-DLA with 128 GB LRDIMMs: +1016 W but 2.8× faster.
+	mc := IterationEnergy(units.Milliseconds(100/2.8), DGXSystemTDPWatts, cat[4], 8)
+	if math.Abs(mc.SystemPowerW-(3200+1016)) > 1e-9 {
+		t.Fatalf("MC power = %g W", mc.SystemPowerW)
+	}
+	gain := EnergyGain(base, mc)
+	// Must match the §V-C perf/W figure: 2.8/1.3175 ≈ 2.13.
+	want := 2.8 / (1 + 1016.0/3200.0)
+	if math.Abs(gain-want) > 1e-9 {
+		t.Fatalf("energy gain = %g, want %g", gain, want)
+	}
+	if math.Abs(gain-PerfPerWatt(2.8, HighCapacityChoice().OverheadFraction)) > 1e-9 {
+		t.Fatal("energy gain must equal perf/W by construction")
+	}
+}
+
+func TestIterationEnergyLowPower(t *testing.T) {
+	cat := memnode.Catalog()
+	base := IterationEnergy(units.Milliseconds(100), DGXSystemTDPWatts, cat[0], 0)
+	mc := IterationEnergy(units.Milliseconds(100/2.8), DGXSystemTDPWatts, cat[0], 8)
+	gain := EnergyGain(base, mc)
+	if gain < 2.5 || gain > 2.7 {
+		t.Fatalf("8 GB RDIMM energy gain = %g, want ≈2.6", gain)
+	}
+}
+
+func TestIterationEnergyPanics(t *testing.T) {
+	cat := memnode.Catalog()
+	for _, f := range []func(){
+		func() { IterationEnergy(-1, 100, cat[0], 0) },
+		func() { IterationEnergy(1, 0, cat[0], 0) },
+		func() { EnergyGain(EnergyReport{EnergyJ: 1}, EnergyReport{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

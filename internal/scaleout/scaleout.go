@@ -1,0 +1,269 @@
+// Package scaleout implements the paper's §VI future-work direction: the
+// Figure 15 datacenter-level device-side interconnect plane. NVSwitch-class
+// device-side switches let a system node house device-nodes and memory-nodes
+// behind a non-blocking crossbar, and uplinks tie the system nodes into a
+// plane of hundreds of devices — "tightly integrating thousands of GPUs
+// across hundreds of system nodes". The package models such a plane, its
+// hierarchical ring collectives (intra-node over the switch, inter-node over
+// the uplinks), the memory-node pool it exposes, and a first-order training
+// iteration estimator that extends the §V evaluation beyond one node.
+package scaleout
+
+import (
+	"fmt"
+
+	"github.com/memcentric/mcdla/internal/accel"
+	"github.com/memcentric/mcdla/internal/collective"
+	"github.com/memcentric/mcdla/internal/memnode"
+	"github.com/memcentric/mcdla/internal/train"
+	"github.com/memcentric/mcdla/internal/units"
+	"github.com/memcentric/mcdla/internal/vmem"
+)
+
+// Plane describes a scale-out device-side interconnect plane.
+type Plane struct {
+	// SystemNodes is the number of switch-equipped chassis in the plane.
+	SystemNodes int
+	// DevicesPerNode / MemNodesPerNode populate each chassis (Figure 15
+	// draws 8 nodes per system node with N=3 links each).
+	DevicesPerNode  int
+	MemNodesPerNode int
+	// LinksPerDevice is each node's high-bandwidth link count into the
+	// switch.
+	LinksPerDevice int
+	// LinkBW is the per-link, per-direction bandwidth.
+	LinkBW units.Bandwidth
+	// UplinkBW is each system node's aggregate bandwidth into the
+	// inter-node plane.
+	UplinkBW units.Bandwidth
+	// MemNode describes the memory-node boards.
+	MemNode memnode.Config
+	// Device describes the accelerator.
+	Device accel.Config
+	// HostBW is the per-device legacy PCIe bandwidth (the DC-plane
+	// baseline's virtualization path).
+	HostBW units.Bandwidth
+}
+
+// Default returns the Figure 15 running configuration: system nodes housing
+// 8 device-nodes and 8 memory-nodes behind an NVSwitch-class crossbar with
+// N=3 links per node, DGX-2-class uplink provisioning, and the Table II
+// device and memory-node.
+func Default(systemNodes int) Plane {
+	return Plane{
+		SystemNodes:     systemNodes,
+		DevicesPerNode:  8,
+		MemNodesPerNode: 8,
+		LinksPerDevice:  3,
+		LinkBW:          units.GBps(25),
+		UplinkBW:        units.GBps(300),
+		MemNode:         memnode.Default(),
+		Device:          accel.Default(),
+		HostBW:          units.GBps(12),
+	}
+}
+
+// Validate reports configuration errors.
+func (p Plane) Validate() error {
+	switch {
+	case p.SystemNodes <= 0:
+		return fmt.Errorf("scaleout: need at least one system node")
+	case p.DevicesPerNode <= 0:
+		return fmt.Errorf("scaleout: need at least one device per node")
+	case p.MemNodesPerNode < 0:
+		return fmt.Errorf("scaleout: memory-node count must be nonnegative")
+	case p.LinksPerDevice <= 0 || p.LinkBW <= 0:
+		return fmt.Errorf("scaleout: links per device and link bandwidth must be positive")
+	case p.SystemNodes > 1 && p.UplinkBW <= 0:
+		return fmt.Errorf("scaleout: multi-node planes need uplink bandwidth")
+	case p.HostBW <= 0:
+		return fmt.Errorf("scaleout: host bandwidth must be positive")
+	}
+	return p.Device.Validate()
+}
+
+// TotalDevices reports the plane's device count.
+func (p Plane) TotalDevices() int { return p.SystemNodes * p.DevicesPerNode }
+
+// PoolCapacity reports the plane-wide deviceremote pool.
+func (p Plane) PoolCapacity() units.Bytes {
+	return units.Bytes(int64(p.SystemNodes) * int64(p.MemNodesPerNode) * int64(p.MemNode.Capacity()))
+}
+
+// DeviceLinkBW reports one device's aggregate switch bandwidth.
+func (p Plane) DeviceLinkBW() units.Bandwidth {
+	return units.Bandwidth(float64(p.LinkBW) * float64(p.LinksPerDevice))
+}
+
+// VirtBW reports the per-device virtualization bandwidth toward the
+// memory-nodes. The switch lets every device stripe over its full link set
+// (the crossbar subsumes the BW_AWARE left/right split), bounded by the
+// memory-nodes' aggregate delivery capability shared across local devices.
+func (p Plane) VirtBW() units.Bandwidth {
+	if p.MemNodesPerNode == 0 {
+		return 0
+	}
+	link := p.DeviceLinkBW()
+	memAgg := float64(p.MemNode.MemBW()) * float64(p.MemNodesPerNode) / float64(p.DevicesPerNode)
+	if float64(link) < memAgg {
+		return link
+	}
+	return units.Bandwidth(memAgg)
+}
+
+// intraConfig casts the switch into rings among the local device-nodes.
+// A crossbar can realize any ring embedding, so hop count equals the device
+// count and the full link set carries the striped data.
+func (p Plane) intraConfig() collective.Config {
+	return collective.Config{
+		Nodes:      p.DevicesPerNode,
+		Rings:      float64(p.LinksPerDevice),
+		LinkBW:     p.LinkBW,
+		ChunkBytes: collective.DefaultChunk,
+		StepAlpha:  collective.DefaultAlpha,
+	}
+}
+
+// interConfig casts the uplink plane into a ring of system nodes.
+func (p Plane) interConfig() collective.Config {
+	return collective.Config{
+		Nodes:      p.SystemNodes,
+		Rings:      1,
+		LinkBW:     p.UplinkBW,
+		ChunkBytes: collective.DefaultChunk,
+		StepAlpha:  collective.DefaultAlpha,
+	}
+}
+
+// AllReduce estimates a plane-wide all-reduce of size bytes per device using
+// the standard hierarchical decomposition: local reduce-scatter, inter-node
+// all-reduce of the 1/D shard, local all-gather.
+func (p Plane) AllReduce(size units.Bytes) units.Time {
+	intra := p.intraConfig()
+	local := collective.Latency(collective.AllReduce, size, intra)
+	if p.SystemNodes == 1 {
+		return local
+	}
+	// Local phases: reduce-scatter + all-gather ≈ one all-reduce's wire
+	// time; the inter-node ring moves the per-device shard.
+	shard := units.Bytes(float64(size)/float64(p.DevicesPerNode) + 0.5)
+	inter := collective.Latency(collective.AllReduce, shard, p.interConfig())
+	return local + inter
+}
+
+// IterationEstimate is the first-order scale-out model of one data-parallel
+// training iteration: compute and virtualization shrink with the worker
+// count (the batch splits plane-wide) while the dW all-reduce crosses the
+// hierarchy.
+type IterationEstimate struct {
+	Devices int
+	Compute units.Time
+	Virt    units.Time
+	Sync    units.Time
+	// Iteration assumes the §V overlap discipline: virtualization hides
+	// under compute up to the channel's ability, and the gradient
+	// all-reduce trails the backward pass.
+	Iteration units.Time
+}
+
+// Estimate computes the iteration estimate for a workload trained
+// data-parallel across the whole plane. memCentric selects the MC-plane
+// (memory-nodes as backing store) versus the DC-plane baseline (PCIe to
+// host memory).
+func (p Plane) Estimate(workload string, globalBatch int, memCentric bool) (IterationEstimate, error) {
+	if err := p.Validate(); err != nil {
+		return IterationEstimate{}, err
+	}
+	devices := p.TotalDevices()
+	if globalBatch%devices != 0 {
+		return IterationEstimate{}, fmt.Errorf("scaleout: batch %d not divisible by %d devices", globalBatch, devices)
+	}
+	s, err := train.Build(workload, globalBatch, devices, train.DataParallel)
+	if err != nil {
+		return IterationEstimate{}, err
+	}
+	g := s.Graph
+
+	var compute units.Time
+	for _, l := range g.Layers {
+		w := s.Work[l.ID]
+		var in int64
+		for _, id := range l.Inputs {
+			in += g.Layer(id).OutBytes()
+		}
+		var ew int64
+		if l.EwOps > 0 {
+			ew = l.Out.Elems()
+		}
+		weight := w.WeightBytes
+		if g.Timesteps > 1 {
+			weight /= int64(g.Timesteps)
+		}
+		ft := p.Device.WorkTime(w.GEMMs, in+weight+w.OutputBytes, ew, l.EwOps)
+		compute += units.Time((1 + accel.BackwardFactor) * float64(ft))
+	}
+
+	plan := vmem.Analyze(g, vmem.Options{})
+	virtBW := p.HostBW
+	if memCentric {
+		virtBW = p.VirtBW()
+	}
+	virt := units.TransferTime(units.Bytes(plan.TrafficBytes()), virtBW)
+
+	sync := p.AllReduce(units.Bytes(g.TotalWeightBytes()))
+
+	// Overlap: offload/prefetch hide under compute; the residual spills.
+	iter := compute
+	if virt > compute {
+		iter = virt
+	}
+	iter += sync
+	return IterationEstimate{
+		Devices:   devices,
+		Compute:   compute,
+		Virt:      virt,
+		Sync:      sync,
+		Iteration: iter,
+	}, nil
+}
+
+// ScalingPoint is one plane size's result for the scale-out study.
+type ScalingPoint struct {
+	SystemNodes int
+	Devices     int
+	// SpeedupDC / SpeedupMC are strong-scaling speedups over the 1-node
+	// plane of the same design.
+	SpeedupDC, SpeedupMC float64
+	// PoolTB is the plane-wide memory pool.
+	PoolTB float64
+}
+
+// Scaling runs the §VI study: strong scaling of a workload across growing
+// plane sizes for the DC- and MC-planes.
+func Scaling(workload string, globalBatch int, nodeCounts []int) ([]ScalingPoint, error) {
+	var out []ScalingPoint
+	var baseDC, baseMC float64
+	for i, n := range nodeCounts {
+		p := Default(n)
+		dc, err := p.Estimate(workload, globalBatch, false)
+		if err != nil {
+			return nil, err
+		}
+		mc, err := p.Estimate(workload, globalBatch, true)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			baseDC = dc.Iteration.Seconds()
+			baseMC = mc.Iteration.Seconds()
+		}
+		out = append(out, ScalingPoint{
+			SystemNodes: n,
+			Devices:     p.TotalDevices(),
+			SpeedupDC:   baseDC / dc.Iteration.Seconds(),
+			SpeedupMC:   baseMC / mc.Iteration.Seconds(),
+			PoolTB:      float64(p.PoolCapacity()) / 1e12,
+		})
+	}
+	return out, nil
+}

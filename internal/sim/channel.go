@@ -1,0 +1,407 @@
+// Package sim is the discrete-event core of the mcdla simulator.
+//
+// The paper's in-house simulator (§IV) models all inter-node traffic as
+// coarse-grained bulk DMA transfers over fixed-bandwidth channels, with
+// computation overlapped against communication. Package sim provides exactly
+// that abstraction: a Channel is a shared bandwidth resource carrying
+// concurrent Flows under max-min fair sharing, where each Flow may be capped
+// at its own maximum rate (e.g. a DMA engine that can only stripe across two
+// of a memory-node's six links). Completions are resolved lazily as simulated
+// time advances, so a single sequential actor — one symmetric device of the
+// 8-device node — can drive the whole timeline deterministically.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/memcentric/mcdla/internal/units"
+)
+
+// Flow is an in-flight bulk transfer on a Channel.
+type Flow struct {
+	ch        *Channel
+	tag       string
+	group     string  // shared-cap group ("" = independent)
+	remaining float64 // bytes left to move
+	maxRate   units.Bandwidth
+	rate      units.Bandwidth // current allocated rate
+	done      bool
+	doneAt    units.Time
+	extra     units.Time // fixed latency appended after the last byte lands
+}
+
+// Tag reports the accounting tag the flow was started with.
+func (f *Flow) Tag() string { return f.tag }
+
+// Done reports whether the flow has completed.
+func (f *Flow) Done() bool { return f.done }
+
+// DoneAt reports the completion time. It is only meaningful once Done.
+func (f *Flow) DoneAt() units.Time { return f.doneAt }
+
+// Channel is a shared, half-duplex bandwidth resource. Concurrent flows
+// receive max-min fair shares of Capacity, each additionally capped by its
+// own maxRate. The zero Channel is not usable; construct with NewChannel.
+type Channel struct {
+	name     string
+	capacity units.Bandwidth
+	now      units.Time
+	flows    []*Flow
+	// groupCaps bounds the aggregate rate of all flows sharing a group —
+	// e.g. a DMA engine whose link group tops out below the channel's full
+	// link complex (MC-DLA(S)'s two memory-node links on six shared links).
+	groupCaps map[string]units.Bandwidth
+
+	stats ChannelStats
+}
+
+// SetGroupCap bounds the aggregate rate of flows started in the named group.
+func (c *Channel) SetGroupCap(group string, cap units.Bandwidth) {
+	if group == "" {
+		panic("sim: group name must be nonempty")
+	}
+	if cap <= 0 {
+		panic(fmt.Sprintf("sim: group %q cap must be positive", group))
+	}
+	if c.groupCaps == nil {
+		c.groupCaps = make(map[string]units.Bandwidth)
+	}
+	c.groupCaps[group] = cap
+}
+
+// ChannelStats accumulates the accounting needed by Figure 12 (CPU memory
+// bandwidth usage) and the latency-breakdown bookkeeping of Figure 11.
+type ChannelStats struct {
+	BytesByTag map[string]float64
+	TotalBytes float64
+	// BusyTime integrates wall time during which at least one flow was active.
+	BusyTime units.Time
+	// PeakRate is the maximum instantaneous aggregate rate observed.
+	PeakRate units.Bandwidth
+	// RateIntegral is ∫rate·dt (bytes moved), kept separately from TotalBytes
+	// as a self-check: the two must agree.
+	RateIntegral float64
+}
+
+// NewChannel creates a channel with the given aggregate capacity.
+func NewChannel(name string, capacity units.Bandwidth) *Channel {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: channel %q capacity must be positive, got %v", name, capacity))
+	}
+	return &Channel{
+		name:     name,
+		capacity: capacity,
+		stats:    ChannelStats{BytesByTag: make(map[string]float64)},
+	}
+}
+
+// Name reports the channel's name.
+func (c *Channel) Name() string { return c.name }
+
+// Capacity reports the channel's aggregate capacity.
+func (c *Channel) Capacity() units.Bandwidth { return c.capacity }
+
+// Now reports the channel-local clock (the latest time it has advanced to).
+func (c *Channel) Now() units.Time { return c.now }
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Channel) Stats() ChannelStats {
+	s := c.stats
+	s.BytesByTag = make(map[string]float64, len(c.stats.BytesByTag))
+	for k, v := range c.stats.BytesByTag {
+		s.BytesByTag[k] = v
+	}
+	return s
+}
+
+// allocUnit is one contender in the top-level water-fill: either a lone flow
+// or a whole group of flows sharing a cap.
+type allocUnit struct {
+	cap   float64
+	flows []*Flow
+}
+
+// allocate recomputes max-min fair rates for the active flows using
+// two-level water-filling: groups (and independent flows) share the channel
+// capacity max-min fairly, then each group's allocation is water-filled
+// across its members.
+func (c *Channel) allocate() {
+	if len(c.flows) == 0 {
+		return
+	}
+	var units_ []allocUnit
+	grouped := make(map[string]int)
+	for _, f := range c.flows {
+		if f.group == "" {
+			units_ = append(units_, allocUnit{cap: float64(f.maxRate), flows: []*Flow{f}})
+			continue
+		}
+		idx, ok := grouped[f.group]
+		if !ok {
+			cap := math.Inf(1)
+			if g, has := c.groupCaps[f.group]; has {
+				cap = float64(g)
+			}
+			grouped[f.group] = len(units_)
+			units_ = append(units_, allocUnit{cap: cap})
+			idx = len(units_) - 1
+		}
+		units_[idx].flows = append(units_[idx].flows, f)
+	}
+	// A group's effective demand is also bounded by its members' caps.
+	for i := range units_ {
+		var memberSum float64
+		for _, f := range units_[i].flows {
+			memberSum += float64(f.maxRate)
+		}
+		units_[i].cap = math.Min(units_[i].cap, memberSum)
+	}
+	shares := waterfill(float64(c.capacity), unitCaps(units_))
+	for i, u := range units_ {
+		memberShares := waterfill(shares[i], flowCaps(u.flows))
+		for j, f := range u.flows {
+			f.rate = units.Bandwidth(memberShares[j])
+		}
+	}
+	total := units.Bandwidth(0)
+	for _, f := range c.flows {
+		total += f.rate
+	}
+	if total > c.stats.PeakRate {
+		c.stats.PeakRate = total
+	}
+}
+
+func unitCaps(us []allocUnit) []float64 {
+	out := make([]float64, len(us))
+	for i, u := range us {
+		out[i] = u.cap
+	}
+	return out
+}
+
+func flowCaps(fs []*Flow) []float64 {
+	out := make([]float64, len(fs))
+	for i, f := range fs {
+		out[i] = float64(f.maxRate)
+	}
+	return out
+}
+
+// waterfill distributes capacity across demands max-min fairly: ascending
+// caps, leftover shared among the unfilled.
+func waterfill(capacity float64, caps []float64) []float64 {
+	n := len(caps)
+	out := make([]float64, n)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return caps[order[a]] < caps[order[b]] })
+	remaining := capacity
+	left := n
+	for _, i := range order {
+		share := remaining / float64(left)
+		r := math.Min(caps[i], share)
+		out[i] = r
+		remaining -= r
+		left--
+	}
+	return out
+}
+
+// Start begins a transfer of size bytes at time t, capped at maxRate.
+// extra is a fixed latency appended after the final byte (used by the
+// collective model for its per-step α terms). Start panics if t precedes the
+// channel clock: the single-actor discipline requires monotone issue times.
+func (c *Channel) Start(t units.Time, tag string, size units.Bytes, maxRate units.Bandwidth, extra units.Time) *Flow {
+	return c.StartGroup(t, tag, "", size, maxRate, extra)
+}
+
+// StartGroup is Start with the flow placed in a shared-cap group (see
+// SetGroupCap).
+func (c *Channel) StartGroup(t units.Time, tag, group string, size units.Bytes, maxRate units.Bandwidth, extra units.Time) *Flow {
+	if size < 0 {
+		panic(fmt.Sprintf("sim: channel %q: negative transfer size %d", c.name, size))
+	}
+	if maxRate <= 0 {
+		panic(fmt.Sprintf("sim: channel %q: flow %q max rate must be positive", c.name, tag))
+	}
+	c.AdvanceTo(t)
+	f := &Flow{ch: c, tag: tag, group: group, remaining: float64(size), maxRate: maxRate, extra: extra}
+	if size == 0 {
+		f.done = true
+		f.doneAt = t + extra
+		c.stats.BytesByTag[tag] += 0
+		return f
+	}
+	c.flows = append(c.flows, f)
+	c.allocate()
+	return f
+}
+
+// AdvanceTo drains flow progress up to time t, completing flows whose bytes
+// run out on the way. Calls with t before the channel clock are no-ops.
+func (c *Channel) AdvanceTo(t units.Time) {
+	for t > c.now {
+		if len(c.flows) == 0 {
+			c.now = t
+			return
+		}
+		step := c.nextCompletionDelta()
+		target := c.now + step
+		if target > t {
+			c.progress(t - c.now)
+			c.now = t
+			return
+		}
+		c.progress(step)
+		if target <= c.now {
+			// The delta is below the clock's float64 resolution: the
+			// nearest flow is effectively complete right now.
+			c.forceDrainNearest()
+		}
+		c.now = target
+		c.reap()
+	}
+}
+
+// nextCompletionDelta reports the time until the earliest flow completion at
+// current rates. At least one flow must be active.
+func (c *Channel) nextCompletionDelta() units.Time {
+	min := math.Inf(1)
+	for _, f := range c.flows {
+		if f.rate <= 0 {
+			continue
+		}
+		remaining := f.remaining
+		if remaining < byteEpsilon {
+			remaining = byteEpsilon
+		}
+		d := remaining / float64(f.rate)
+		if d < min {
+			min = d
+		}
+	}
+	if math.IsInf(min, 1) {
+		// All active flows are rate-starved, which cannot happen with a
+		// positive-capacity channel and positive max rates.
+		panic(fmt.Sprintf("sim: channel %q deadlocked with %d rate-starved flows", c.name, len(c.flows)))
+	}
+	return units.Time(min)
+}
+
+// forceDrainNearest zeroes the remaining bytes of the flow closest to
+// completion, breaking sub-resolution stalls.
+func (c *Channel) forceDrainNearest() {
+	var nearest *Flow
+	best := math.Inf(1)
+	for _, f := range c.flows {
+		if f.rate <= 0 {
+			continue
+		}
+		if d := f.remaining / float64(f.rate); d < best {
+			best = d
+			nearest = f
+		}
+	}
+	if nearest != nil {
+		c.stats.BytesByTag[nearest.tag] += nearest.remaining
+		c.stats.TotalBytes += nearest.remaining
+		c.stats.RateIntegral += nearest.remaining
+		nearest.remaining = 0
+	}
+}
+
+// progress moves every active flow forward by dt at its current rate.
+func (c *Channel) progress(dt units.Time) {
+	if dt <= 0 {
+		return
+	}
+	for _, f := range c.flows {
+		moved := float64(f.rate) * float64(dt)
+		if moved > f.remaining {
+			moved = f.remaining
+		}
+		f.remaining -= moved
+		c.stats.BytesByTag[f.tag] += moved
+		c.stats.TotalBytes += moved
+		c.stats.RateIntegral += moved
+	}
+	c.stats.BusyTime += dt
+}
+
+// byteEpsilon is the residue below which a flow counts as drained. Flow
+// arithmetic accumulates float64 error well under half a byte; treating such
+// residues as complete keeps completion deltas representable against the
+// channel clock (a sub-attosecond delta would otherwise stall AdvanceTo).
+const byteEpsilon = 0.5
+
+// reap removes flows that have drained, stamping their completion times.
+func (c *Channel) reap() {
+	kept := c.flows[:0]
+	for _, f := range c.flows {
+		if f.remaining <= byteEpsilon {
+			f.remaining = 0
+			f.done = true
+			f.doneAt = c.now + f.extra
+			continue
+		}
+		kept = append(kept, f)
+	}
+	c.flows = kept
+	c.allocate()
+}
+
+// Wait advances the channel until flow f completes and returns the time the
+// caller resumes: never earlier than t (the caller's own clock).
+func (c *Channel) Wait(t units.Time, f *Flow) units.Time {
+	if f.ch != c {
+		panic(fmt.Sprintf("sim: flow %q waited on wrong channel %q", f.tag, c.name))
+	}
+	c.AdvanceTo(t)
+	for !f.done {
+		c.AdvanceTo(c.now + c.nextCompletionDelta())
+	}
+	return units.MaxTime(t, f.doneAt)
+}
+
+// Drain advances the channel until every active flow completes and returns
+// the later of t and the final completion time (including extra latencies).
+func (c *Channel) Drain(t units.Time) units.Time {
+	c.AdvanceTo(t)
+	end := t
+	for len(c.flows) > 0 {
+		flows := make([]*Flow, len(c.flows))
+		copy(flows, c.flows)
+		c.AdvanceTo(c.now + c.nextCompletionDelta())
+		for _, f := range flows {
+			if f.done && f.doneAt > end {
+				end = f.doneAt
+			}
+		}
+	}
+	return end
+}
+
+// ActiveFlows reports how many flows are currently in flight.
+func (c *Channel) ActiveFlows() int { return len(c.flows) }
+
+// AggregateRate reports the current total allocated rate across flows.
+func (c *Channel) AggregateRate() units.Bandwidth {
+	var total units.Bandwidth
+	for _, f := range c.flows {
+		total += f.rate
+	}
+	return total
+}
+
+// Reset clears flows, clock and statistics, reusing the channel for a fresh
+// simulation run.
+func (c *Channel) Reset() {
+	c.flows = nil
+	c.now = 0
+	c.stats = ChannelStats{BytesByTag: make(map[string]float64)}
+}

@@ -1,0 +1,370 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/memcentric/mcdla/internal/units"
+)
+
+func gb(x float64) units.Bytes { return units.Bytes(x * 1e9) }
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSingleFlowUncontended(t *testing.T) {
+	ch := NewChannel("pcie", units.GBps(16))
+	f := ch.Start(0, "offload", gb(16), units.GBps(16), 0)
+	end := ch.Wait(0, f)
+	want := 1.0
+	if !almostEqual(end.Seconds(), want, 1e-9) {
+		t.Fatalf("single flow completion = %v, want %v s", end, want)
+	}
+}
+
+func TestFlowCappedBelowCapacity(t *testing.T) {
+	ch := NewChannel("links", units.GBps(150))
+	f := ch.Start(0, "local", gb(75), units.GBps(75), 0)
+	end := ch.Wait(0, f)
+	if !almostEqual(end.Seconds(), 1.0, 1e-9) {
+		t.Fatalf("capped flow took %v, want 1 s", end)
+	}
+}
+
+func TestTwoEqualFlowsShareCapacity(t *testing.T) {
+	ch := NewChannel("ch", units.GBps(100))
+	a := ch.Start(0, "a", gb(100), units.GBps(100), 0)
+	b := ch.Start(0, "b", gb(100), units.GBps(100), 0)
+	endA := ch.Wait(0, a)
+	endB := ch.Wait(0, b)
+	// Both run at 50 GB/s for 2 s.
+	if !almostEqual(endA.Seconds(), 2.0, 1e-9) || !almostEqual(endB.Seconds(), 2.0, 1e-9) {
+		t.Fatalf("equal flows finished at %v and %v, want 2 s each", endA, endB)
+	}
+}
+
+func TestMaxMinFairnessWithCappedFlow(t *testing.T) {
+	// Capacity 150; a capped at 25 gets 25, b takes the remaining 125.
+	ch := NewChannel("ch", units.GBps(150))
+	a := ch.Start(0, "small", gb(25), units.GBps(25), 0)
+	b := ch.Start(0, "big", gb(125), units.GBps(150), 0)
+	endA := ch.Wait(0, a)
+	endB := ch.Wait(0, b)
+	if !almostEqual(endA.Seconds(), 1.0, 1e-9) {
+		t.Errorf("capped flow finished at %v, want 1 s", endA)
+	}
+	if !almostEqual(endB.Seconds(), 1.0, 1e-9) {
+		t.Errorf("uncapped flow finished at %v, want 1 s", endB)
+	}
+}
+
+func TestRateReallocationAfterCompletion(t *testing.T) {
+	// A 150 GB flow on a 100 GB/s channel, with a 100 GB flow arriving at
+	// t=1. First flow: 1 s alone at 100, then shares at 50.
+	ch := NewChannel("ch", units.GBps(100))
+	a := ch.Start(0, "a", gb(150), units.GBps(100), 0)
+	b := ch.Start(1, "b", gb(100), units.GBps(100), 0)
+	endA := ch.Wait(1, a)
+	// a has 50 GB left at t=1, shares 50 GB/s: finishes at t=2.
+	if !almostEqual(endA.Seconds(), 2.0, 1e-9) {
+		t.Errorf("flow a finished at %v, want 2 s", endA)
+	}
+	endB := ch.Wait(endA, b)
+	// b has 50 GB left at t=2, then runs alone at 100: finishes at 2.5.
+	if !almostEqual(endB.Seconds(), 2.5, 1e-9) {
+		t.Errorf("flow b finished at %v, want 2.5 s", endB)
+	}
+}
+
+func TestExtraLatencyAppended(t *testing.T) {
+	ch := NewChannel("ring", units.GBps(75))
+	f := ch.Start(0, "allreduce", gb(75), units.GBps(75), units.Milliseconds(3))
+	end := ch.Wait(0, f)
+	if !almostEqual(end.Seconds(), 1.003, 1e-9) {
+		t.Fatalf("flow with extra latency finished at %v, want 1.003 s", end)
+	}
+}
+
+func TestZeroSizeFlowCompletesImmediately(t *testing.T) {
+	ch := NewChannel("ch", units.GBps(10))
+	f := ch.Start(5, "noop", 0, units.GBps(10), units.Microseconds(2))
+	if !f.Done() {
+		t.Fatal("zero-size flow not immediately done")
+	}
+	if got := ch.Wait(5, f); !almostEqual(got.Seconds(), 5+2e-6, 1e-12) {
+		t.Fatalf("zero-size flow wait returned %v", got)
+	}
+}
+
+func TestWaitNeverReturnsBeforeCaller(t *testing.T) {
+	ch := NewChannel("ch", units.GBps(100))
+	f := ch.Start(0, "a", gb(1), units.GBps(100), 0)
+	// Flow done at 0.01 s; caller at 1 s must resume at 1 s.
+	if got := ch.Wait(1, f); got != 1 {
+		t.Fatalf("Wait returned %v, want caller time 1 s", got)
+	}
+}
+
+func TestDrainReturnsLastCompletion(t *testing.T) {
+	ch := NewChannel("ch", units.GBps(100))
+	ch.Start(0, "a", gb(50), units.GBps(100), 0)
+	ch.Start(0, "b", gb(150), units.GBps(100), 0)
+	end := ch.Drain(0)
+	// Total 200 GB at 100 GB/s aggregate: done at 2 s.
+	if !almostEqual(end.Seconds(), 2.0, 1e-9) {
+		t.Fatalf("drain finished at %v, want 2 s", end)
+	}
+	if ch.ActiveFlows() != 0 {
+		t.Fatalf("drain left %d flows active", ch.ActiveFlows())
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	ch := NewChannel("ch", units.GBps(100))
+	a := ch.Start(0, "offload", gb(30), units.GBps(100), 0)
+	ch.Wait(0, a)
+	b := ch.Start(1, "prefetch", gb(20), units.GBps(100), 0)
+	ch.Wait(1, b)
+	s := ch.Stats()
+	if !almostEqual(s.BytesByTag["offload"], float64(gb(30)), 1) {
+		t.Errorf("offload bytes = %g", s.BytesByTag["offload"])
+	}
+	if !almostEqual(s.BytesByTag["prefetch"], float64(gb(20)), 1) {
+		t.Errorf("prefetch bytes = %g", s.BytesByTag["prefetch"])
+	}
+	if !almostEqual(s.TotalBytes, float64(gb(50)), 1) {
+		t.Errorf("total bytes = %g", s.TotalBytes)
+	}
+	if !almostEqual(s.RateIntegral, s.TotalBytes, 1) {
+		t.Errorf("rate integral %g disagrees with total bytes %g", s.RateIntegral, s.TotalBytes)
+	}
+	// Busy: 0.3 s for a, then idle 0.7, then 0.2 for b.
+	if !almostEqual(s.BusyTime.Seconds(), 0.5, 1e-9) {
+		t.Errorf("busy time = %v, want 0.5 s", s.BusyTime)
+	}
+	if got := s.PeakRate.GBps(); !almostEqual(got, 100, 1e-6) {
+		t.Errorf("peak rate = %g GB/s, want 100", got)
+	}
+}
+
+func TestPeakRateWithConcurrentCappedFlows(t *testing.T) {
+	ch := NewChannel("ch", units.GBps(150))
+	ch.Start(0, "virt", gb(10), units.GBps(50), 0)
+	ch.Start(0, "sync", gb(10), units.GBps(75), 0)
+	ch.Drain(0)
+	if got := ch.Stats().PeakRate.GBps(); !almostEqual(got, 125, 1e-6) {
+		t.Fatalf("peak rate = %g GB/s, want 125", got)
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	ch := NewChannel("ch", units.GBps(10))
+	ch.Start(0, "a", gb(1), units.GBps(10), 0)
+	ch.Drain(0)
+	ch.Reset()
+	if ch.Now() != 0 || ch.ActiveFlows() != 0 || ch.Stats().TotalBytes != 0 {
+		t.Fatal("reset did not clear channel state")
+	}
+}
+
+func TestStartPanicsOnNegativeSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative size")
+		}
+	}()
+	ch := NewChannel("ch", units.GBps(10))
+	ch.Start(0, "bad", -1, units.GBps(10), 0)
+}
+
+func TestNewChannelPanicsOnZeroCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero capacity")
+		}
+	}()
+	NewChannel("bad", 0)
+}
+
+// Property: bytes are conserved — for any set of flows, the per-tag byte
+// totals after draining equal the requested sizes, and the drain time is at
+// least total/capacity (work conservation) and at most the sum of serial
+// times.
+func TestPropertyByteConservation(t *testing.T) {
+	f := func(sizes []uint16, capGBps uint8, capsRaw []uint8) bool {
+		if len(sizes) == 0 || len(sizes) > 12 {
+			return true
+		}
+		capacity := units.GBps(float64(capGBps%100) + 1)
+		ch := NewChannel("prop", capacity)
+		total := float64(0)
+		for i, sz := range sizes {
+			size := units.Bytes(sz) * units.MB
+			maxRate := capacity
+			if len(capsRaw) > 0 {
+				maxRate = units.GBps(float64(capsRaw[i%len(capsRaw)]%100) + 1)
+			}
+			ch.Start(0, "t", size, maxRate, 0)
+			total += float64(size)
+		}
+		end := ch.Drain(0)
+		s := ch.Stats()
+		if !almostEqual(s.TotalBytes, total, total*1e-9+1) {
+			return false
+		}
+		lower := total / float64(capacity)
+		return end.Seconds() >= lower-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: max-min fairness never allocates more than capacity and never
+// exceeds any flow's cap.
+func TestPropertyAllocationRespectsCaps(t *testing.T) {
+	f := func(n uint8, caps []uint8) bool {
+		count := int(n%8) + 1
+		ch := NewChannel("prop", units.GBps(100))
+		for i := 0; i < count; i++ {
+			r := units.GBps(1)
+			if len(caps) > 0 {
+				r = units.GBps(float64(caps[i%len(caps)]%200) + 1)
+			}
+			ch.Start(0, "t", units.GB, r, 0)
+		}
+		var sum units.Bandwidth
+		for _, fl := range ch.flows {
+			if fl.rate > fl.maxRate+1 {
+				return false
+			}
+			sum += fl.rate
+		}
+		return sum <= ch.capacity+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonotoneAdvance(t *testing.T) {
+	ch := NewChannel("ch", units.GBps(10))
+	ch.AdvanceTo(5)
+	ch.AdvanceTo(3) // no-op, must not rewind
+	if ch.Now() != 5 {
+		t.Fatalf("channel clock rewound to %v", ch.Now())
+	}
+}
+
+func TestGroupCapBoundsAggregate(t *testing.T) {
+	// Three DMA flows in a 50 GB/s group on a 150 GB/s channel: the group
+	// moves 50 GB in 1 s no matter how many member flows it spreads over.
+	ch := NewChannel("links", units.GBps(150))
+	ch.SetGroupCap("virt", units.GBps(50))
+	var flows []*Flow
+	for i := 0; i < 3; i++ {
+		flows = append(flows, ch.StartGroup(0, "offload", "virt", gb(50.0/3), units.GBps(50), 0))
+	}
+	end := ch.Drain(0)
+	if !almostEqual(end.Seconds(), 1.0, 1e-6) {
+		t.Fatalf("grouped flows drained at %v, want 1 s", end)
+	}
+	for _, f := range flows {
+		if !f.Done() {
+			t.Fatal("flow not complete after drain")
+		}
+	}
+}
+
+func TestGroupsShareChannelFairly(t *testing.T) {
+	// virt group capped at 50, sync group capped at 75, on 150 capacity:
+	// no contention — both run at their caps.
+	ch := NewChannel("links", units.GBps(150))
+	ch.SetGroupCap("virt", units.GBps(50))
+	ch.SetGroupCap("sync", units.GBps(75))
+	v := ch.StartGroup(0, "prefetch", "virt", gb(50), units.GBps(50), 0)
+	s := ch.StartGroup(0, "allreduce", "sync", gb(75), units.GBps(75), 0)
+	if got := ch.Wait(0, v).Seconds(); !almostEqual(got, 1.0, 1e-6) {
+		t.Fatalf("virt group finished at %g s, want 1", got)
+	}
+	if got := ch.Wait(0, s).Seconds(); !almostEqual(got, 1.0, 1e-6) {
+		t.Fatalf("sync group finished at %g s, want 1", got)
+	}
+}
+
+func TestGroupContentionSplitsCapacity(t *testing.T) {
+	// Two 100-capped groups on a 150 channel contend: max-min gives each 75.
+	ch := NewChannel("links", units.GBps(150))
+	ch.SetGroupCap("a", units.GBps(100))
+	ch.SetGroupCap("b", units.GBps(100))
+	fa := ch.StartGroup(0, "a", "a", gb(75), units.GBps(100), 0)
+	fb := ch.StartGroup(0, "b", "b", gb(75), units.GBps(100), 0)
+	ea := ch.Wait(0, fa)
+	eb := ch.Wait(0, fb)
+	if !almostEqual(ea.Seconds(), 1.0, 1e-6) || !almostEqual(eb.Seconds(), 1.0, 1e-6) {
+		t.Fatalf("contending groups finished at %v / %v, want 1 s each", ea, eb)
+	}
+}
+
+func TestUngroupedFlowCompetesWithGroups(t *testing.T) {
+	// A lone flow (cap 100) against a 50-capped group on 120 capacity:
+	// water-fill gives the group 50 and the lone flow 70.
+	ch := NewChannel("links", units.GBps(120))
+	ch.SetGroupCap("g", units.GBps(50))
+	g := ch.StartGroup(0, "g", "g", gb(50), units.GBps(50), 0)
+	lone := ch.Start(0, "lone", gb(70), units.GBps(100), 0)
+	if got := ch.Wait(0, g).Seconds(); !almostEqual(got, 1.0, 1e-6) {
+		t.Fatalf("group finished at %g s, want 1", got)
+	}
+	if got := ch.Wait(0, lone).Seconds(); !almostEqual(got, 1.0, 1e-6) {
+		t.Fatalf("lone flow finished at %g s, want 1", got)
+	}
+}
+
+func TestSetGroupCapPanics(t *testing.T) {
+	ch := NewChannel("ch", units.GBps(10))
+	for _, f := range []func(){
+		func() { ch.SetGroupCap("", units.GBps(1)) },
+		func() { ch.SetGroupCap("g", 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: with a single group holding all flows, the drain time equals
+// total bytes over min(channel capacity, group cap), regardless of how the
+// bytes are split across member flows.
+func TestPropertyGroupWorkConservation(t *testing.T) {
+	f := func(parts []uint16, capRaw, groupRaw uint8) bool {
+		if len(parts) == 0 || len(parts) > 10 {
+			return true
+		}
+		capacity := units.GBps(float64(capRaw%100) + 10)
+		groupCap := units.GBps(float64(groupRaw%100) + 5)
+		ch := NewChannel("prop", capacity)
+		ch.SetGroupCap("g", groupCap)
+		total := 0.0
+		for _, p := range parts {
+			size := units.Bytes(p%2048+1) * units.MB
+			ch.StartGroup(0, "t", "g", size, groupCap, 0)
+			total += float64(size)
+		}
+		end := ch.Drain(0)
+		eff := float64(capacity)
+		if float64(groupCap) < eff {
+			eff = float64(groupCap)
+		}
+		want := total / eff
+		return almostEqual(end.Seconds(), want, want*1e-6+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,227 @@
+// Package topo models device-side interconnection networks as node/link
+// graphs plus the ring decompositions that the collective-communication
+// layer runs over. It builds the paper's four interconnects: the DGX-style
+// cube-mesh of Figure 5 (DC-DLA), and the three MC-DLA candidates of
+// Figure 7 — the star-attached (a), folded (b), and alternating-ring (c)
+// designs — and derives the properties the system simulator consumes:
+// ring count and lengths, per-device links toward memory-nodes, and link
+// budgets.
+package topo
+
+import (
+	"fmt"
+
+	"github.com/memcentric/mcdla/internal/units"
+)
+
+// NodeKind classifies interconnect endpoints.
+type NodeKind int
+
+const (
+	// DeviceNode is an accelerator (GPU/TPU) with local HBM.
+	DeviceNode NodeKind = iota
+	// MemoryNode is a capacity-optimized DIMM carrier (§III-A).
+	MemoryNode
+	// HostNode is a CPU socket.
+	HostNode
+	// SwitchNode is a PCIe switch.
+	SwitchNode
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case DeviceNode:
+		return "device"
+	case MemoryNode:
+		return "memory"
+	case HostNode:
+		return "host"
+	case SwitchNode:
+		return "switch"
+	}
+	return fmt.Sprintf("NodeKind(%d)", int(k))
+}
+
+// Node is one interconnect endpoint.
+type Node struct {
+	ID   int
+	Kind NodeKind
+	Name string
+}
+
+// Link is one bidirectional high-bandwidth link between two nodes, providing
+// BW in each direction (the paper's B = 25 GB/s per NVLINK-class link).
+type Link struct {
+	A, B int
+	BW   units.Bandwidth
+}
+
+// Ring is an ordered cycle of node IDs; consecutive entries (and last→first)
+// are joined by dedicated links.
+type Ring struct {
+	Nodes []int
+}
+
+// Len reports the ring's hop count (number of links in the cycle).
+func (r Ring) Len() int { return len(r.Nodes) }
+
+// Contains reports whether the ring visits node id.
+func (r Ring) Contains(id int) bool {
+	for _, n := range r.Nodes {
+		if n == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Topology is a device-side interconnect: nodes, links, and the ring
+// decomposition used for collectives.
+type Topology struct {
+	Name  string
+	Nodes []Node
+	Links []Link
+	Rings []Ring
+}
+
+// NodesOf returns the IDs of nodes with the given kind, in ID order.
+func (t *Topology) NodesOf(kind NodeKind) []int {
+	var ids []int
+	for _, n := range t.Nodes {
+		if n.Kind == kind {
+			ids = append(ids, n.ID)
+		}
+	}
+	return ids
+}
+
+// Degree reports how many link endpoints node id has.
+func (t *Topology) Degree(id int) int {
+	d := 0
+	for _, l := range t.Links {
+		if l.A == id || l.B == id {
+			d++
+		}
+	}
+	return d
+}
+
+// Neighbors returns the IDs adjacent to node id (with multiplicity for
+// parallel links).
+func (t *Topology) Neighbors(id int) []int {
+	var out []int
+	for _, l := range t.Links {
+		switch id {
+		case l.A:
+			out = append(out, l.B)
+		case l.B:
+			out = append(out, l.A)
+		}
+	}
+	return out
+}
+
+// LinksToMemory reports how many of a device's links land on memory-nodes.
+func (t *Topology) LinksToMemory(device int) int {
+	n := 0
+	for _, nb := range t.Neighbors(device) {
+		if t.Nodes[nb].Kind == MemoryNode {
+			n++
+		}
+	}
+	return n
+}
+
+// RingHopCounts reports the length of each ring, in ring order.
+func (t *Topology) RingHopCounts() []int {
+	out := make([]int, len(t.Rings))
+	for i, r := range t.Rings {
+		out[i] = r.Len()
+	}
+	return out
+}
+
+// MaxRingHops reports the longest ring: the collective-latency bottleneck
+// the paper's Figure 7 discussion is about.
+func (t *Topology) MaxRingHops() int {
+	max := 0
+	for _, r := range t.Rings {
+		if r.Len() > max {
+			max = r.Len()
+		}
+	}
+	return max
+}
+
+// Validate checks structural invariants: link endpoints exist, ring
+// neighbours are joined by links, and no node exceeds maxDegree link
+// endpoints (the paper's N=6 budget).
+func (t *Topology) Validate(maxDegree int) error {
+	for _, l := range t.Links {
+		if l.A < 0 || l.A >= len(t.Nodes) || l.B < 0 || l.B >= len(t.Nodes) {
+			return fmt.Errorf("topo: %s: link %d-%d references missing node", t.Name, l.A, l.B)
+		}
+		if l.A == l.B {
+			return fmt.Errorf("topo: %s: self-link at node %d", t.Name, l.A)
+		}
+		if l.BW <= 0 {
+			return fmt.Errorf("topo: %s: link %d-%d has nonpositive bandwidth", t.Name, l.A, l.B)
+		}
+	}
+	for i, n := range t.Nodes {
+		if n.ID != i {
+			return fmt.Errorf("topo: %s: node %q ID %d at index %d", t.Name, n.Name, n.ID, i)
+		}
+		if d := t.Degree(n.ID); d > maxDegree {
+			return fmt.Errorf("topo: %s: node %q degree %d exceeds budget %d", t.Name, n.Name, d, maxDegree)
+		}
+	}
+	for ri, r := range t.Rings {
+		if r.Len() < 2 {
+			return fmt.Errorf("topo: %s: ring %d too short", t.Name, ri)
+		}
+		seen := map[int]int{}
+		for _, id := range r.Nodes {
+			seen[id]++
+		}
+		for id, count := range seen {
+			// Figure 7(a)'s black ring legitimately visits memory-nodes
+			// twice; devices must appear at most once.
+			if t.Nodes[id].Kind == DeviceNode && count > 1 {
+				return fmt.Errorf("topo: %s: ring %d visits device %d twice", t.Name, ri, id)
+			}
+		}
+		for i := range r.Nodes {
+			a, b := r.Nodes[i], r.Nodes[(i+1)%r.Len()]
+			if !t.hasLink(a, b) {
+				return fmt.Errorf("topo: %s: ring %d edge %d-%d has no link", t.Name, ri, a, b)
+			}
+		}
+	}
+	return nil
+}
+
+func (t *Topology) hasLink(a, b int) bool {
+	for _, l := range t.Links {
+		if (l.A == a && l.B == b) || (l.A == b && l.B == a) {
+			return true
+		}
+	}
+	return false
+}
+
+// DeviceRingParticipation counts, for each ring, how many device-nodes it
+// visits — collectives only carry device-originated data (§III-B footnote 2).
+func (t *Topology) DeviceRingParticipation() []int {
+	out := make([]int, len(t.Rings))
+	for i, r := range t.Rings {
+		seen := map[int]bool{}
+		for _, id := range r.Nodes {
+			if t.Nodes[id].Kind == DeviceNode && !seen[id] {
+				seen[id] = true
+				out[i]++
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,244 @@
+package topo
+
+import (
+	"testing"
+
+	"github.com/memcentric/mcdla/internal/units"
+)
+
+func TestCubeMeshStructure(t *testing.T) {
+	tp := CubeMesh(DefaultParams())
+	if err := tp.Validate(6); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tp.NodesOf(DeviceNode)); got != 8 {
+		t.Fatalf("device count = %d, want 8", got)
+	}
+	if got := len(tp.Rings); got != 3 {
+		t.Fatalf("ring count = %d, want 3 (Figure 5)", got)
+	}
+	for i, h := range tp.RingHopCounts() {
+		if h != 8 {
+			t.Errorf("ring %d hop count = %d, want 8", i, h)
+		}
+	}
+	// Every GPU consumes exactly its six NVLINK endpoints.
+	for _, d := range tp.NodesOf(DeviceNode) {
+		if deg := tp.Degree(d); deg != 6 {
+			t.Errorf("device %d degree = %d, want 6", d, deg)
+		}
+	}
+	if mem := tp.NodesOf(MemoryNode); len(mem) != 0 {
+		t.Fatalf("cube-mesh has %d memory nodes", len(mem))
+	}
+}
+
+func TestMCDLAStarStructure(t *testing.T) {
+	tp := MCDLAStar(DefaultParams())
+	if err := tp.Validate(6); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tp.NodesOf(MemoryNode)); got != 8 {
+		t.Fatalf("memory node count = %d, want 8", got)
+	}
+	// §III-B: two 8-hop rings, one 24-hop ring (memory nodes visited
+	// twice), and the useless memory-only 4th ring.
+	hops := tp.RingHopCounts()
+	want := []int{8, 8, 24, 8}
+	if len(hops) != len(want) {
+		t.Fatalf("ring count = %d, want %d", len(hops), len(want))
+	}
+	for i := range want {
+		if hops[i] != want[i] {
+			t.Errorf("ring %d hops = %d, want %d", i, hops[i], want[i])
+		}
+	}
+	if got := tp.MaxRingHops(); got != 24 {
+		t.Fatalf("max ring hops = %d, want 24", got)
+	}
+	// Each device reaches its designated memory-node over two links.
+	for _, d := range tp.NodesOf(DeviceNode) {
+		if got := tp.LinksToMemory(d); got != 2 {
+			t.Errorf("device %d memory links = %d, want 2", d, got)
+		}
+	}
+	// The 4th ring carries no devices (footnote 2).
+	parts := tp.DeviceRingParticipation()
+	if parts[3] != 0 {
+		t.Fatalf("memory-only ring visits %d devices", parts[3])
+	}
+}
+
+func TestMCDLAFoldedStructure(t *testing.T) {
+	tp := MCDLAFolded(DefaultParams())
+	if err := tp.Validate(6); err != nil {
+		t.Fatal(err)
+	}
+	hops := tp.RingHopCounts()
+	want := []int{8, 12, 20}
+	if len(hops) != 3 {
+		t.Fatalf("ring count = %d, want 3", len(hops))
+	}
+	for i := range want {
+		if hops[i] != want[i] {
+			t.Errorf("ring %d hops = %d, want %d (Figure 7(b))", i, hops[i], want[i])
+		}
+	}
+	// All three rings carry all eight devices.
+	for i, p := range tp.DeviceRingParticipation() {
+		if p != 8 {
+			t.Errorf("ring %d device participation = %d, want 8", i, p)
+		}
+	}
+}
+
+func TestMCDLARingStructure(t *testing.T) {
+	tp := MCDLARing(DefaultParams())
+	if err := tp.Validate(6); err != nil {
+		t.Fatal(err)
+	}
+	hops := tp.RingHopCounts()
+	if len(hops) != 3 {
+		t.Fatalf("ring count = %d, want N/2 = 3", len(hops))
+	}
+	for i, h := range hops {
+		if h != 16 {
+			t.Errorf("ring %d hops = %d, want 16 (8 devices + 8 memory nodes)", i, h)
+		}
+	}
+	// The key property of Figure 7(c): every device link lands on a
+	// memory-node, unlocking all N=6 links for BW_AWARE virtualization.
+	for _, d := range tp.NodesOf(DeviceNode) {
+		if got := tp.LinksToMemory(d); got != 6 {
+			t.Errorf("device %d memory links = %d, want 6", d, got)
+		}
+	}
+	// Devices and memory-nodes strictly alternate in every ring.
+	for ri, r := range tp.Rings {
+		for i, id := range r.Nodes {
+			next := r.Nodes[(i+1)%r.Len()]
+			if tp.Nodes[id].Kind == tp.Nodes[next].Kind {
+				t.Fatalf("ring %d has adjacent same-kind nodes %d,%d", ri, id, next)
+			}
+		}
+	}
+	// Memory nodes also consume exactly six endpoints.
+	for _, m := range tp.NodesOf(MemoryNode) {
+		if deg := tp.Degree(m); deg != 6 {
+			t.Errorf("memory node %d degree = %d, want 6", m, deg)
+		}
+	}
+}
+
+func TestRingBandwidthAccounting(t *testing.T) {
+	// 3 rings × 25 GB/s per link direction = 75 GB/s of collective
+	// bandwidth per device in both cube-mesh and MC-DLA ring.
+	for _, build := range []func(Params) *Topology{CubeMesh, MCDLARing} {
+		tp := build(DefaultParams())
+		var ringBW units.Bandwidth
+		for range tp.Rings {
+			ringBW += units.GBps(25)
+		}
+		if ringBW.GBps() != 75 {
+			t.Fatalf("%s: aggregate ring bandwidth = %v, want 75 GB/s", tp.Name, ringBW)
+		}
+	}
+}
+
+func TestHCDLALinkSplit(t *testing.T) {
+	toHost, toDev := HCDLAHostLinks(DefaultParams())
+	if toHost != 3 || toDev != 3 {
+		t.Fatalf("HC-DLA split = %d/%d, want 3/3", toHost, toDev)
+	}
+}
+
+func TestValidateCatchesBadLink(t *testing.T) {
+	tp := &Topology{
+		Name:  "bad",
+		Nodes: devices(8),
+		Links: []Link{{A: 0, B: 99, BW: units.GBps(25)}},
+	}
+	if err := tp.Validate(6); err == nil {
+		t.Fatal("expected error for dangling link")
+	}
+}
+
+func TestValidateCatchesDegreeOverflow(t *testing.T) {
+	tp := &Topology{Name: "bad", Nodes: devices(2)}
+	for i := 0; i < 7; i++ {
+		tp.Links = append(tp.Links, Link{A: 0, B: 1, BW: units.GBps(25)})
+	}
+	if err := tp.Validate(6); err == nil {
+		t.Fatal("expected error for degree > 6")
+	}
+}
+
+func TestValidateCatchesSelfLink(t *testing.T) {
+	tp := &Topology{Name: "bad", Nodes: devices(2), Links: []Link{{A: 1, B: 1, BW: units.GBps(25)}}}
+	if err := tp.Validate(6); err == nil {
+		t.Fatal("expected error for self link")
+	}
+}
+
+func TestValidateCatchesRingWithoutLinks(t *testing.T) {
+	tp := &Topology{
+		Name:  "bad",
+		Nodes: devices(3),
+		Links: []Link{{A: 0, B: 1, BW: units.GBps(25)}},
+		Rings: []Ring{{Nodes: []int{0, 1, 2}}},
+	}
+	if err := tp.Validate(6); err == nil {
+		t.Fatal("expected error for ring edge without link")
+	}
+}
+
+func TestValidateCatchesDeviceVisitedTwice(t *testing.T) {
+	tp := &Topology{
+		Name:  "bad",
+		Nodes: devices(2),
+		Links: []Link{{A: 0, B: 1, BW: units.GBps(25)}, {A: 0, B: 1, BW: units.GBps(25)}},
+		Rings: []Ring{{Nodes: []int{0, 1, 0, 1}}},
+	}
+	if err := tp.Validate(6); err == nil {
+		t.Fatal("expected error for device visited twice in a ring")
+	}
+}
+
+func TestBuildersPanicOnWrongScale(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-8-device params")
+		}
+	}()
+	CubeMesh(Params{Devices: 4, LinksN: 6, LinkBW: units.GBps(25)})
+}
+
+func TestNeighborsSymmetric(t *testing.T) {
+	tp := MCDLARing(DefaultParams())
+	for _, n := range tp.Nodes {
+		for _, nb := range tp.Neighbors(n.ID) {
+			found := false
+			for _, back := range tp.Neighbors(nb) {
+				if back == n.ID {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("asymmetric adjacency %d -> %d", n.ID, nb)
+			}
+		}
+	}
+}
+
+func TestNodeKindStrings(t *testing.T) {
+	cases := map[NodeKind]string{
+		DeviceNode: "device", MemoryNode: "memory", HostNode: "host",
+		SwitchNode: "switch", NodeKind(99): "NodeKind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("kind %d = %q, want %q", int(k), got, want)
+		}
+	}
+}

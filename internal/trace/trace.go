@@ -1,0 +1,154 @@
+// Package trace records simulated execution timelines — per-layer compute
+// spans, DMA stalls, recompute bursts, and collective waits — and exports
+// them in the Chrome trace-event JSON format (chrome://tracing, Perfetto),
+// so a training iteration's overlap behaviour can be inspected visually.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/memcentric/mcdla/internal/units"
+)
+
+// Category classifies a span for summary accounting and trace coloring.
+type Category string
+
+// Span categories emitted by the simulator.
+const (
+	Compute   Category = "compute"
+	Recompute Category = "recompute"
+	Stall     Category = "stall"
+	SyncWait  Category = "sync-wait"
+	Offload   Category = "offload"
+	Prefetch  Category = "prefetch"
+)
+
+// Span is one closed interval of simulated time attributed to an activity.
+type Span struct {
+	Name     string
+	Category Category
+	Start    units.Time
+	End      units.Time
+}
+
+// Duration reports the span length.
+func (s Span) Duration() units.Time { return s.End - s.Start }
+
+// Log collects spans for one simulated iteration.
+type Log struct {
+	// Label names the run (design × workload).
+	Label string
+	Spans []Span
+}
+
+// Add records a span; zero-length spans are dropped.
+func (l *Log) Add(name string, cat Category, start, end units.Time) {
+	if l == nil || end <= start {
+		return
+	}
+	l.Spans = append(l.Spans, Span{Name: name, Category: cat, Start: start, End: end})
+}
+
+// Summary totals span time per category.
+func (l *Log) Summary() map[Category]units.Time {
+	out := make(map[Category]units.Time)
+	for _, s := range l.Spans {
+		out[s.Category] += s.Duration()
+	}
+	return out
+}
+
+// Validate checks structural invariants: nonnegative spans in chronological
+// start order within each category track.
+func (l *Log) Validate() error {
+	for i, s := range l.Spans {
+		if s.End < s.Start {
+			return fmt.Errorf("trace: span %d (%s) ends before it starts", i, s.Name)
+		}
+		if s.Start < 0 {
+			return fmt.Errorf("trace: span %d (%s) starts before time zero", i, s.Name)
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one Chrome trace-event ("X" = complete event). Times are
+// microseconds per the format.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+// track assigns each category a Chrome thread lane so compute, DMA and
+// collective activity render as parallel rows.
+func track(cat Category) int {
+	switch cat {
+	case Compute, Recompute:
+		return 0
+	case Stall, SyncWait:
+		return 1
+	case Offload:
+		return 2
+	case Prefetch:
+		return 3
+	}
+	return 4
+}
+
+// WriteChrome serializes the log in Chrome trace-event JSON.
+func (l *Log) WriteChrome(w io.Writer) error {
+	events := make([]chromeEvent, 0, len(l.Spans))
+	for _, s := range l.Spans {
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Cat:  string(s.Category),
+			Ph:   "X",
+			Ts:   s.Start.Microseconds(),
+			Dur:  s.Duration().Microseconds(),
+			Pid:  1,
+			Tid:  track(s.Category),
+		})
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].Ts < events[j].Ts })
+	doc := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+		DisplayUnit string        `json:"displayTimeUnit"`
+		Label       string        `json:"label,omitempty"`
+	}{TraceEvents: events, DisplayUnit: "ms", Label: l.Label}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// CriticalPathShare reports the fraction of the iteration (first start to
+// last end) covered by compute-track spans — a quick overlap-quality figure.
+func (l *Log) CriticalPathShare() float64 {
+	if len(l.Spans) == 0 {
+		return 0
+	}
+	first, last := l.Spans[0].Start, l.Spans[0].End
+	var busy units.Time
+	for _, s := range l.Spans {
+		if s.Start < first {
+			first = s.Start
+		}
+		if s.End > last {
+			last = s.End
+		}
+		if s.Category == Compute || s.Category == Recompute {
+			busy += s.Duration()
+		}
+	}
+	total := last - first
+	if total <= 0 {
+		return 0
+	}
+	return busy.Seconds() / total.Seconds()
+}

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/memcentric/mcdla/internal/units"
+)
+
+func sampleLog() *Log {
+	l := &Log{Label: "test"}
+	l.Add("conv1/fwd", Compute, 0, units.Milliseconds(2))
+	l.Add("conv1/offload", Offload, units.Milliseconds(2), units.Milliseconds(5))
+	l.Add("conv2/fwd", Compute, units.Milliseconds(2), units.Milliseconds(4))
+	l.Add("conv2/stall", Stall, units.Milliseconds(4), units.Milliseconds(6))
+	l.Add("tail/dW", SyncWait, units.Milliseconds(6), units.Milliseconds(7))
+	return l
+}
+
+func TestAddDropsEmptySpans(t *testing.T) {
+	l := &Log{}
+	l.Add("noop", Compute, 5, 5)
+	l.Add("backwards", Compute, 5, 4)
+	if len(l.Spans) != 0 {
+		t.Fatalf("degenerate spans recorded: %d", len(l.Spans))
+	}
+}
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *Log
+	l.Add("x", Compute, 0, 1) // must not panic
+}
+
+func TestSummary(t *testing.T) {
+	s := sampleLog().Summary()
+	if got := s[Compute].Milliseconds(); got != 4 {
+		t.Fatalf("compute total = %g ms, want 4", got)
+	}
+	if got := s[Stall].Milliseconds(); got != 2 {
+		t.Fatalf("stall total = %g ms, want 2", got)
+	}
+	if got := s[SyncWait].Milliseconds(); got != 1 {
+		t.Fatalf("sync total = %g ms, want 1", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := sampleLog().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Log{Spans: []Span{{Name: "x", Start: -1, End: 1}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected negative-start error")
+	}
+	bad = &Log{Spans: []Span{{Name: "x", Start: 2, End: 1}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected inverted-span error")
+	}
+}
+
+func TestWriteChromeFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleLog().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayUnit string `json:"displayTimeUnit"`
+		Label       string `json:"label"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("event count = %d", len(doc.TraceEvents))
+	}
+	if doc.Label != "test" || doc.DisplayUnit != "ms" {
+		t.Fatalf("metadata = %q %q", doc.Label, doc.DisplayUnit)
+	}
+	// Events must be time-sorted complete events with lane assignments.
+	prev := -1.0
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			t.Fatalf("event phase = %q", e.Ph)
+		}
+		if e.Ts < prev {
+			t.Fatal("events not sorted by start time")
+		}
+		prev = e.Ts
+		if e.Dur <= 0 {
+			t.Fatalf("event %s has duration %g", e.Name, e.Dur)
+		}
+	}
+	// Compute and DMA lanes must differ so the trace renders as overlap.
+	lanes := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		lanes[e.Cat] = e.Tid
+	}
+	if lanes["compute"] == lanes["offload"] {
+		t.Fatal("compute and offload share a lane")
+	}
+}
+
+func TestCriticalPathShare(t *testing.T) {
+	// 4 ms of compute over a 7 ms window.
+	got := sampleLog().CriticalPathShare()
+	want := 4.0 / 7.0
+	if got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("critical-path share = %g, want %g", got, want)
+	}
+	if (&Log{}).CriticalPathShare() != 0 {
+		t.Fatal("empty log share must be 0")
+	}
+}

@@ -1,0 +1,281 @@
+// Package train turns a network into the per-device iteration schedule of a
+// parallel training strategy (§II-C, Figure 3): data-parallel training
+// splits the batch across workers and all-reduces weight gradients (dW)
+// during backprop; model-parallel training (the Krizhevsky-style strategy of
+// §IV) splits each GEMM layer's outputs across workers, all-gathers feature
+// maps (X) at every layer boundary during forward propagation, and
+// all-reduces input gradients (dX) during backprop.
+package train
+
+import (
+	"fmt"
+
+	"github.com/memcentric/mcdla/internal/collective"
+	"github.com/memcentric/mcdla/internal/dnn"
+	"github.com/memcentric/mcdla/internal/units"
+)
+
+// Strategy selects the parallelization scheme.
+type Strategy int
+
+const (
+	// DataParallel assigns each worker the full model and 1/workers of the
+	// batch.
+	DataParallel Strategy = iota
+	// ModelParallel assigns each worker the full batch and 1/workers of
+	// every GEMM layer's outputs.
+	ModelParallel
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case DataParallel:
+		return "data-parallel"
+	case ModelParallel:
+		return "model-parallel"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// SyncOp is one collective a device participates in during the iteration.
+type SyncOp struct {
+	Op    collective.Op
+	Bytes units.Bytes
+	// Tag labels the traffic for accounting ("dW", "X", "dX").
+	Tag string
+	// Blocking collectives stall the compute pipeline (model-parallel layer
+	// boundaries); non-blocking ones overlap with remaining backprop
+	// (data-parallel dW reductions).
+	Blocking bool
+}
+
+// LayerWork is the per-device execution record for one layer.
+type LayerWork struct {
+	LayerID int
+	// GEMMs are the device's shard of the layer's forward matrix work.
+	GEMMs []dnn.GEMM
+	// WeightBytes is the device's shard of parameters read per execution.
+	WeightBytes int64
+	// InputBytes / OutputBytes are the HBM-visible tensor footprints for
+	// the roofline (full tensors under model parallel: inputs arrive
+	// gathered, outputs are gathered before the next major layer).
+	InputBytes  int64
+	OutputBytes int64
+	// FwdSync runs after this layer's forward pass (all-gather of Y).
+	FwdSync []SyncOp
+	// BwdSync runs with this layer's backward pass (all-reduce of dX or
+	// the layer's dW share).
+	BwdSync []SyncOp
+}
+
+// Schedule is a device's full iteration plan.
+type Schedule struct {
+	Name     string
+	Strategy Strategy
+	Workers  int
+	// GlobalBatch is the problem-size batch (512 in the paper's runs).
+	GlobalBatch int
+	// Graph is the per-device graph: batch/workers under data parallel,
+	// the full batch under model parallel.
+	Graph *dnn.Graph
+	// Work is indexed by layer ID.
+	Work []LayerWork
+}
+
+// Build constructs the per-device schedule for a benchmark. Workers must
+// divide the global batch under data parallel and every layer's output
+// features under model parallel (true for all Table III networks at 8).
+func Build(name string, globalBatch, workers int, strategy Strategy) (*Schedule, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("train: workers must be positive, got %d", workers)
+	}
+	if globalBatch <= 0 {
+		return nil, fmt.Errorf("train: batch must be positive, got %d", globalBatch)
+	}
+	switch strategy {
+	case DataParallel:
+		if globalBatch%workers != 0 {
+			return nil, fmt.Errorf("train: batch %d not divisible by %d workers", globalBatch, workers)
+		}
+		g, err := dnn.Build(name, globalBatch/workers)
+		if err != nil {
+			return nil, err
+		}
+		return buildDataParallel(g, globalBatch, workers), nil
+	case ModelParallel:
+		g, err := dnn.Build(name, globalBatch)
+		if err != nil {
+			return nil, err
+		}
+		return buildModelParallel(g, globalBatch, workers)
+	default:
+		return nil, fmt.Errorf("train: unknown strategy %v", strategy)
+	}
+}
+
+// MustBuild is Build for configuration-time call sites.
+func MustBuild(name string, globalBatch, workers int, strategy Strategy) *Schedule {
+	s, err := Build(name, globalBatch, workers, strategy)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func inputBytes(g *dnn.Graph, l *dnn.Layer) int64 {
+	var total int64
+	for _, in := range l.Inputs {
+		total += g.Layer(in).OutBytes()
+	}
+	return total
+}
+
+// buildDataParallel: full model per device; the only synchronization is the
+// all-reduce of each weight group's gradients, issued when backprop finishes
+// the group's earliest layer (gradients for shared recurrent weights
+// accumulate across timesteps and reduce once).
+func buildDataParallel(g *dnn.Graph, globalBatch, workers int) *Schedule {
+	s := &Schedule{
+		Name:        g.Name,
+		Strategy:    DataParallel,
+		Workers:     workers,
+		GlobalBatch: globalBatch,
+		Graph:       g,
+		Work:        make([]LayerWork, len(g.Layers)),
+	}
+	// Earliest layer of each weight group = last processed during backprop.
+	groupIssue := make(map[string]int)
+	groupBytes := make(map[string]int64)
+	for _, l := range g.Layers {
+		if l.WeightGroup == "" {
+			continue
+		}
+		if _, seen := groupIssue[l.WeightGroup]; !seen {
+			groupIssue[l.WeightGroup] = l.ID
+			groupBytes[l.WeightGroup] = l.WeightBytes()
+		}
+	}
+	for _, l := range g.Layers {
+		w := LayerWork{
+			LayerID:     l.ID,
+			GEMMs:       append([]dnn.GEMM(nil), l.GEMMs...),
+			WeightBytes: l.WeightBytes(),
+			InputBytes:  inputBytes(g, l),
+			OutputBytes: l.OutBytes(),
+		}
+		if workers > 1 && l.WeightGroup != "" && groupIssue[l.WeightGroup] == l.ID {
+			w.BwdSync = append(w.BwdSync, SyncOp{
+				Op:    collective.AllReduce,
+				Bytes: units.Bytes(groupBytes[l.WeightGroup]),
+				Tag:   "dW",
+				// Data-parallel dW reductions overlap with the rest of
+				// backprop (Figure 3(a): synchronization only at gradient
+				// accumulation).
+				Blocking: false,
+			})
+		}
+		s.Work[l.ID] = w
+	}
+	return s
+}
+
+// buildModelParallel: every GEMM layer's output features are sliced across
+// workers; feature maps are all-gathered at layer boundaries in forward and
+// input gradients all-reduced in backward (Figure 3(b)). Elementwise layers
+// run replicated on the gathered tensors.
+func buildModelParallel(g *dnn.Graph, globalBatch, workers int) (*Schedule, error) {
+	s := &Schedule{
+		Name:        g.Name,
+		Strategy:    ModelParallel,
+		Workers:     workers,
+		GlobalBatch: globalBatch,
+		Graph:       g,
+		Work:        make([]LayerWork, len(g.Layers)),
+	}
+	consumers := g.Consumers()
+	for _, l := range g.Layers {
+		w := LayerWork{
+			LayerID:     l.ID,
+			InputBytes:  inputBytes(g, l),
+			OutputBytes: l.OutBytes(),
+		}
+		if len(l.GEMMs) > 0 {
+			div := int64(workers)
+			for _, gm := range l.GEMMs {
+				if gm.N%div != 0 {
+					return nil, fmt.Errorf("train: %s layer %s: output dim %d not divisible by %d workers",
+						g.Name, l.Name, gm.N, workers)
+				}
+				w.GEMMs = append(w.GEMMs, dnn.GEMM{M: gm.M, N: gm.N / div, K: gm.K})
+			}
+			w.WeightBytes = l.WeightBytes() / div
+			// Forward: the device produced 1/workers of Y; gather the full
+			// tensor before downstream layers consume it. The final layer
+			// of the graph needs no gather.
+			if len(consumers[l.ID]) > 0 {
+				w.FwdSync = append(w.FwdSync, SyncOp{
+					Op:       collective.AllGather,
+					Bytes:    units.Bytes(l.OutBytes()),
+					Tag:      "X",
+					Blocking: true,
+				})
+			}
+			// Backward: each device's weight slice contributes a partial
+			// dX over the full input; sum them.
+			w.BwdSync = append(w.BwdSync, SyncOp{
+				Op:       collective.AllReduce,
+				Bytes:    units.Bytes(w.InputBytes),
+				Tag:      "dX",
+				Blocking: true,
+			})
+		} else {
+			w.GEMMs = nil
+			w.WeightBytes = l.WeightBytes()
+		}
+		s.Work[l.ID] = w
+	}
+	return s, nil
+}
+
+// DeviceBatch reports the per-device batch size.
+func (s *Schedule) DeviceBatch() int { return s.Graph.Batch }
+
+// SyncBytes totals the collective payload bytes of the iteration, by tag.
+func (s *Schedule) SyncBytes() map[string]int64 {
+	out := make(map[string]int64)
+	for _, w := range s.Work {
+		for _, op := range append(append([]SyncOp(nil), w.FwdSync...), w.BwdSync...) {
+			out[op.Tag] += int64(op.Bytes)
+		}
+	}
+	return out
+}
+
+// ComputeMACs totals the device's forward MAC count for the iteration.
+func (s *Schedule) ComputeMACs() int64 {
+	var total int64
+	for _, w := range s.Work {
+		for _, g := range w.GEMMs {
+			total += g.MACs()
+		}
+	}
+	return total
+}
+
+// Validate checks schedule invariants.
+func (s *Schedule) Validate() error {
+	if len(s.Work) != len(s.Graph.Layers) {
+		return fmt.Errorf("train: %s: work entries %d != layers %d", s.Name, len(s.Work), len(s.Graph.Layers))
+	}
+	for i, w := range s.Work {
+		if w.LayerID != i {
+			return fmt.Errorf("train: %s: work %d has layer ID %d", s.Name, i, w.LayerID)
+		}
+		for _, op := range append(append([]SyncOp(nil), w.FwdSync...), w.BwdSync...) {
+			if op.Bytes < 0 {
+				return fmt.Errorf("train: %s: layer %d has negative sync bytes", s.Name, i)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package vmem
+
+import (
+	"fmt"
+
+	"github.com/memcentric/mcdla/internal/units"
+)
+
+// Placement selects the page allocation/placement policy for deviceremote
+// memory (§III-B, Figure 10).
+type Placement int
+
+const (
+	// Local places an entire allocation inside a single neighbouring
+	// memory-node, reaching it over that side's N/2 links:
+	// Latency_LOCAL = D / (N·B/2).
+	Local Placement = iota
+	// BWAware splits the allocation into two page-granular chunks mapped
+	// round-robin across the left and right memory-nodes, so reads and
+	// writes stripe over all N links concurrently:
+	// Latency_BW_AWARE = (D/2) / (N·B/2), i.e. half of LOCAL.
+	BWAware
+)
+
+func (p Placement) String() string {
+	switch p {
+	case Local:
+		return "LOCAL"
+	case BWAware:
+		return "BW_AWARE"
+	}
+	return fmt.Sprintf("Placement(%d)", int(p))
+}
+
+// PageBytes is the placement granularity (GPU large pages).
+const PageBytes = 64 * units.KB
+
+// RemoteBandwidth reports the deviceremote DMA throughput a device-node
+// achieves under the policy, given N links of B GB/s each.
+func (p Placement) RemoteBandwidth(links int, linkBW units.Bandwidth) units.Bandwidth {
+	half := units.Bandwidth(float64(linkBW) * float64(links) / 2)
+	switch p {
+	case Local:
+		return half
+	case BWAware:
+		return 2 * half
+	}
+	panic(fmt.Sprintf("vmem: unknown placement %d", int(p)))
+}
+
+// TransferLatency reports the Figure 10 DMA latency for an allocation of
+// size D under the policy.
+func (p Placement) TransferLatency(d units.Bytes, links int, linkBW units.Bandwidth) units.Time {
+	return units.TransferTime(d, p.RemoteBandwidth(links, linkBW))
+}
+
+// SplitAllocation returns the per-side chunk sizes (page aligned) for an
+// allocation of size d: LOCAL puts everything on one side, BW_AWARE splits
+// in two page-aligned halves.
+func (p Placement) SplitAllocation(d units.Bytes) (left, right units.Bytes) {
+	switch p {
+	case Local:
+		return d, 0
+	case BWAware:
+		pages := (d + PageBytes - 1) / PageBytes
+		left = (pages / 2) * PageBytes
+		if left > d {
+			left = d
+		}
+		return left, d - left
+	}
+	panic(fmt.Sprintf("vmem: unknown placement %d", int(p)))
+}

@@ -1,0 +1,280 @@
+// Package vmem implements the DNN memory-virtualization runtime the paper
+// builds on (§II-B, §IV): the DL framework's compile-time DAG analysis
+// derives each tensor's reuse distance, and a runtime memory manager
+// schedules software-managed memory-overlaying operations — DMA offloads of
+// feature maps to the backing store after their last forward use, and
+// prefetches back ahead of their backward use — overlapped with computation.
+// Layers with short compute (activations, pooling, ...) are recomputed
+// during backprop instead of migrated, the MXNet-style exception the paper
+// adopts for a conservative evaluation (§IV footnote 4).
+//
+// The backing store is design-point specific: host memory over PCIe
+// (DC-DLA), host memory over CPU-side links (HC-DLA), or deviceremote
+// memory inside the memory-nodes (MC-DLA); vmem only decides what moves and
+// when, not over which channel.
+package vmem
+
+import (
+	"fmt"
+
+	"github.com/memcentric/mcdla/internal/dnn"
+)
+
+// Action says how a tensor needed by backprop is made available.
+type Action int
+
+const (
+	// Stash moves the tensor to the backing store after last forward use
+	// and prefetches it before backward use.
+	Stash Action = iota
+	// Recompute re-runs the (cheap) producing layer during backprop.
+	Recompute
+	// Keep leaves the tensor resident (oracle mode, or tensors that are
+	// reused immediately).
+	Keep
+)
+
+func (a Action) String() string {
+	switch a {
+	case Stash:
+		return "stash"
+	case Recompute:
+		return "recompute"
+	case Keep:
+		return "keep"
+	}
+	return fmt.Sprintf("Action(%d)", int(a))
+}
+
+// TensorPlan is the runtime's decision for one layer's output tensor.
+type TensorPlan struct {
+	// Producer is the layer whose output this is.
+	Producer int
+	// Action selects the backprop strategy.
+	Action Action
+	// Bytes is the tensor footprint (per device; the caller has already
+	// applied the parallelization split).
+	Bytes int64
+	// OffloadAfter is the topological index of the last forward consumer —
+	// the DMA offload is enqueued when that layer's forward completes.
+	OffloadAfter int
+	// NeededAt lists the backward steps (layer IDs, processed in reverse
+	// topological order) that read this tensor; the prefetch must land
+	// before the earliest-processed (i.e. highest) ID.
+	NeededAt []int
+}
+
+// Plan is the per-iteration memory-overlaying schedule for one device.
+type Plan struct {
+	Graph *dnn.Graph
+	// Tensors maps producer layer ID to its plan entry (only tensors that
+	// backprop needs appear).
+	Tensors map[int]TensorPlan
+	// ExtraStash maps layer ID to additional per-layer backward state bytes
+	// (recurrent gate activations) that is stashed alongside the inputs.
+	ExtraStash map[int]int64
+}
+
+// Options tunes the planner.
+type Options struct {
+	// Oracle disables virtualization entirely: everything Keeps (the
+	// infinite-memory DC-DLA(O) design point).
+	Oracle bool
+	// DisableRecompute stashes cheap layers too (used by ablation benches).
+	DisableRecompute bool
+}
+
+// Analyze derives the memory-overlaying plan from the network DAG, exactly
+// the policy of §IV: every expensive layer's input feature maps are pushed
+// to the backing store after their last forward use and prefetched during
+// backprop; cheap layers are recomputed. scale multiplies tensor footprints
+// (model-parallel devices hold full-batch tensors; data-parallel devices
+// hold 1/workers of the batch — callers express this by building the graph
+// at the per-device batch, so scale is normally 1).
+func Analyze(g *dnn.Graph, opt Options) *Plan {
+	p := &Plan{
+		Graph:      g,
+		Tensors:    make(map[int]TensorPlan),
+		ExtraStash: make(map[int]int64),
+	}
+	if opt.Oracle {
+		return p
+	}
+	lastUse := g.LastForwardUse()
+	for _, l := range g.Layers {
+		if l.Kind == dnn.Input {
+			continue
+		}
+		needsInputs := l.Kind.Expensive() || opt.DisableRecompute
+		if !needsInputs {
+			continue
+		}
+		for _, in := range l.Inputs {
+			producer := g.Layer(in)
+			entry, exists := p.Tensors[in]
+			if !exists {
+				action := Stash
+				if producer.Kind != dnn.Input && !producer.Kind.Expensive() && !opt.DisableRecompute {
+					// The producing layer is cheap: backprop recomputes it
+					// from ITS stashed inputs instead of migrating this
+					// tensor. Walking the recompute chain terminates at an
+					// expensive or input layer whose output is stashed.
+					action = Recompute
+				}
+				entry = TensorPlan{
+					Producer:     in,
+					Action:       action,
+					Bytes:        producer.OutBytes(),
+					OffloadAfter: lastUse[in],
+				}
+			}
+			entry.NeededAt = append(entry.NeededAt, l.ID)
+			p.Tensors[in] = entry
+		}
+		if l.StashExtraBytes > 0 {
+			p.ExtraStash[l.ID] = l.StashExtraBytes
+		}
+	}
+	// Recompute chains: a cheap producer's own stashed inputs must exist.
+	// Ensure transitively that every Recompute tensor's producer inputs are
+	// themselves planned (stash or further recompute).
+	p.closeRecomputeChains(lastUse)
+	return p
+}
+
+// closeRecomputeChains walks Recompute entries and plans their producers'
+// inputs so the backward pass can actually rebuild the tensors.
+func (p *Plan) closeRecomputeChains(lastUse []int) {
+	g := p.Graph
+	work := make([]int, 0, len(p.Tensors))
+	for id, tp := range p.Tensors {
+		if tp.Action == Recompute {
+			work = append(work, id)
+		}
+	}
+	for len(work) > 0 {
+		id := work[len(work)-1]
+		work = work[:len(work)-1]
+		producer := g.Layer(id)
+		for _, in := range producer.Inputs {
+			if _, exists := p.Tensors[in]; exists {
+				continue
+			}
+			src := g.Layer(in)
+			action := Stash
+			if src.Kind != dnn.Input && !src.Kind.Expensive() {
+				action = Recompute
+				work = append(work, in)
+			}
+			p.Tensors[in] = TensorPlan{
+				Producer:     in,
+				Action:       action,
+				Bytes:        src.OutBytes(),
+				OffloadAfter: lastUse[in],
+				NeededAt:     []int{id},
+			}
+		}
+	}
+}
+
+// OffloadBytes reports the per-iteration bytes DMAed to the backing store.
+func (p *Plan) OffloadBytes() int64 {
+	var total int64
+	for _, tp := range p.Tensors {
+		if tp.Action == Stash {
+			total += tp.Bytes
+		}
+	}
+	for _, b := range p.ExtraStash {
+		total += b
+	}
+	return total
+}
+
+// PrefetchBytes reports the per-iteration bytes DMAed back during backprop.
+// Symmetric with OffloadBytes under this policy.
+func (p *Plan) PrefetchBytes() int64 { return p.OffloadBytes() }
+
+// TrafficBytes reports total backing-store traffic per iteration.
+func (p *Plan) TrafficBytes() int64 { return p.OffloadBytes() + p.PrefetchBytes() }
+
+// OffloadsAfter returns the stash tensor producer IDs whose offload is
+// enqueued once the given layer's forward pass completes, plus that layer's
+// own extra stash bytes (recurrent state leaves with the layer itself).
+func (p *Plan) OffloadsAfter(layer int) (tensors []int, extraBytes int64) {
+	for id, tp := range p.Tensors {
+		if tp.Action == Stash && tp.OffloadAfter == layer {
+			tensors = append(tensors, id)
+		}
+	}
+	return tensors, p.ExtraStash[layer]
+}
+
+// PrefetchFor returns the stash bytes that must be resident before the
+// backward pass of the given layer runs: its planned input tensors plus its
+// extra stash.
+func (p *Plan) PrefetchFor(layer int) int64 {
+	var total int64
+	l := p.Graph.Layer(layer)
+	for _, in := range l.Inputs {
+		if tp, ok := p.Tensors[in]; ok && tp.Action == Stash {
+			total += tp.Bytes
+		}
+	}
+	total += p.ExtraStash[layer]
+	return total
+}
+
+// RecomputeFor returns the producer layer IDs that must be re-executed
+// before the backward pass of the given layer (cheap producers on the
+// recompute chain, nearest first).
+func (p *Plan) RecomputeFor(layer int) []int {
+	var out []int
+	l := p.Graph.Layer(layer)
+	var walk func(in int)
+	walk = func(in int) {
+		tp, ok := p.Tensors[in]
+		if !ok || tp.Action != Recompute {
+			return
+		}
+		// Rebuild this tensor by re-running its producer, which first needs
+		// its own inputs (deeper in the chain).
+		for _, pin := range p.Graph.Layer(in).Inputs {
+			walk(pin)
+		}
+		out = append(out, in)
+	}
+	for _, in := range l.Inputs {
+		walk(in)
+	}
+	return out
+}
+
+// Validate checks plan invariants: every stash entry has positive size and a
+// legal offload point, every recompute chain terminates in stashed or input
+// tensors.
+func (p *Plan) Validate() error {
+	for id, tp := range p.Tensors {
+		if tp.Producer != id {
+			return fmt.Errorf("vmem: tensor %d has mismatched producer %d", id, tp.Producer)
+		}
+		if tp.Bytes <= 0 {
+			return fmt.Errorf("vmem: tensor %d has nonpositive size", id)
+		}
+		if tp.OffloadAfter < id {
+			return fmt.Errorf("vmem: tensor %d offloads before it is produced", id)
+		}
+		if tp.Action == Recompute {
+			for _, in := range p.Graph.Layer(id).Inputs {
+				src := p.Graph.Layer(in)
+				if src.Kind == dnn.Input {
+					continue
+				}
+				if _, ok := p.Tensors[in]; !ok {
+					return fmt.Errorf("vmem: recompute tensor %d has unplanned input %d", id, in)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,340 @@
+package vmem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/memcentric/mcdla/internal/dnn"
+	"github.com/memcentric/mcdla/internal/units"
+)
+
+func TestAnalyzeAllBenchmarksValid(t *testing.T) {
+	for _, name := range dnn.BenchmarkNames() {
+		g := dnn.MustBuild(name, 32)
+		p := Analyze(g, Options{})
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if p.OffloadBytes() <= 0 {
+			t.Errorf("%s: no offload traffic planned", name)
+		}
+	}
+}
+
+func TestOracleHasNoTraffic(t *testing.T) {
+	g := dnn.MustBuild("VGG-E", 32)
+	p := Analyze(g, Options{Oracle: true})
+	if p.TrafficBytes() != 0 {
+		t.Fatalf("oracle plan has traffic %d", p.TrafficBytes())
+	}
+	if len(p.Tensors) != 0 {
+		t.Fatalf("oracle plan has %d tensors", len(p.Tensors))
+	}
+}
+
+func TestTrafficSymmetric(t *testing.T) {
+	g := dnn.MustBuild("AlexNet", 64)
+	p := Analyze(g, Options{})
+	if p.OffloadBytes() != p.PrefetchBytes() {
+		t.Fatal("offload and prefetch traffic must match under the stash policy")
+	}
+	if p.TrafficBytes() != 2*p.OffloadBytes() {
+		t.Fatal("total traffic must be offload+prefetch")
+	}
+}
+
+func TestStashMatchesGraphAccounting(t *testing.T) {
+	// The plan's offload bytes must equal the graph-level StashBytes
+	// (inputs of expensive layers counted once + extra state).
+	for _, name := range dnn.BenchmarkNames() {
+		g := dnn.MustBuild(name, 16)
+		p := Analyze(g, Options{})
+		// Plan may stash extra cheap-chain tensors for recompute
+		// termination, so it can only be >= graph stash; for these
+		// benchmarks the chains terminate in already-stashed tensors, so
+		// equality holds except through Keep/recompute differences.
+		if p.OffloadBytes() < g.StashBytes() {
+			t.Errorf("%s: plan offload %d < graph stash %d", name, p.OffloadBytes(), g.StashBytes())
+		}
+	}
+}
+
+func TestCheapLayersRecomputed(t *testing.T) {
+	g := dnn.MustBuild("AlexNet", 8)
+	p := Analyze(g, Options{})
+	// conv2 consumes pool1's output; pool1 is cheap, so its tensor must be
+	// planned as Recompute, not Stash.
+	var pool1, conv2 int
+	for _, l := range g.Layers {
+		switch l.Name {
+		case "pool1":
+			pool1 = l.ID
+		case "conv2":
+			conv2 = l.ID
+		}
+	}
+	tp, ok := p.Tensors[pool1]
+	if !ok {
+		t.Fatal("pool1 output not planned")
+	}
+	if tp.Action != Recompute {
+		t.Fatalf("pool1 action = %v, want recompute", tp.Action)
+	}
+	found := false
+	for _, at := range tp.NeededAt {
+		if at == conv2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("pool1 tensor not marked needed at conv2 backward")
+	}
+}
+
+func TestRecomputeChainsTerminate(t *testing.T) {
+	g := dnn.MustBuild("GoogLeNet", 8)
+	p := Analyze(g, Options{})
+	for id, tp := range p.Tensors {
+		if tp.Action != Recompute {
+			continue
+		}
+		chain := p.RecomputeFor(id)
+		if len(chain) > 64 {
+			t.Fatalf("recompute chain for %d too long (%d)", id, len(chain))
+		}
+	}
+}
+
+func TestRecomputeForOrdering(t *testing.T) {
+	// AlexNet conv2's backward needs pool1 recomputed, which needs norm1
+	// recomputed (cheap chain conv1 -> relu1 -> norm1 -> pool1); conv1's
+	// stashed output terminates the chain. Chain must be ordered
+	// producers-first.
+	g := dnn.MustBuild("AlexNet", 8)
+	p := Analyze(g, Options{})
+	var conv2 int
+	for _, l := range g.Layers {
+		if l.Name == "conv2" {
+			conv2 = l.ID
+		}
+	}
+	chain := p.RecomputeFor(conv2)
+	if len(chain) == 0 {
+		t.Fatal("conv2 has no recompute chain")
+	}
+	for i := 1; i < len(chain); i++ {
+		if chain[i] <= chain[i-1] {
+			t.Fatalf("recompute chain not topologically ordered: %v", chain)
+		}
+	}
+}
+
+func TestDisableRecomputeStashesEverything(t *testing.T) {
+	g := dnn.MustBuild("AlexNet", 8)
+	base := Analyze(g, Options{})
+	all := Analyze(g, Options{DisableRecompute: true})
+	if all.OffloadBytes() <= base.OffloadBytes() {
+		t.Fatalf("disable-recompute traffic %d not larger than policy traffic %d",
+			all.OffloadBytes(), base.OffloadBytes())
+	}
+	for _, tp := range all.Tensors {
+		if tp.Action == Recompute {
+			t.Fatal("recompute entry despite DisableRecompute")
+		}
+	}
+}
+
+func TestOffloadsAfterLastUse(t *testing.T) {
+	// ResNet residual tensors are consumed twice; the offload must wait
+	// for the later consumer.
+	g := dnn.MustBuild("ResNet", 8)
+	p := Analyze(g, Options{})
+	last := g.LastForwardUse()
+	for id, tp := range p.Tensors {
+		if tp.OffloadAfter != last[id] {
+			t.Fatalf("tensor %d offloads after %d, want last use %d", id, tp.OffloadAfter, last[id])
+		}
+	}
+}
+
+func TestOffloadsAfterEnumeratesAllStashes(t *testing.T) {
+	g := dnn.MustBuild("VGG-E", 8)
+	p := Analyze(g, Options{})
+	var sum int64
+	for _, l := range g.Layers {
+		tensors, extra := p.OffloadsAfter(l.ID)
+		for _, id := range tensors {
+			sum += p.Tensors[id].Bytes
+		}
+		sum += extra
+	}
+	if sum != p.OffloadBytes() {
+		t.Fatalf("per-layer offload sum %d != plan total %d", sum, p.OffloadBytes())
+	}
+}
+
+func TestExpensiveLayersCoveredByPrefetchOrRecompute(t *testing.T) {
+	// Every conv/fc backward step must either prefetch stashed inputs or
+	// rebuild them through a recompute chain (mid-network convs consume
+	// post-ReLU tensors, which are recomputed, not stashed).
+	g := dnn.MustBuild("VGG-E", 8)
+	p := Analyze(g, Options{})
+	for _, l := range g.Layers {
+		if l.Kind == dnn.Conv || l.Kind == dnn.FC {
+			if p.PrefetchFor(l.ID) <= 0 && len(p.RecomputeFor(l.ID)) == 0 {
+				t.Fatalf("layer %s has neither prefetch nor recompute coverage", l.Name)
+			}
+		}
+	}
+}
+
+func TestRNNExtraStashCounted(t *testing.T) {
+	g := dnn.MustBuild("RNN-LSTM-1", 16)
+	p := Analyze(g, Options{})
+	// Every LSTM cell must contribute extra stash (gate activations).
+	cells := 0
+	for _, l := range g.Layers {
+		if l.Kind == dnn.LSTMCell {
+			cells++
+			if p.ExtraStash[l.ID] <= 0 {
+				t.Fatalf("cell %s has no extra stash", l.Name)
+			}
+		}
+	}
+	if cells != 25 {
+		t.Fatalf("cell count = %d", cells)
+	}
+}
+
+// Property: offload traffic scales linearly with batch size.
+func TestPropertyTrafficLinearInBatch(t *testing.T) {
+	f := func(raw uint8) bool {
+		batch := int(raw%16) + 1
+		g1 := dnn.MustBuild("GoogLeNet", batch)
+		g2 := dnn.MustBuild("GoogLeNet", 2*batch)
+		p1 := Analyze(g1, Options{})
+		p2 := Analyze(g2, Options{})
+		return p2.OffloadBytes() == 2*p1.OffloadBytes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlacementBandwidths(t *testing.T) {
+	// Figure 10 with N=6, B=25: LOCAL reaches 75 GB/s, BW_AWARE 150 GB/s.
+	if got := Local.RemoteBandwidth(6, units.GBps(25)).GBps(); got != 75 {
+		t.Fatalf("LOCAL bandwidth = %g, want 75", got)
+	}
+	if got := BWAware.RemoteBandwidth(6, units.GBps(25)).GBps(); got != 150 {
+		t.Fatalf("BW_AWARE bandwidth = %g, want 150", got)
+	}
+}
+
+func TestPlacementLatencyHalved(t *testing.T) {
+	d := units.Bytes(1) * units.GB
+	l := Local.TransferLatency(d, 6, units.GBps(25))
+	b := BWAware.TransferLatency(d, 6, units.GBps(25))
+	if b*2 != l {
+		t.Fatalf("BW_AWARE latency %v must be half of LOCAL %v", b, l)
+	}
+}
+
+func TestSplitAllocation(t *testing.T) {
+	left, right := Local.SplitAllocation(10 * PageBytes)
+	if left != 10*PageBytes || right != 0 {
+		t.Fatalf("LOCAL split = %d/%d", left, right)
+	}
+	left, right = BWAware.SplitAllocation(10 * PageBytes)
+	if left != 5*PageBytes || right != 5*PageBytes {
+		t.Fatalf("BW_AWARE even split = %d/%d", left, right)
+	}
+	// Odd page counts keep the sides within one page of each other.
+	left, right = BWAware.SplitAllocation(3 * PageBytes)
+	if left != PageBytes || right != 2*PageBytes {
+		t.Fatalf("BW_AWARE odd split = %d/%d", left, right)
+	}
+	// Sub-page allocations never exceed the request.
+	left, right = BWAware.SplitAllocation(100)
+	if left+right != 100 {
+		t.Fatalf("BW_AWARE sub-page split = %d/%d", left, right)
+	}
+}
+
+// Property: BW_AWARE split halves are balanced within one page and conserve
+// the allocation exactly.
+func TestPropertySplitConserves(t *testing.T) {
+	f := func(raw uint32) bool {
+		d := units.Bytes(raw)
+		left, right := BWAware.SplitAllocation(d)
+		if left+right != d {
+			return false
+		}
+		diff := left - right
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= PageBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddressSpaceResolve(t *testing.T) {
+	a := AddressSpace{Local: 16 * units.GB, Left: 650 * units.GB, Right: 650 * units.GB}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		addr   units.Bytes
+		region Region
+		off    units.Bytes
+	}{
+		{0, RegionLocal, 0},
+		{16*units.GB - 1, RegionLocal, 16*units.GB - 1},
+		{16 * units.GB, RegionLeft, 0},
+		{16*units.GB + 650*units.GB, RegionRight, 0},
+		{a.Total() - 1, RegionRight, 650*units.GB - 1},
+	}
+	for _, c := range cases {
+		r, off, err := a.Resolve(c.addr)
+		if err != nil {
+			t.Fatalf("resolve %d: %v", c.addr, err)
+		}
+		if r != c.region || off != c.off {
+			t.Errorf("resolve %d = %v+%d, want %v+%d", c.addr, r, off, c.region, c.off)
+		}
+	}
+	if _, _, err := a.Resolve(a.Total()); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if _, _, err := a.Resolve(-1); err == nil {
+		t.Fatal("expected negative-address error")
+	}
+}
+
+func TestAddressSpacePhysicalLimit(t *testing.T) {
+	// 10.4 TB of remote memory fits well under 47-bit (128 TB) physical
+	// addressing — the §III-B feasibility claim.
+	a := AddressSpace{Local: 16 * units.GB, Left: 5200 * units.GB, Right: 5200 * units.GB}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("10.4 TB pool should validate: %v", err)
+	}
+	huge := AddressSpace{Local: 16 * units.GB, Left: 1 << 47, Right: 0}
+	if err := huge.Validate(); err == nil {
+		t.Fatal("expected physical-addressing overflow error")
+	}
+}
+
+func TestActionAndRegionStrings(t *testing.T) {
+	if Stash.String() != "stash" || Recompute.String() != "recompute" || Keep.String() != "keep" {
+		t.Fatal("action strings wrong")
+	}
+	if Local.String() != "LOCAL" || BWAware.String() != "BW_AWARE" {
+		t.Fatal("placement strings wrong")
+	}
+	if RegionLocal.String() != "devicelocal" {
+		t.Fatal("region string wrong")
+	}
+}
