@@ -23,6 +23,7 @@ import (
 	"github.com/memcentric/mcdla/internal/metrics"
 	"github.com/memcentric/mcdla/internal/overlay"
 	"github.com/memcentric/mcdla/internal/power"
+	"github.com/memcentric/mcdla/internal/runner"
 	"github.com/memcentric/mcdla/internal/scaleout"
 	"github.com/memcentric/mcdla/internal/trace"
 	"github.com/memcentric/mcdla/internal/train"
@@ -217,6 +218,58 @@ func BenchmarkScalability(b *testing.B) {
 		sp = sum / float64(n)
 	}
 	b.ReportMetric(sp, "8gpu-virt-scaling-x")
+}
+
+// ---- Runner fan-out ---------------------------------------------------------
+
+// fanoutGrid is the Figure 13 data-parallel plane (8 workloads × 6 designs),
+// the grid every full-evaluation command walks.
+func fanoutGrid() []runner.Job {
+	return runner.Grid{
+		Workloads:  dnn.BenchmarkNames(),
+		Designs:    core.StandardDesigns(),
+		Strategies: []train.Strategy{train.DataParallel},
+		Batches:    []int{512},
+		Workers:    8,
+	}.Jobs()
+}
+
+func benchRunner(b *testing.B, parallelism int) {
+	jobs := fanoutGrid()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh engine per iteration measures simulation throughput, not
+		// memoization.
+		e := runner.New(runner.Options{Parallelism: parallelism})
+		if _, err := e.Run(jobs, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(jobs))*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+}
+
+// BenchmarkRunnerSequential is the single-worker reference for the fan-out.
+func BenchmarkRunnerSequential(b *testing.B) { benchRunner(b, 1) }
+
+// BenchmarkRunnerFanout submits the same grid across GOMAXPROCS workers; on a
+// multi-core host its jobs/s metric beats BenchmarkRunnerSequential's.
+func BenchmarkRunnerFanout(b *testing.B) { benchRunner(b, 0) }
+
+// BenchmarkRunnerCached measures a warm engine: after the first pass every
+// job in the grid is served by the memo cache.
+func BenchmarkRunnerCached(b *testing.B) {
+	jobs := fanoutGrid()
+	e := runner.New(runner.Options{})
+	if _, err := e.Run(jobs, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(jobs, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(jobs))*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
 }
 
 // ---- Microbenchmarks: simulator throughput per workload --------------------

@@ -3,7 +3,15 @@
 //
 // Usage:
 //
-//	mcdla <subcommand> [flags]
+//	mcdla [-parallel N] [-quiet] <subcommand> [flags]
+//
+// The grid-based experiment subcommands (fig2, fig11-fig14, headline, sens,
+// scale, explore, and their aggregation in all) submit their simulation
+// grids to the internal/runner worker pool; -parallel bounds the workers
+// (default GOMAXPROCS) and a progress line streams to stderr unless -quiet
+// is set. Output on stdout is byte-identical at every parallelism. The
+// single-simulation and analytic subcommands (fig9, tab4, plane, run, trace,
+// networks, config) don't fan out and ignore -parallel.
 //
 // Subcommands:
 //
@@ -30,21 +38,76 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
 	"strings"
 
 	"github.com/memcentric/mcdla/internal/accel"
 	"github.com/memcentric/mcdla/internal/core"
 	"github.com/memcentric/mcdla/internal/dnn"
 	"github.com/memcentric/mcdla/internal/experiments"
+	"github.com/memcentric/mcdla/internal/runner"
 	"github.com/memcentric/mcdla/internal/trace"
 	"github.com/memcentric/mcdla/internal/train"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	args, parallel, quiet, err := globalFlags(os.Args[1:])
+	if err == nil {
+		experiments.SetParallelism(parallel)
+		if !quiet {
+			experiments.SetProgress(progressLine)
+		}
+		err = run(args)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcdla:", err)
 		os.Exit(1)
 	}
+}
+
+// globalFlags extracts -parallel/-quiet from anywhere in the argument list so
+// both `mcdla -parallel 8 all` and `mcdla all -parallel 8` work; everything
+// else passes through to the subcommand dispatch.
+func globalFlags(args []string) (rest []string, parallel int, quiet bool, err error) {
+	parallel = runtime.GOMAXPROCS(0)
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		switch {
+		case a == "-parallel" || a == "--parallel":
+			i++
+			if i >= len(args) {
+				return nil, 0, false, fmt.Errorf("-parallel needs a worker count")
+			}
+			if parallel, err = strconv.Atoi(args[i]); err != nil || parallel < 1 {
+				return nil, 0, false, fmt.Errorf("bad -parallel value %q (want a count ≥ 1)", args[i])
+			}
+		case strings.HasPrefix(a, "-parallel=") || strings.HasPrefix(a, "--parallel="):
+			v := a[strings.Index(a, "=")+1:]
+			if parallel, err = strconv.Atoi(v); err != nil || parallel < 1 {
+				return nil, 0, false, fmt.Errorf("bad -parallel value %q (want a count ≥ 1)", v)
+			}
+		case a == "-quiet" || a == "--quiet":
+			quiet = true
+		default:
+			rest = append(rest, a)
+		}
+	}
+	return rest, parallel, quiet, nil
+}
+
+// progressLine streams grid progress to stderr on a single rewritten line,
+// clearing it once the grid lands so stdout tables render untouched.
+func progressLine(u runner.Update) {
+	if u.Err != nil {
+		fmt.Fprintf(os.Stderr, "\r%-72s\n", fmt.Sprintf("[%d/%d] %s × %s: %v", u.Done, u.Total, u.Job.Design.Name, u.Job.Workload, u.Err))
+		return
+	}
+	if u.Done == u.Total {
+		fmt.Fprintf(os.Stderr, "\r%72s\r", "")
+		return
+	}
+	fmt.Fprintf(os.Stderr, "\r%-72s", fmt.Sprintf("[%d/%d] %s × %s", u.Done, u.Total, u.Job.Design.Name, u.Job.Workload))
 }
 
 func run(args []string) error {
@@ -295,6 +358,12 @@ func runTrace(args []string) error {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `mcdla — memory-centric deep-learning system simulator (MICRO-51 reproduction)
+
+usage: mcdla [-parallel N] [-quiet] <subcommand> [flags]
+
+global flags:
+  -parallel N   worker goroutines for experiment grids (default GOMAXPROCS)
+  -quiet        suppress the stderr progress line
 
 subcommands:
   fig2 | fig9 | fig11 | fig12 | fig13 | fig14   regenerate a figure

@@ -8,9 +8,15 @@
 // memory-node architecture and virtualization runtime, train the
 // parallelization strategies, and core assembles the six evaluated system
 // design points and simulates full training iterations. The experiments
-// package regenerates every table and figure of the paper's evaluation; the
-// root-level benchmarks in bench_test.go expose one benchmark per table and
-// figure, each reporting its headline number as a custom metric.
+// package regenerates every table and figure of the paper's evaluation by
+// submitting declarative simulation grids to the runner package — a
+// worker-pool engine that fans jobs across GOMAXPROCS goroutines, memoizes
+// identical (design, schedule) simulations, and streams per-job progress —
+// so output stays byte-identical at every parallelism. The root-level
+// benchmarks in bench_test.go expose one benchmark per table and figure,
+// each reporting its headline number as a custom metric, plus
+// BenchmarkRunnerFanout for the engine itself.
 //
-// See README.md for a tour and EXPERIMENTS.md for paper-vs-measured results.
+// See README.md for a tour and CLI cookbook, and EXPERIMENTS.md for
+// paper-vs-measured results.
 package mcdla

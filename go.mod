@@ -1,0 +1,3 @@
+module github.com/memcentric/mcdla
+
+go 1.24

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/memcentric/mcdla/internal/train"
+)
+
+// TestGeneratorsDeterministicUnderParallelism renders every generator once on
+// a single-worker engine and once on an eight-worker engine and requires
+// byte-identical output: the acceptance bar for the runner refactor is that
+// fanning the grids out changes only when jobs run, never what they produce.
+func TestGeneratorsDeterministicUnderParallelism(t *testing.T) {
+	generators := map[string]func() (string, error){
+		"fig2": func() (string, error) {
+			rows, err := Fig2()
+			return RenderFig2(rows), err
+		},
+		"fig11-dp": func() (string, error) {
+			rows, err := Fig11(train.DataParallel)
+			return RenderFig11(rows, train.DataParallel), err
+		},
+		"fig11-mp": func() (string, error) {
+			rows, err := Fig11(train.ModelParallel)
+			return RenderFig11(rows, train.ModelParallel), err
+		},
+		"fig12": func() (string, error) {
+			rows, err := Fig12()
+			return RenderFig12(rows), err
+		},
+		"fig13-dp": func() (string, error) {
+			rows, speedups, err := Fig13(train.DataParallel)
+			return RenderFig13(rows, speedups, train.DataParallel), err
+		},
+		"headline": func() (string, error) {
+			h, err := RunHeadline()
+			return RenderHeadline(h), err
+		},
+		"scale": func() (string, error) {
+			rows, err := Scalability()
+			return RenderScalability(rows), err
+		},
+		"explore": func() (string, error) {
+			rows, err := Explore([]int{6}, []float64{25, 50})
+			return RenderExplore(rows), err
+		},
+	}
+	if !testing.Short() {
+		generators["fig14"] = func() (string, error) {
+			rows, err := Fig14()
+			return RenderFig14(rows), err
+		}
+		generators["sens"] = func() (string, error) {
+			rows, err := Sensitivity()
+			return RenderSensitivity(rows), err
+		}
+	}
+
+	t.Cleanup(func() { SetParallelism(0) })
+	for name, gen := range generators {
+		SetParallelism(1)
+		want, err := gen()
+		if err != nil {
+			t.Fatalf("%s (sequential): %v", name, err)
+		}
+		SetParallelism(8)
+		got, err := gen()
+		if err != nil {
+			t.Fatalf("%s (parallel): %v", name, err)
+		}
+		if got != want {
+			t.Errorf("%s: parallel output differs from the sequential reference", name)
+		}
+	}
+}
+
+// TestEngineCacheSharedAcrossGenerators checks that overlapping sweeps reuse
+// simulations: the headline regenerates the same workload × design plane
+// Figure 11 already simulated, so a second generator on the same engine must
+// record cache hits.
+func TestEngineCacheSharedAcrossGenerators(t *testing.T) {
+	SetParallelism(4)
+	t.Cleanup(func() { SetParallelism(0) })
+	if _, err := Fig11(train.DataParallel); err != nil {
+		t.Fatal(err)
+	}
+	before := EngineStats()
+	if _, _, err := Fig13(train.DataParallel); err != nil {
+		t.Fatal(err)
+	}
+	after := EngineStats()
+	if after.Misses != before.Misses {
+		t.Errorf("Fig13 re-simulated %d jobs Fig11 already ran", after.Misses-before.Misses)
+	}
+	if after.Hits <= before.Hits {
+		t.Error("Fig13 recorded no cache hits after Fig11 populated the engine")
+	}
+}

@@ -8,12 +8,14 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"github.com/memcentric/mcdla/internal/accel"
 	"github.com/memcentric/mcdla/internal/collective"
 	"github.com/memcentric/mcdla/internal/core"
 	"github.com/memcentric/mcdla/internal/dnn"
 	"github.com/memcentric/mcdla/internal/metrics"
+	"github.com/memcentric/mcdla/internal/runner"
 	"github.com/memcentric/mcdla/internal/train"
 	"github.com/memcentric/mcdla/internal/units"
 )
@@ -30,22 +32,69 @@ var designNames = []string{"DC-DLA", "HC-DLA", "MC-DLA(S)", "MC-DLA(L)", "MC-DLA
 // DesignNames returns the evaluated design points in paper order.
 func DesignNames() []string { return append([]string(nil), designNames...) }
 
+// Every generator submits its simulation grid to a shared runner engine, so
+// the figures fan out across GOMAXPROCS workers and overlapping sweeps (the
+// headline, Figure 12, and the sensitivity variants revisit the same
+// workload × design points) hit the engine's memo cache instead of
+// re-simulating.
+var (
+	engineMu sync.Mutex
+	engine   = runner.New(runner.Options{})
+	progress func(runner.Update)
+)
+
+// SetParallelism replaces the package engine with one bounded to n workers
+// (n ≤ 0 means GOMAXPROCS). The memo cache is reset with it.
+func SetParallelism(n int) {
+	engineMu.Lock()
+	defer engineMu.Unlock()
+	engine = runner.New(runner.Options{Parallelism: n})
+}
+
+// SetProgress installs a callback that receives per-job progress from every
+// generator's grid submission (nil disables streaming).
+func SetProgress(fn func(runner.Update)) {
+	engineMu.Lock()
+	defer engineMu.Unlock()
+	progress = fn
+}
+
+// EngineStats reports the shared engine's cache accounting.
+func EngineStats() runner.CacheStats {
+	engineMu.Lock()
+	defer engineMu.Unlock()
+	return engine.Stats()
+}
+
+// submit runs a job grid on the package engine.
+func submit(jobs []runner.Job) ([]core.Result, error) {
+	engineMu.Lock()
+	e, p := engine, progress
+	engineMu.Unlock()
+	return e.Run(jobs, p)
+}
+
 // runAll simulates every workload × design for one strategy at a batch size.
 func runAll(strategy train.Strategy, batch int) (map[string]map[string]core.Result, error) {
+	designs := core.StandardDesigns()
+	jobs := runner.Grid{
+		Workloads:  dnn.BenchmarkNames(),
+		Designs:    designs,
+		Strategies: []train.Strategy{strategy},
+		Batches:    []int{batch},
+		Workers:    Workers,
+		Tag:        "grid",
+	}.Jobs()
+	rs, err := submit(jobs)
+	if err != nil {
+		return nil, err
+	}
 	out := make(map[string]map[string]core.Result)
-	for _, name := range dnn.BenchmarkNames() {
-		s, err := train.Build(name, batch, Workers, strategy)
-		if err != nil {
-			return nil, err
+	for i, j := range jobs {
+		if out[j.Workload] == nil {
+			out[j.Workload] = make(map[string]core.Result, len(designs))
 		}
-		out[name] = make(map[string]core.Result)
-		for _, d := range core.StandardDesigns() {
-			r, err := core.Simulate(d, s)
-			if err != nil {
-				return nil, err
-			}
-			out[name][d.Name] = r
-		}
+		out[j.Workload][j.Design.Name] = rs[i]
 	}
 	return out, nil
 }
@@ -70,25 +119,30 @@ type Fig2Row struct {
 // virtualization overhead percentage.
 func Fig2() ([]Fig2Row, error) {
 	const batch = 256 // single-device motivational runs
-	var rows []Fig2Row
+	gens := accel.Generations()
+	var jobs []runner.Job
 	for _, net := range dnn.CNNNames() {
-		s, err := train.Build(net, batch, 1, train.DataParallel)
-		if err != nil {
-			return nil, err
+		for _, gen := range gens {
+			for _, d := range []core.Design{core.NewDCDLA(gen.Config, 1), core.NewDCDLAO(gen.Config, 1)} {
+				jobs = append(jobs, runner.Job{
+					Design: d, Workload: net, Strategy: train.DataParallel,
+					Batch: batch, Workers: 1, Tag: "fig2",
+				})
+			}
 		}
+	}
+	rs, err := submit(jobs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig2Row
+	i := 0
+	for _, net := range dnn.CNNNames() {
 		var keplerTime float64
-		for _, gen := range accel.Generations() {
-			d := core.NewDCDLA(gen.Config, 1)
-			virt, err := core.Simulate(d, s)
-			if err != nil {
-				return nil, err
-			}
-			oracle, err := core.Simulate(core.NewDCDLAO(gen.Config, 1), s)
-			if err != nil {
-				return nil, err
-			}
-			tv := virt.IterationTime.Seconds()
-			to := oracle.IterationTime.Seconds()
+		for _, gen := range gens {
+			tv := rs[i].IterationTime.Seconds()
+			to := rs[i+1].IterationTime.Seconds()
+			i += 2
 			if gen.Name == "Kepler" {
 				keplerTime = to
 			}
@@ -336,25 +390,34 @@ var Fig14Batches = []int{128, 256, 1024, 2048}
 
 // Fig14 reproduces the batch-size sensitivity study.
 func Fig14() ([]Fig14Row, error) {
+	strategies := []train.Strategy{train.DataParallel, train.ModelParallel}
+	designs := []core.Design{mustDesign("DC-DLA"), mustDesign("MC-DLA(B)")}
+	var jobs []runner.Job
+	for _, batch := range Fig14Batches {
+		for _, net := range dnn.BenchmarkNames() {
+			for _, strategy := range strategies {
+				for _, d := range designs {
+					jobs = append(jobs, runner.Job{
+						Design: d, Workload: net, Strategy: strategy,
+						Batch: batch, Workers: Workers, Tag: "fig14",
+					})
+				}
+			}
+		}
+	}
+	rs, err := submit(jobs)
+	if err != nil {
+		return nil, err
+	}
 	var rows []Fig14Row
+	i := 0
 	for _, batch := range Fig14Batches {
 		var dps, mps []float64
 		for _, net := range dnn.BenchmarkNames() {
 			row := Fig14Row{Batch: batch, Workload: net}
-			for _, strategy := range []train.Strategy{train.DataParallel, train.ModelParallel} {
-				s, err := train.Build(net, batch, Workers, strategy)
-				if err != nil {
-					return nil, err
-				}
-				dc, err := core.Simulate(mustDesign("DC-DLA"), s)
-				if err != nil {
-					return nil, err
-				}
-				b, err := core.Simulate(mustDesign("MC-DLA(B)"), s)
-				if err != nil {
-					return nil, err
-				}
-				sp := dc.IterationTime.Seconds() / b.IterationTime.Seconds()
+			for _, strategy := range strategies {
+				sp := rs[i].IterationTime.Seconds() / rs[i+1].IterationTime.Seconds()
+				i += 2
 				if strategy == train.DataParallel {
 					row.DP = sp
 					dps = append(dps, sp)

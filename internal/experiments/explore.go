@@ -7,6 +7,7 @@ import (
 	"github.com/memcentric/mcdla/internal/core"
 	"github.com/memcentric/mcdla/internal/dnn"
 	"github.com/memcentric/mcdla/internal/metrics"
+	"github.com/memcentric/mcdla/internal/runner"
 	"github.com/memcentric/mcdla/internal/scaleout"
 	"github.com/memcentric/mcdla/internal/train"
 	"github.com/memcentric/mcdla/internal/units"
@@ -24,29 +25,36 @@ type ExploreRow struct {
 	Speedup float64 // harmonic mean over the 8 workloads, data-parallel
 }
 
-// Explore sweeps link counts and per-link bandwidths.
+// Explore sweeps link counts and per-link bandwidths as one runner grid.
 func Explore(linkCounts []int, linkGBps []float64) ([]ExploreRow, error) {
-	var rows []ExploreRow
+	var jobs []runner.Job
 	for _, n := range linkCounts {
 		for _, b := range linkGBps {
 			dev := accel.Default()
 			dev.Links = n
 			dev.LinkBW = units.GBps(b)
-			var sp []float64
 			for _, net := range dnn.BenchmarkNames() {
-				s, err := train.Build(net, Batch, Workers, train.DataParallel)
-				if err != nil {
-					return nil, err
+				for _, d := range []core.Design{core.NewDCDLA(dev, Workers), core.NewMCDLAB(dev, Workers)} {
+					jobs = append(jobs, runner.Job{
+						Design: d, Workload: net, Strategy: train.DataParallel,
+						Batch: Batch, Workers: Workers, Tag: "explore",
+					})
 				}
-				dc, err := core.Simulate(core.NewDCDLA(dev, Workers), s)
-				if err != nil {
-					return nil, err
-				}
-				mc, err := core.Simulate(core.NewMCDLAB(dev, Workers), s)
-				if err != nil {
-					return nil, err
-				}
-				sp = append(sp, dc.IterationTime.Seconds()/mc.IterationTime.Seconds())
+			}
+		}
+	}
+	rs, err := submit(jobs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []ExploreRow
+	i := 0
+	for _, n := range linkCounts {
+		for _, b := range linkGBps {
+			var sp []float64
+			for range dnn.BenchmarkNames() {
+				sp = append(sp, rs[i].IterationTime.Seconds()/rs[i+1].IterationTime.Seconds())
+				i += 2
 			}
 			rows = append(rows, ExploreRow{
 				Links:   n,

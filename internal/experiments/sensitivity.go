@@ -10,6 +10,7 @@ import (
 	"github.com/memcentric/mcdla/internal/memnode"
 	"github.com/memcentric/mcdla/internal/metrics"
 	"github.com/memcentric/mcdla/internal/power"
+	"github.com/memcentric/mcdla/internal/runner"
 	"github.com/memcentric/mcdla/internal/train"
 	"github.com/memcentric/mcdla/internal/units"
 )
@@ -88,105 +89,86 @@ type SensitivityRow struct {
 	Note string
 }
 
-// Sensitivity reproduces the §V-B sensitivity studies: PCIe gen4 DC-DLA,
+// sensVariant is one §V-B design variant: its DC-DLA counterpart (which may
+// depend on the workload, as with cDMA's per-network compression factor) and
+// the device the MC-DLA(B) comparison point is built from.
+type sensVariant struct {
+	name, note string
+	workloads  []string
+	dc         func(net string) core.Design
+	dev        accel.Config
+}
+
+// sensVariants builds the studied variants: the baseline, PCIe gen4 DC-DLA,
 // a TPUv2-class device-node, a DGX-2-class scaled node, and cDMA-compressed
 // DC-DLA on the CNNs.
-func Sensitivity() ([]SensitivityRow, error) {
-	gap := func(dcVariant func(workloads []string) (map[string]float64, error), workloads []string, mcDev accel.Config) (float64, error) {
-		dcTimes, err := dcVariant(workloads)
-		if err != nil {
-			return 0, err
-		}
-		var ratios []float64
-		for _, strategy := range []train.Strategy{train.DataParallel, train.ModelParallel} {
-			for _, net := range workloads {
-				s, err := train.Build(net, Batch, Workers, strategy)
-				if err != nil {
-					return 0, err
-				}
-				b, err := core.Simulate(core.NewMCDLAB(mcDev, Workers), s)
-				if err != nil {
-					return 0, err
-				}
-				key := fmt.Sprintf("%s/%v", net, strategy)
-				ratios = append(ratios, dcTimes[key]/b.IterationTime.Seconds())
-			}
-		}
-		return metrics.HarmonicMean(ratios), nil
-	}
-
-	dcPlain := func(dev accel.Config, virtScale float64, gen4 bool) func([]string) (map[string]float64, error) {
-		return func(workloads []string) (map[string]float64, error) {
-			out := map[string]float64{}
-			for _, strategy := range []train.Strategy{train.DataParallel, train.ModelParallel} {
-				for _, net := range workloads {
-					s, err := train.Build(net, Batch, Workers, strategy)
-					if err != nil {
-						return nil, err
-					}
-					var d core.Design
-					if gen4 {
-						d = core.NewDCDLAGen4(dev, Workers)
-					} else {
-						d = core.NewDCDLA(dev, Workers)
-					}
-					if virtScale != 1 {
-						// cDMA: the compressor multiplies the effective PCIe
-						// bandwidth by the workload's compression factor.
-						g := dnn.MustBuild(net, Batch)
-						d.VirtBW = units.Bandwidth(float64(d.VirtBW) * compress.GraphRatio(g))
-					}
-					r, err := core.Simulate(d, s)
-					if err != nil {
-						return nil, err
-					}
-					out[fmt.Sprintf("%s/%v", net, strategy)] = r.IterationTime.Seconds()
-				}
-			}
-			return out, nil
-		}
-	}
-
+func sensVariants() []sensVariant {
 	all := dnn.BenchmarkNames()
 	dev := accel.Default()
-	var rows []SensitivityRow
-
-	base, err := gap(dcPlain(dev, 1, false), all, dev)
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, SensitivityRow{"baseline", base, "paper: 2.8x"})
-
-	g4, err := gap(dcPlain(dev, 1, true), all, dev)
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, SensitivityRow{"DC-DLA with PCIe gen4", g4, "paper: gap narrows to 2.1x"})
-
 	tpu := accel.TPUv2Class()
-	fast, err := gap(dcPlain(tpu, 1, false), all, tpu)
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, SensitivityRow{"TPUv2-class device-node", fast, "paper: 3.2x"})
 
 	dgx2 := dev
 	dgx2.Name = "DGX-2-class"
 	dgx2.MACsPerPE *= 2                       // 2 PFLOPS-class node
 	dgx2.LinkBW = units.GBps(2400.0 / 8 / 12) // 2.4 TB/s of device-side interconnect
 	dgx2.Links = 12
-	big, err := gap(dcPlain(dgx2, 1, false), all, dgx2)
+
+	plainDC := func(dev accel.Config) func(string) core.Design {
+		return func(string) core.Design { return core.NewDCDLA(dev, Workers) }
+	}
+	return []sensVariant{
+		{"baseline", "paper: 2.8x", all, plainDC(dev), dev},
+		{"DC-DLA with PCIe gen4", "paper: gap narrows to 2.1x", all,
+			func(string) core.Design { return core.NewDCDLAGen4(dev, Workers) }, dev},
+		{"TPUv2-class device-node", "paper: 3.2x", all, plainDC(tpu), tpu},
+		{"DGX-2-class node", "paper: 2.9x", all, plainDC(dgx2), dgx2},
+		{"DC-DLA with cDMA (CNNs)", "paper: gap narrows to 2.3x", dnn.CNNNames(),
+			func(net string) core.Design {
+				// cDMA: the compressor multiplies the effective PCIe
+				// bandwidth by the workload's compression factor.
+				d := core.NewDCDLA(dev, Workers)
+				g := dnn.MustBuild(net, Batch)
+				d.VirtBW = units.Bandwidth(float64(d.VirtBW) * compress.GraphRatio(g))
+				return d
+			}, dev},
+	}
+}
+
+// Sensitivity reproduces the §V-B sensitivity studies. All five variants'
+// DC-variant and MC-DLA(B) simulations go out as one grid, so the runner
+// fans the whole sweep across its workers and serves the MC-DLA(B) points
+// shared between variants from its cache.
+func Sensitivity() ([]SensitivityRow, error) {
+	variants := sensVariants()
+	strategies := []train.Strategy{train.DataParallel, train.ModelParallel}
+	var jobs []runner.Job
+	for _, v := range variants {
+		for _, strategy := range strategies {
+			for _, net := range v.workloads {
+				jobs = append(jobs,
+					runner.Job{Design: v.dc(net), Workload: net, Strategy: strategy,
+						Batch: Batch, Workers: Workers, Tag: v.name},
+					runner.Job{Design: core.NewMCDLAB(v.dev, Workers), Workload: net, Strategy: strategy,
+						Batch: Batch, Workers: Workers, Tag: v.name})
+			}
+		}
+	}
+	rs, err := submit(jobs)
 	if err != nil {
 		return nil, err
 	}
-	rows = append(rows, SensitivityRow{"DGX-2-class node", big, "paper: 2.9x"})
-
-	cdma, err := gap(dcPlain(dev, 2.6, false), dnn.CNNNames(), dev)
-	if err != nil {
-		return nil, err
+	var rows []SensitivityRow
+	i := 0
+	for _, v := range variants {
+		var ratios []float64
+		for range strategies {
+			for range v.workloads {
+				ratios = append(ratios, rs[i].IterationTime.Seconds()/rs[i+1].IterationTime.Seconds())
+				i += 2
+			}
+		}
+		rows = append(rows, SensitivityRow{v.name, metrics.HarmonicMean(ratios), v.note})
 	}
-	rows = append(rows, SensitivityRow{"DC-DLA with cDMA (CNNs)", cdma, "paper: gap narrows to 2.3x"})
-
 	return rows, nil
 }
 
@@ -215,41 +197,43 @@ type ScalingRow struct {
 // and 8 devices. The DC-DLA host interface models the shared per-socket root
 // complex (one sustained ×16 per socket), which is what breaks scaling.
 func Scalability() ([]ScalingRow, error) {
+	gpuCounts := []int{1, 4, 8}
+	dev := accel.Default()
+	var jobs []runner.Job
+	for _, net := range dnn.CNNNames() {
+		for _, gpus := range gpuCounts {
+			dc := core.NewDCDLA(dev, gpus)
+			dc.HostSocketShared = units.GBps(PCIeSustainedGBps)
+			for _, d := range []core.Design{dc, core.NewDCDLAO(dev, gpus), core.NewMCDLAB(dev, gpus)} {
+				jobs = append(jobs, runner.Job{
+					Design: d, Workload: net, Strategy: train.DataParallel,
+					Batch: Batch, Workers: gpus, Tag: "scale",
+				})
+			}
+		}
+	}
+	rs, err := submit(jobs)
+	if err != nil {
+		return nil, err
+	}
 	var rows []ScalingRow
-	socketShare := units.GBps(PCIeSustainedGBps)
+	i := 0
 	for _, net := range dnn.CNNNames() {
 		base := map[string]float64{}
-		for _, gpus := range []int{1, 4, 8} {
-			s, err := train.Build(net, Batch, gpus, train.DataParallel)
-			if err != nil {
-				return nil, err
-			}
-			dev := accel.Default()
-			dc := core.NewDCDLA(dev, gpus)
-			dc.HostSocketShared = socketShare
-			virt, err := core.Simulate(dc, s)
-			if err != nil {
-				return nil, err
-			}
-			oracle, err := core.Simulate(core.NewDCDLAO(dev, gpus), s)
-			if err != nil {
-				return nil, err
-			}
-			mc, err := core.Simulate(core.NewMCDLAB(dev, gpus), s)
-			if err != nil {
-				return nil, err
-			}
+		for _, gpus := range gpuCounts {
+			virt := rs[i].IterationTime.Seconds()
+			oracle := rs[i+1].IterationTime.Seconds()
+			mc := rs[i+2].IterationTime.Seconds()
+			i += 3
 			if gpus == 1 {
-				base["virt"] = virt.IterationTime.Seconds()
-				base["oracle"] = oracle.IterationTime.Seconds()
-				base["mc"] = mc.IterationTime.Seconds()
+				base["virt"], base["oracle"], base["mc"] = virt, oracle, mc
 			}
 			rows = append(rows, ScalingRow{
 				Network:       net,
 				GPUs:          gpus,
-				SpeedupOracle: base["oracle"] / oracle.IterationTime.Seconds(),
-				SpeedupVirt:   base["virt"] / virt.IterationTime.Seconds(),
-				SpeedupMC:     base["mc"] / mc.IterationTime.Seconds(),
+				SpeedupOracle: base["oracle"] / oracle,
+				SpeedupVirt:   base["virt"] / virt,
+				SpeedupMC:     base["mc"] / mc,
 			})
 		}
 	}

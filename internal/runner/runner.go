@@ -1,0 +1,252 @@
+// Package runner is the parallel simulation engine behind the experiment
+// generators: it accepts a declarative job grid (workload × design ×
+// strategy × batch), fans the jobs out across a bounded worker pool, and
+// memoizes identical (design, schedule) simulations in a concurrency-safe
+// cache so that overlapping grids — Figure 12 and the headline both sweep the
+// full workload × design plane, the sensitivity variants re-simulate the same
+// MC-DLA(B) points five times — pay for each distinct simulation once.
+//
+// Results are returned indexed by job position, so a grid submitted with any
+// parallelism (including 1) produces byte-identical output: every job is an
+// independent pure computation, and the pool only changes when each one runs,
+// never what it computes.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/memcentric/mcdla/internal/core"
+	"github.com/memcentric/mcdla/internal/train"
+)
+
+// Job is one point of a simulation grid: simulate Workload trained with
+// Strategy at the global Batch across Workers devices on Design.
+type Job struct {
+	Design   core.Design
+	Workload string
+	Strategy train.Strategy
+	Batch    int
+	Workers  int
+	// Tag is an optional caller label carried into progress updates
+	// (e.g. the sensitivity variant a job belongs to).
+	Tag string
+}
+
+// key identifies the simulation's full input space. Design and Schedule are
+// plain value trees (no pointers or maps), so their printed form is a
+// faithful fingerprint.
+func (j Job) key() string {
+	return fmt.Sprintf("%+v|%s|%d|%d|%d", j.Design, j.Workload, j.Strategy, j.Batch, j.Workers)
+}
+
+// scheduleKey identifies the train.Build inputs shared by every design
+// simulated against the same workload point.
+func (j Job) scheduleKey() string {
+	return fmt.Sprintf("%s|%d|%d|%d", j.Workload, j.Strategy, j.Batch, j.Workers)
+}
+
+// Update is one progress event, emitted after a job finishes (successfully,
+// from cache, or with an error). Callbacks are invoked serially.
+type Update struct {
+	// Done counts finished jobs so far; Total is the submitted grid size.
+	Done, Total int
+	// Job is the finished job.
+	Job Job
+	// Err is the job's failure, if any.
+	Err error
+	// Cached reports whether the result was served by the memo cache.
+	Cached bool
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Parallelism bounds the worker goroutines; values ≤ 0 mean
+	// runtime.GOMAXPROCS(0).
+	Parallelism int
+}
+
+// CacheStats reports the memo cache's hit accounting.
+type CacheStats struct {
+	// Hits counts jobs served from the cache (including jobs that waited on
+	// an identical in-flight simulation); Misses counts simulations actually
+	// executed.
+	Hits, Misses int64
+}
+
+// Engine is a reusable simulation pool. The zero value is not usable; build
+// one with New. An Engine is safe for concurrent use, and its cache persists
+// across Run calls so that successive grids share work.
+type Engine struct {
+	parallelism int
+
+	results memo[core.Result]
+	scheds  memo[*train.Schedule]
+}
+
+// New builds an Engine.
+func New(opts Options) *Engine {
+	p := opts.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		parallelism: p,
+		results:     memo[core.Result]{entries: map[string]*entry[core.Result]{}},
+		scheds:      memo[*train.Schedule]{entries: map[string]*entry[*train.Schedule]{}},
+	}
+}
+
+// Parallelism reports the engine's worker bound.
+func (e *Engine) Parallelism() int { return e.parallelism }
+
+// Stats reports the simulation cache's hit accounting.
+func (e *Engine) Stats() CacheStats {
+	return CacheStats{Hits: e.results.hits.Load(), Misses: e.results.misses.Load()}
+}
+
+// Run executes the grid and returns one result per job, in job order. All
+// jobs run to completion even when some fail; the first error in job order is
+// returned alongside the full result slice, and per-job failures are visible
+// through the progress stream. progress may be nil.
+func (e *Engine) Run(jobs []Job, progress func(Update)) ([]core.Result, error) {
+	results := make([]core.Result, len(jobs))
+	errs := make([]error, len(jobs))
+
+	// The finished-job count is taken under the same mutex that serializes
+	// the callback, so the stream is strictly monotonic: Done=Total is
+	// always the last update a caller sees.
+	var progressMu sync.Mutex
+	var done int
+	report := func(i int, cached bool) {
+		if progress == nil {
+			return
+		}
+		progressMu.Lock()
+		defer progressMu.Unlock()
+		done++
+		progress(Update{Done: done, Total: len(jobs), Job: jobs[i], Err: errs[i], Cached: cached})
+	}
+
+	workers := e.parallelism
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	feed := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				var cached bool
+				results[i], cached, errs[i] = e.simulate(jobs[i])
+				report(i, cached)
+			}
+		}()
+	}
+	for i := range jobs {
+		feed <- i
+	}
+	close(feed)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// simulate runs one job through the two-level cache: the schedule for the
+// workload point is built once, and the (design, schedule) simulation is
+// computed once.
+func (e *Engine) simulate(j Job) (core.Result, bool, error) {
+	return e.results.do(j.key(), func() (core.Result, error) {
+		s, _, err := e.scheds.do(j.scheduleKey(), func() (*train.Schedule, error) {
+			return train.Build(j.Workload, j.Batch, j.Workers, j.Strategy)
+		})
+		if err != nil {
+			return core.Result{}, err
+		}
+		return core.Simulate(j.Design, s)
+	})
+}
+
+// Grid declares a full cross product of simulation inputs. It is the
+// convenience constructor for the common rectangular sweeps; generators whose
+// designs vary per point (per-generation devices, per-workload cDMA
+// bandwidth) build []Job directly.
+type Grid struct {
+	Workloads  []string
+	Designs    []core.Design
+	Strategies []train.Strategy
+	Batches    []int
+	Workers    int
+	Tag        string
+}
+
+// Jobs expands the grid in deterministic workload-major order:
+// workload × design × strategy × batch.
+func (g Grid) Jobs() []Job {
+	jobs := make([]Job, 0, len(g.Workloads)*len(g.Designs)*len(g.Strategies)*len(g.Batches))
+	for _, w := range g.Workloads {
+		for _, d := range g.Designs {
+			for _, s := range g.Strategies {
+				for _, b := range g.Batches {
+					jobs = append(jobs, Job{
+						Design: d, Workload: w, Strategy: s, Batch: b,
+						Workers: g.Workers, Tag: g.Tag,
+					})
+				}
+			}
+		}
+	}
+	return jobs
+}
+
+// ---------------------------------------------------------------- memo cache
+
+// entry is one cache slot. The goroutine that creates the slot computes the
+// value and closes done; later arrivals for the same key block on done
+// instead of recomputing.
+type entry[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// memo is a concurrency-safe, in-flight-deduplicating memoization table.
+type memo[V any] struct {
+	mu      sync.Mutex
+	entries map[string]*entry[V]
+
+	hits, misses atomic.Int64
+}
+
+// do returns the memoized value for key, computing it with f exactly once
+// across all concurrent callers. The bool reports whether the value came from
+// the cache (either already complete or computed by another in-flight call).
+func (c *memo[V]) do(key string, f func() (V, error)) (V, bool, error) {
+	c.mu.Lock()
+	if en, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		<-en.done
+		return en.val, true, en.err
+	}
+	en := &entry[V]{done: make(chan struct{})}
+	c.entries[key] = en
+	c.mu.Unlock()
+
+	c.misses.Add(1)
+	en.val, en.err = f()
+	close(en.done)
+	return en.val, false, en.err
+}

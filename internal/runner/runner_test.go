@@ -1,0 +1,187 @@
+package runner
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/memcentric/mcdla/internal/core"
+	"github.com/memcentric/mcdla/internal/train"
+)
+
+// testGrid is a small but non-trivial slice of the paper's evaluation plane:
+// two workloads across the six design points, both strategies.
+func testGrid() []Job {
+	return Grid{
+		Workloads:  []string{"AlexNet", "RNN-GRU"},
+		Designs:    core.StandardDesigns(),
+		Strategies: []train.Strategy{train.DataParallel, train.ModelParallel},
+		Batches:    []int{256},
+		Workers:    8,
+	}.Jobs()
+}
+
+func TestGridJobsOrder(t *testing.T) {
+	jobs := testGrid()
+	if len(jobs) != 2*6*2 {
+		t.Fatalf("grid size = %d, want 24", len(jobs))
+	}
+	// Workload-major, then design, then strategy.
+	if jobs[0].Workload != "AlexNet" || jobs[0].Design.Name != "DC-DLA" || jobs[0].Strategy != train.DataParallel {
+		t.Errorf("first job = %s/%s/%v", jobs[0].Workload, jobs[0].Design.Name, jobs[0].Strategy)
+	}
+	if jobs[1].Strategy != train.ModelParallel {
+		t.Errorf("second job strategy = %v, want model-parallel", jobs[1].Strategy)
+	}
+	if jobs[12].Workload != "RNN-GRU" {
+		t.Errorf("job 12 workload = %s, want RNN-GRU", jobs[12].Workload)
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	jobs := testGrid()
+	seq, err := New(Options{Parallelism: 1}).Run(jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := New(Options{Parallelism: 8}).Run(jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("parallel results differ from the sequential reference")
+	}
+	// And against the raw core path, job by job.
+	for i, j := range jobs {
+		s, err := train.Build(j.Workload, j.Batch, j.Workers, j.Strategy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := core.Simulate(j.Design, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(par[i], want) {
+			t.Errorf("job %d (%s × %s): runner result differs from direct core.Simulate", i, j.Design.Name, j.Workload)
+		}
+	}
+}
+
+func TestCacheServesRepeatedGrids(t *testing.T) {
+	e := New(Options{Parallelism: 4})
+	jobs := testGrid()
+	first, err := e.Run(jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Misses != int64(len(jobs)) || st.Hits != 0 {
+		t.Fatalf("first run stats = %+v, want %d misses", st, len(jobs))
+	}
+	second, err := e.Run(jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = e.Stats()
+	if st.Hits != int64(len(jobs)) || st.Misses != int64(len(jobs)) {
+		t.Fatalf("second run stats = %+v, want every job served from cache", st)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("cached results differ from computed ones")
+	}
+}
+
+func TestInFlightDeduplication(t *testing.T) {
+	// Many copies of one job submitted at once: the pool must simulate it
+	// exactly once and serve every other copy from the in-flight entry.
+	job := Job{
+		Design: core.StandardDesigns()[4], Workload: "VGG-E",
+		Strategy: train.DataParallel, Batch: 512, Workers: 8,
+	}
+	jobs := make([]Job, 32)
+	for i := range jobs {
+		jobs[i] = job
+	}
+	e := New(Options{Parallelism: 8})
+	rs, err := e.Run(jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Misses != 1 || st.Hits != int64(len(jobs)-1) {
+		t.Fatalf("stats = %+v, want 1 miss and %d hits", st, len(jobs)-1)
+	}
+	for i := range rs {
+		if !reflect.DeepEqual(rs[i], rs[0]) {
+			t.Fatalf("deduplicated job %d returned a different result", i)
+		}
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	good := Job{
+		Design: core.StandardDesigns()[0], Workload: "AlexNet",
+		Strategy: train.DataParallel, Batch: 256, Workers: 8,
+	}
+	bad := func(name string) Job {
+		j := good
+		j.Workload = name
+		return j
+	}
+	jobs := []Job{good, bad("no-such-net-1"), bad("no-such-net-2"), good}
+	var seen []error
+	rs, err := New(Options{Parallelism: 1}).Run(jobs, func(u Update) {
+		seen = append(seen, u.Err)
+	})
+	if err == nil {
+		t.Fatal("Run swallowed the job failures")
+	}
+	// The first error in job order wins, whatever order the pool finished in.
+	if !strings.Contains(err.Error(), "no-such-net-1") {
+		t.Errorf("returned error = %v, want the first failing job's", err)
+	}
+	// Healthy jobs still completed.
+	if rs[0].IterationTime <= 0 || rs[3].IterationTime <= 0 {
+		t.Error("good jobs did not run to completion alongside the failures")
+	}
+	// Failures stream through progress.
+	var failed int
+	for _, e := range seen {
+		if e != nil {
+			failed++
+		}
+	}
+	if failed != 2 {
+		t.Errorf("progress reported %d failures, want 2", failed)
+	}
+}
+
+func TestProgressStream(t *testing.T) {
+	jobs := testGrid()
+	var updates []Update
+	if _, err := New(Options{Parallelism: 6}).Run(jobs, func(u Update) {
+		updates = append(updates, u)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(updates) != len(jobs) {
+		t.Fatalf("got %d updates, want one per job", len(updates))
+	}
+	for i, u := range updates {
+		if u.Done != i+1 || u.Total != len(jobs) {
+			t.Fatalf("update %d = %d/%d, want monotonically counted %d/%d", i, u.Done, u.Total, i+1, len(jobs))
+		}
+		if u.Job.Workload == "" {
+			t.Fatalf("update %d carries no job", i)
+		}
+	}
+}
+
+func TestParallelismDefaultsToGOMAXPROCS(t *testing.T) {
+	if New(Options{}).Parallelism() < 1 {
+		t.Fatal("default parallelism must be at least 1")
+	}
+	if New(Options{Parallelism: 3}).Parallelism() != 3 {
+		t.Fatal("explicit parallelism not honoured")
+	}
+}
