@@ -404,8 +404,9 @@ func BenchmarkTracedSimulation(b *testing.B) {
 	b.ReportMetric(share, "compute-coverage-%")
 }
 
-// BenchmarkScaleOutPlane runs the §VI Figure 15 plane study. Metric: the
-// MC-plane strong-scaling speedup at 16 system nodes (128 devices).
+// BenchmarkScaleOutPlane runs the §VI Figure 15 plane study on the
+// event-driven engine. Metric: the MC-plane strong-scaling speedup at 16
+// system nodes (128 devices).
 func BenchmarkScaleOutPlane(b *testing.B) {
 	var sp float64
 	for i := 0; i < b.N; i++ {
@@ -416,6 +417,44 @@ func BenchmarkScaleOutPlane(b *testing.B) {
 		sp = pts[len(pts)-1].SpeedupMC
 	}
 	b.ReportMetric(sp, "128dev-scaling-x")
+}
+
+// BenchmarkPlaneSimulate times one event-driven MC-plane iteration on the
+// 16-node Figure 15 configuration. Metric: the engine's divergence from the
+// retired first-order estimator (the honest contention cost the additive
+// formula cannot see).
+func BenchmarkPlaneSimulate(b *testing.B) {
+	p := scaleout.Default(16)
+	const batch = 8 * 16 * 64
+	est, err := p.Estimate("VGG-E", batch, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var div float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim, err := p.Simulate("VGG-E", batch, true, scaleout.DataParallel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		div = 100 * (sim.Iteration.Seconds() - est.Iteration.Seconds()) / est.Iteration.Seconds()
+	}
+	b.ReportMetric(div, "divergence-%")
+}
+
+// BenchmarkPlaneHybrid times the hybrid (MP-in-chassis × DP-across-chassis)
+// scenario axis on the event engine. Metric: iteration milliseconds.
+func BenchmarkPlaneHybrid(b *testing.B) {
+	p := scaleout.Default(16)
+	var iter float64
+	for i := 0; i < b.N; i++ {
+		r, err := p.Simulate("VGG-E", 8*16*64, true, scaleout.Hybrid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		iter = r.Iteration.Milliseconds()
+	}
+	b.ReportMetric(iter, "iter-ms")
 }
 
 // BenchmarkOverlayRuntime replays an iteration through the Table I API via

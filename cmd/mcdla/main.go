@@ -6,12 +6,14 @@
 //	mcdla [-parallel N] [-quiet] <subcommand> [flags]
 //
 // The grid-based experiment subcommands (fig2, fig11-fig14, headline, sens,
-// scale, explore, and their aggregation in all) submit their simulation
-// grids to the internal/runner worker pool; -parallel bounds the workers
+// scale, explore, plane, and their aggregation in all) fan their simulations
+// across the internal/runner worker pool; -parallel bounds the workers
 // (default GOMAXPROCS) and a progress line streams to stderr unless -quiet
-// is set. Output on stdout is byte-identical at every parallelism. The
-// single-simulation and analytic subcommands (fig9, tab4, plane, run, trace,
-// networks, config) don't fan out and ignore -parallel.
+// is set (plane fans out through runner.Fan, which reports no progress —
+// its sweeps finish in well under a second). Output on stdout is
+// byte-identical at every parallelism. The single-simulation and analytic
+// subcommands (fig9, tab4, run, trace, networks, config) don't fan out and
+// ignore -parallel.
 //
 // Subcommands:
 //
@@ -26,7 +28,8 @@
 //	sens       §V-B sensitivity sweep (gen4 / TPUv2 / DGX-2 / cDMA)
 //	scale      §V-D scalability experiment
 //	explore    §III-B design-space sweep over link technology
-//	plane      §VI scale-out plane study (flag: -nodes 1,2,4,8)
+//	plane      §VI scale-out plane study on the event-driven plane engine
+//	           (flags: -nodes 1,2,4,8,16 -analytic -compare)
 //	trace      write a Chrome trace of one iteration (flags as `run` + -o)
 //	networks   Table III benchmark inventory
 //	config     Table II device and memory-node configuration
@@ -187,6 +190,8 @@ func run(args []string) error {
 		fs := flag.NewFlagSet("plane", flag.ContinueOnError)
 		workload := fs.String("workload", "VGG-E", "Table III benchmark")
 		nodesCSV := fs.String("nodes", "1,2,4,8,16", "system-node counts")
+		analytic := fs.Bool("analytic", false, "use the retired first-order estimator instead of the event engine")
+		compare := fs.Bool("compare", false, "table analytic vs event-driven MC-plane iteration times")
 		if err := fs.Parse(rest); err != nil {
 			return err
 		}
@@ -198,11 +203,24 @@ func run(args []string) error {
 			}
 			counts = append(counts, n)
 		}
-		pts, err := experiments.ScaleOutRows(*workload, counts)
+		pts, err := experiments.ScaleOutRows(*workload, counts, *analytic)
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderScaleOut(*workload, pts))
+		fmt.Print(experiments.RenderScaleOut(*workload, pts, *analytic))
+		if *compare {
+			// Reuse the event-driven study just computed (unless the main
+			// table ran on the analytic engine).
+			event := pts
+			if *analytic {
+				event = nil
+			}
+			rows, err := experiments.ScaleOutCompare(*workload, counts, event)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderScaleOutCompare(*workload, rows))
+		}
 	case "trace":
 		return runTrace(rest)
 	case "networks":
@@ -369,6 +387,8 @@ subcommands:
   fig2 | fig9 | fig11 | fig12 | fig13 | fig14   regenerate a figure
   tab4 | headline | sens | scale               tables and sweeps
   explore | plane                              design-space and §VI scale-out sweeps
+  plane -analytic                              retired first-order plane estimator
+  plane -compare                               analytic vs event-driven divergence table
   networks | config                            inventories
   run -design D -workload W -strategy dp|mp    one simulation
   trace -design D -workload W -o out.json      chrome://tracing timeline

@@ -7,15 +7,23 @@
 // device-side interconnects and ring collectives, memnode/vmem/cudart the
 // memory-node architecture and virtualization runtime, train the
 // parallelization strategies, and core assembles the six evaluated system
-// design points and simulates full training iterations. The experiments
+// design points and simulates full training iterations. The scaleout
+// package extends the evaluation to the §VI Figure 15 datacenter plane
+// with an event-driven engine of its own: one representative device per
+// system node on sim channels (chassis switch link complexes, a shared
+// uplink carrying the inter-node shard rings, memory-node delivery as a
+// group cap), staged hierarchical collectives, and a hybrid
+// model-parallel-in-chassis × data-parallel-across-chassis strategy; the
+// first-order estimator it replaced remains for comparison. The experiments
 // package regenerates every table and figure of the paper's evaluation by
 // submitting declarative simulation grids to the runner package — a
 // worker-pool engine that fans jobs across GOMAXPROCS goroutines, memoizes
 // identical (design, schedule) simulations, and streams per-job progress —
-// so output stays byte-identical at every parallelism. The root-level
-// benchmarks in bench_test.go expose one benchmark per table and figure,
-// each reporting its headline number as a custom metric, plus
-// BenchmarkRunnerFanout for the engine itself.
+// so output stays byte-identical at every parallelism (non-core grids use
+// its generic Fan primitive). The root-level benchmarks in bench_test.go
+// expose one benchmark per table and figure, each reporting its headline
+// number as a custom metric, plus BenchmarkRunnerFanout and
+// BenchmarkPlaneSimulate for the engines themselves.
 //
 // See README.md for a tour and CLI cookbook, and EXPERIMENTS.md for
 // paper-vs-measured results.

@@ -1,7 +1,9 @@
 // Scale-out plane explorer — the §VI / Figure 15 future-work direction as a
 // runnable study: NVSwitch-class system nodes housing device-nodes and
-// memory-nodes, tied into a datacenter plane. Prints strong scaling for the
-// DC- and MC-planes and the memory pool each plane size exposes.
+// memory-nodes, tied into a datacenter plane. Each plane size runs on the
+// event-driven plane engine (one representative device per system node on
+// shared bandwidth channels); the retired first-order estimator runs
+// alongside so the analytic-vs-event divergence is visible per point.
 //
 //	go run ./examples/scaleout [workload]
 package main
@@ -24,27 +26,32 @@ func main() {
 	// scaling (fixed problem, more devices).
 	batch := 8 * nodeCounts[len(nodeCounts)-1] * 16
 
-	fmt.Printf("Scale-out plane study: %s, global batch %d\n\n", workload, batch)
-	fmt.Printf("%-7s %-8s %-22s %-22s %-10s\n", "nodes", "devices", "DC-plane iter / scale", "MC-plane iter / scale", "pool (TB)")
+	fmt.Printf("Scale-out plane study: %s, global batch %d (event-driven engine)\n\n", workload, batch)
+	fmt.Printf("%-7s %-8s %-22s %-22s %-11s %-10s\n", "nodes", "devices", "DC-plane iter / scale", "MC-plane iter / scale", "analytic Δ", "pool (TB)")
 	var baseDC, baseMC float64
 	for i, n := range nodeCounts {
 		p := scaleout.Default(n)
-		dc, err := p.Estimate(workload, batch, false)
+		dc, err := p.Simulate(workload, batch, false, scaleout.DataParallel)
 		if err != nil {
 			log.Fatal(err)
 		}
-		mc, err := p.Estimate(workload, batch, true)
+		mc, err := p.Simulate(workload, batch, true, scaleout.DataParallel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		est, err := p.Estimate(workload, batch, true)
 		if err != nil {
 			log.Fatal(err)
 		}
 		if i == 0 {
 			baseDC, baseMC = dc.Iteration.Seconds(), mc.Iteration.Seconds()
 		}
-		fmt.Printf("%-7d %-8d %-12s %6.2fx   %-12s %6.2fx   %-10.1f\n",
+		div := 100 * (mc.Iteration.Seconds() - est.Iteration.Seconds()) / est.Iteration.Seconds()
+		fmt.Printf("%-7d %-8d %-12s %6.2fx   %-12s %6.2fx   %-11s %-10.1f\n",
 			n, p.TotalDevices(),
 			dc.Iteration.String(), baseDC/dc.Iteration.Seconds(),
 			mc.Iteration.String(), baseMC/mc.Iteration.Seconds(),
-			float64(p.PoolCapacity())/1e12)
+			fmt.Sprintf("%+.1f%%", div), float64(p.PoolCapacity())/1e12)
 	}
 
 	big := scaleout.Default(nodeCounts[len(nodeCounts)-1])

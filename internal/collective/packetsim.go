@@ -37,7 +37,7 @@ func SimulateRing(op Op, size units.Bytes, cfg Config) units.Time {
 	case AllReduce:
 		steps = 2 * (n - 1)
 		shard = stripe / float64(n)
-	case AllGather:
+	case AllGather, ReduceScatter:
 		steps = n - 1
 		shard = stripe / float64(n)
 	case Broadcast:

@@ -27,6 +27,11 @@ const (
 	AllReduce
 	// Broadcast copies the root's buffer to every participant (dW).
 	Broadcast
+	// ReduceScatter leaves each participant holding the sum of one 1/n
+	// shard: the first lap of ring all-reduce. The scale-out plane's
+	// hierarchical collectives use it (with AllGather) as the local stages
+	// bracketing the inter-node shard ring.
+	ReduceScatter
 )
 
 func (o Op) String() string {
@@ -37,6 +42,8 @@ func (o Op) String() string {
 		return "all-reduce"
 	case Broadcast:
 		return "broadcast"
+	case ReduceScatter:
+		return "reduce-scatter"
 	}
 	return fmt.Sprintf("Op(%d)", int(o))
 }
@@ -128,7 +135,7 @@ func Estimate(op Op, size units.Bytes, cfg Config) Cost {
 	case AllReduce:
 		steps = 2 * (n - 1)
 		wire = 2 * (n - 1) / n * float64(size)
-	case AllGather:
+	case AllGather, ReduceScatter:
 		steps = n - 1
 		wire = (n - 1) / n * float64(size)
 	case Broadcast:

@@ -193,3 +193,31 @@ func TestPropertyOpOrdering(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestReduceScatterIsHalfAnAllReduce(t *testing.T) {
+	cfg := Config{Nodes: 8, Rings: 3, LinkBW: units.GBps(25),
+		ChunkBytes: DefaultChunk, StepAlpha: DefaultAlpha}
+	rs := Estimate(ReduceScatter, 64*units.MB, cfg)
+	ar := Estimate(AllReduce, 64*units.MB, cfg)
+	ag := Estimate(AllGather, 64*units.MB, cfg)
+	if rs.WireBytes != ag.WireBytes {
+		t.Fatalf("reduce-scatter wire %v != all-gather wire %v", rs.WireBytes, ag.WireBytes)
+	}
+	if got, want := int64(rs.WireBytes)+int64(ag.WireBytes), int64(ar.WireBytes); got < want-1 || got > want+1 {
+		t.Fatalf("RS+AG wire %d != all-reduce wire %d", got, want)
+	}
+	if rs.Fixed >= ar.Fixed {
+		t.Fatal("reduce-scatter runs half the steps of all-reduce")
+	}
+	if ReduceScatter.String() != "reduce-scatter" {
+		t.Fatalf("String() = %q", ReduceScatter.String())
+	}
+}
+
+func TestReduceScatterModelMatchesPacketSim(t *testing.T) {
+	cfg := Config{Nodes: 16, Rings: 1, LinkBW: units.GBps(25),
+		ChunkBytes: DefaultChunk, StepAlpha: DefaultAlpha}
+	if e := ValidateModel(ReduceScatter, 8*units.MB, cfg); e > 0.05 {
+		t.Fatalf("reduce-scatter model error %.1f%% above 5%%", 100*e)
+	}
+}

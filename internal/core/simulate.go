@@ -144,6 +144,13 @@ func SimulateTraced(d Design, s *train.Schedule, tr *trace.Log) (Result, error) 
 	var t units.Time
 
 	startSync := func(at units.Time, op train.SyncOp) *sim.Flow {
+		// A collective with a single participant is a no-op, and
+		// single-worker designs without shared links have no collective
+		// fabric at all (syncCh is nil) — short-circuit instead of pricing
+		// a ring that does not exist or dereferencing a nil channel.
+		if s.Workers == 1 || syncCh == nil {
+			return nil
+		}
 		cost := collective.Estimate(op.Op, op.Bytes, d.Sync)
 		res.Breakdown.Sync += cost.Latency(d.Sync.AggregateBW())
 		res.SyncTraffic += op.Bytes
@@ -153,7 +160,7 @@ func SimulateTraced(d Design, s *train.Schedule, tr *trace.Log) (Result, error) 
 	// ---- Forward propagation ----
 	for _, l := range g.Layers {
 		w := s.Work[l.ID]
-		ft := layerFwdTime(d.Device, g, l, w)
+		ft := LayerFwdTime(d.Device, g, l, w)
 		tr.Add(l.Name+"/fwd", trace.Compute, t, t+ft)
 		t += ft
 		res.Breakdown.Compute += ft
@@ -175,6 +182,9 @@ func SimulateTraced(d Design, s *train.Schedule, tr *trace.Log) (Result, error) 
 		}
 		for _, op := range w.FwdSync {
 			f := startSync(t, op)
+			if f == nil {
+				continue
+			}
 			done := syncCh.Wait(t, f)
 			tr.Add(l.Name+"/"+op.Op.String(), trace.SyncWait, t, done)
 			t = done
@@ -231,13 +241,13 @@ func SimulateTraced(d Design, s *train.Schedule, tr *trace.Log) (Result, error) 
 			}
 			recomputed[rid] = true
 			rl := g.Layer(rid)
-			rt := layerFwdTime(d.Device, g, rl, s.Work[rid])
+			rt := LayerFwdTime(d.Device, g, rl, s.Work[rid])
 			tr.Add(rl.Name+"/recompute", trace.Recompute, t, t+rt)
 			t += rt
 			res.Breakdown.Compute += rt
 		}
 		l := g.Layer(id)
-		bt := layerBwdTime(d.Device, g, l, s.Work[id])
+		bt := LayerBwdTime(d.Device, g, l, s.Work[id])
 		res.Breakdown.Compute += bt
 
 		// Backward runs two independent GEMMs: dX = dY·Wᵀ first (its result
@@ -249,7 +259,9 @@ func SimulateTraced(d Design, s *train.Schedule, tr *trace.Log) (Result, error) 
 			t += bt / 2 // dX GEMM
 			var flows []*sim.Flow
 			for _, op := range ops {
-				flows = append(flows, startSync(t, op))
+				if f := startSync(t, op); f != nil {
+					flows = append(flows, f)
+				}
 			}
 			t += bt / 2 // dW GEMM, concurrent with the reduction
 			waitFrom := t
@@ -262,6 +274,9 @@ func SimulateTraced(d Design, s *train.Schedule, tr *trace.Log) (Result, error) 
 			t += bt
 			for _, op := range ops {
 				f := startSync(t, op)
+				if f == nil {
+					continue
+				}
 				if op.Blocking {
 					t = syncCh.Wait(t, f)
 				} else {
@@ -318,10 +333,10 @@ func MustSimulate(d Design, s *train.Schedule) Result {
 	return r
 }
 
-// layerFwdTime estimates the device's forward latency for its shard of the
+// LayerFwdTime estimates the device's forward latency for its shard of the
 // layer (full layer under data parallel, an output slice under model
 // parallel; elementwise layers run replicated on gathered tensors).
-func layerFwdTime(dev accel.Config, g *dnn.Graph, l *dnn.Layer, w train.LayerWork) units.Time {
+func LayerFwdTime(dev accel.Config, g *dnn.Graph, l *dnn.Layer, w train.LayerWork) units.Time {
 	if l.Kind == dnn.Input {
 		return 0
 	}
@@ -348,10 +363,10 @@ func layerFwdTime(dev accel.Config, g *dnn.Graph, l *dnn.Layer, w train.LayerWor
 	return dev.WorkTime(nil, 0, l.Out.Elems(), l.EwOps)
 }
 
-// layerBwdTime is the standard 2× backward estimate (dX and dW GEMMs).
-func layerBwdTime(dev accel.Config, g *dnn.Graph, l *dnn.Layer, w train.LayerWork) units.Time {
+// LayerBwdTime is the standard 2× backward estimate (dX and dW GEMMs).
+func LayerBwdTime(dev accel.Config, g *dnn.Graph, l *dnn.Layer, w train.LayerWork) units.Time {
 	if l.Kind == dnn.Input {
 		return 0
 	}
-	return units.Time(accel.BackwardFactor * float64(layerFwdTime(dev, g, l, w)))
+	return units.Time(accel.BackwardFactor * float64(LayerFwdTime(dev, g, l, w)))
 }

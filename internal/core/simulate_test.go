@@ -391,3 +391,32 @@ func TestBreakdownTotalsExceedIteration(t *testing.T) {
 		}
 	}
 }
+
+// Regression: a single-worker, non-shared-link design leaves syncCh nil; a
+// schedule carrying sync ops (model-parallel builds them regardless of the
+// worker count) used to panic on the nil channel. Collectives with one
+// participant are no-ops, so the simulation must simply skip them.
+func TestSingleWorkerSyncOpsDoNotPanic(t *testing.T) {
+	d := NewDCDLA(accel.Default(), 1)
+	s := train.MustBuild("AlexNet", 64, 1, train.ModelParallel)
+	r, err := Simulate(d, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IterationTime <= 0 {
+		t.Fatalf("iteration time = %v", r.IterationTime)
+	}
+	if r.SyncTraffic != 0 || r.Breakdown.Sync != 0 {
+		t.Fatalf("single worker must not charge sync: traffic=%v latency=%v",
+			r.SyncTraffic, r.Breakdown.Sync)
+	}
+	// Shared-link single-worker variant exercises the s.Workers==1 branch
+	// with a non-nil channel.
+	mc := NewMCDLAB(accel.Default(), 1)
+	if r, err = Simulate(mc, train.MustBuild("AlexNet", 64, 1, train.ModelParallel)); err != nil {
+		t.Fatal(err)
+	}
+	if r.SyncTraffic != 0 {
+		t.Fatal("shared-link single worker must not charge sync")
+	}
+}

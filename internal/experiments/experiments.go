@@ -74,6 +74,14 @@ func submit(jobs []runner.Job) ([]core.Result, error) {
 	return e.Run(jobs, p)
 }
 
+// parallelism reports the package engine's worker bound, shared by the
+// non-core fan-outs (runner.Fan) so -parallel governs them too.
+func parallelism() int {
+	engineMu.Lock()
+	defer engineMu.Unlock()
+	return engine.Parallelism()
+}
+
 // runAll simulates every workload × design for one strategy at a batch size.
 func runAll(strategy train.Strategy, batch int) (map[string]map[string]core.Result, error) {
 	designs := core.StandardDesigns()

@@ -80,26 +80,114 @@ func RenderExplore(rows []ExploreRow) string {
 		"capped by CPU socket bandwidth.\n"
 }
 
-// ScaleOutRows runs the §VI plane study for the CLI.
-func ScaleOutRows(workload string, nodeCounts []int) ([]scaleout.ScalingPoint, error) {
-	// Pick a batch divisible by every plane size.
+// ScaleOutBatch picks the study's global batch: divisible by every plane
+// size so the sweep stays strong scaling.
+func ScaleOutBatch(nodeCounts []int) int {
 	maxNodes := 0
 	for _, n := range nodeCounts {
 		if n > maxNodes {
 			maxNodes = n
 		}
 	}
-	batch := 8 * maxNodes * 64
-	return scaleout.Scaling(workload, batch, nodeCounts)
+	return 8 * maxNodes * 64
+}
+
+// ScaleOutRows runs the §VI plane study for the CLI on the event-driven
+// plane engine (analytic selects the retired first-order estimator instead).
+// The plane sizes fan out across the runner's worker bound.
+func ScaleOutRows(workload string, nodeCounts []int, analytic bool) ([]scaleout.ScalingPoint, error) {
+	batch := ScaleOutBatch(nodeCounts)
+	pts, err := runner.Fan(parallelism(), len(nodeCounts), func(i int) (scaleout.ScalingPoint, error) {
+		return scaleout.Default(nodeCounts[i]).EvalPoint(workload, batch, analytic)
+	})
+	if err != nil {
+		return nil, err
+	}
+	scaleout.FillSpeedups(pts)
+	return pts, nil
 }
 
 // RenderScaleOut prints the plane study.
-func RenderScaleOut(workload string, pts []scaleout.ScalingPoint) string {
-	t := metrics.NewTable("system nodes", "devices", "DC-plane speedup", "MC-plane speedup", "pool (TB)")
+func RenderScaleOut(workload string, pts []scaleout.ScalingPoint, analytic bool) string {
+	t := metrics.NewTable("system nodes", "devices", "DC-plane iter", "MC-plane iter", "DC speedup", "MC speedup", "pool (TB)")
 	for _, p := range pts {
 		t.AddRow(fmt.Sprintf("%d", p.SystemNodes), fmt.Sprintf("%d", p.Devices),
+			p.IterDC.String(), p.IterMC.String(),
 			fmt.Sprintf("%.2fx", p.SpeedupDC), fmt.Sprintf("%.2fx", p.SpeedupMC),
 			fmt.Sprintf("%.1f", p.PoolTB))
 	}
-	return fmt.Sprintf("Scale-out plane (§VI, Figure 15): %s strong scaling across system nodes\n", workload) + t.String()
+	engine := "event-driven plane engine"
+	if analytic {
+		engine = "retired first-order estimator (-analytic)"
+	}
+	return fmt.Sprintf("Scale-out plane (§VI, Figure 15): %s strong scaling across system nodes [%s]\n", workload, engine) + t.String()
+}
+
+// ScaleOutCompareRow tables one plane size's analytic-vs-event-driven
+// MC-plane iteration times, plus the event engine's hybrid-parallel point.
+type ScaleOutCompareRow struct {
+	SystemNodes int
+	Devices     int
+	Analytic    units.Time
+	Event       units.Time
+	Hybrid      units.Time // zero when the plane cannot run hybrid
+	// DivergencePct is (Event − Analytic) / Analytic.
+	DivergencePct float64
+}
+
+// ScaleOutCompare runs both engines over the MC-plane so EXPERIMENTS.md can
+// table where the additive estimate and the contention-aware simulation part
+// ways. event may carry an already-computed event-driven study over the same
+// node counts (the CLI passes ScaleOutRows' result) so the expensive
+// simulations are not repeated; pass nil to simulate here.
+func ScaleOutCompare(workload string, nodeCounts []int, event []scaleout.ScalingPoint) ([]ScaleOutCompareRow, error) {
+	batch := ScaleOutBatch(nodeCounts)
+	return runner.Fan(parallelism(), len(nodeCounts), func(i int) (ScaleOutCompareRow, error) {
+		p := scaleout.Default(nodeCounts[i])
+		est, err := p.Estimate(workload, batch, true)
+		if err != nil {
+			return ScaleOutCompareRow{}, err
+		}
+		var eventIter units.Time
+		if len(event) == len(nodeCounts) && event[i].SystemNodes == p.SystemNodes {
+			eventIter = event[i].IterMC
+		} else {
+			sim, err := p.Simulate(workload, batch, true, scaleout.DataParallel)
+			if err != nil {
+				return ScaleOutCompareRow{}, err
+			}
+			eventIter = sim.Iteration
+		}
+		row := ScaleOutCompareRow{
+			SystemNodes:   p.SystemNodes,
+			Devices:       p.TotalDevices(),
+			Analytic:      est.Iteration,
+			Event:         eventIter,
+			DivergencePct: 100 * (eventIter.Seconds() - est.Iteration.Seconds()) / est.Iteration.Seconds(),
+		}
+		if p.SystemNodes > 1 && batch%p.SystemNodes == 0 {
+			if hy, err := p.Simulate(workload, batch, true, scaleout.Hybrid); err == nil {
+				row.Hybrid = hy.Iteration
+			}
+		}
+		return row, nil
+	})
+}
+
+// RenderScaleOutCompare prints the engine comparison.
+func RenderScaleOutCompare(workload string, rows []ScaleOutCompareRow) string {
+	t := metrics.NewTable("system nodes", "devices", "analytic", "event-driven", "divergence", "hybrid (event)")
+	for _, r := range rows {
+		hybrid := "-"
+		if r.Hybrid > 0 {
+			hybrid = r.Hybrid.String()
+		}
+		t.AddRow(fmt.Sprintf("%d", r.SystemNodes), fmt.Sprintf("%d", r.Devices),
+			r.Analytic.String(), r.Event.String(),
+			fmt.Sprintf("%+.1f%%", r.DivergencePct), hybrid)
+	}
+	return fmt.Sprintf("MC-plane: analytic estimate vs event-driven simulation (%s)\n", workload) + t.String() +
+		"Divergence grows where the additive formula cannot see contention —\n" +
+		"shared switch links under the dW laps and all local ranks' shard rings\n" +
+		"on one uplink.\n"
 }

@@ -37,7 +37,7 @@ func TestExploreSweepShape(t *testing.T) {
 }
 
 func TestScaleOutRowsDivisibleBatch(t *testing.T) {
-	pts, err := ScaleOutRows("ResNet", []int{1, 2, 4})
+	pts, err := ScaleOutRows("ResNet", []int{1, 2, 4}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,8 +47,46 @@ func TestScaleOutRowsDivisibleBatch(t *testing.T) {
 	if pts[2].Devices != 32 {
 		t.Fatalf("devices = %d", pts[2].Devices)
 	}
-	out := RenderScaleOut("ResNet", pts)
-	if !strings.Contains(out, "Figure 15") {
+	if pts[0].SpeedupMC != 1 {
+		t.Fatal("first point must be the baseline")
+	}
+	out := RenderScaleOut("ResNet", pts, false)
+	if !strings.Contains(out, "Figure 15") || !strings.Contains(out, "event-driven") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestScaleOutAnalyticVsEvent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow")
+	}
+	counts := []int{1, 4}
+	analytic, err := ScaleOutRows("VGG-E", counts, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	event, err := ScaleOutRows("VGG-E", counts, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		a, e := analytic[i].IterMC.Seconds(), event[i].IterMC.Seconds()
+		if d := (e - a) / a; d < -0.15 || d > 0.15 {
+			t.Errorf("n=%d: MC divergence %.1f%% outside ±15%%", counts[i], 100*d)
+		}
+	}
+	rows, err := ScaleOutCompare("VGG-E", counts, event)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("compare row count = %d", len(rows))
+	}
+	if rows[1].Hybrid <= 0 {
+		t.Error("multi-chassis point must carry a hybrid iteration")
+	}
+	out := RenderScaleOutCompare("VGG-E", rows)
+	if !strings.Contains(out, "divergence") {
 		t.Error("render incomplete")
 	}
 }

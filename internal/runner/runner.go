@@ -211,6 +211,49 @@ func (g Grid) Jobs() []Job {
 	return jobs
 }
 
+// Fan runs n independent indexed jobs across at most parallelism workers
+// (≤ 0 means GOMAXPROCS) and returns their results in index order. It is the
+// generic fan-out primitive behind grids whose jobs are not core simulations
+// — e.g. the scale-out plane study, where each index is a plane size driven
+// through the event engine. All jobs run to completion even when some fail;
+// the first error in index order is returned alongside the full slice.
+func Fan[T any](parallelism, n int, fn func(int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	errs := make([]error, n)
+	workers := parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	feed := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				results[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		feed <- i
+	}
+	close(feed)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
 // ---------------------------------------------------------------- memo cache
 
 // entry is one cache slot. The goroutine that creates the slot computes the

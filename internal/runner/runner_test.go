@@ -1,8 +1,10 @@
 package runner
 
 import (
+	"fmt"
 	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"github.com/memcentric/mcdla/internal/core"
@@ -183,5 +185,39 @@ func TestParallelismDefaultsToGOMAXPROCS(t *testing.T) {
 	}
 	if New(Options{Parallelism: 3}).Parallelism() != 3 {
 		t.Fatal("explicit parallelism not honoured")
+	}
+}
+
+func TestFanOrderAndErrors(t *testing.T) {
+	for _, par := range []int{1, 0, 4} {
+		got, err := Fan(par, 20, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("parallelism %d: index %d = %d", par, i, v)
+			}
+		}
+	}
+	// All jobs run to completion; the first error in index order surfaces.
+	ran := make([]atomic.Bool, 6)
+	_, err := Fan(3, 6, func(i int) (int, error) {
+		ran[i].Store(true)
+		if i == 2 || i == 4 {
+			return 0, fmt.Errorf("job %d failed", i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "job 2 failed" {
+		t.Fatalf("err = %v, want job 2's", err)
+	}
+	for i := range ran {
+		if !ran[i].Load() {
+			t.Fatalf("job %d never ran", i)
+		}
+	}
+	if out, err := Fan(2, 0, func(int) (int, error) { return 0, nil }); err != nil || len(out) != 0 {
+		t.Fatalf("empty fan: %v %v", out, err)
 	}
 }

@@ -5,15 +5,22 @@
 // plane of hundreds of devices — "tightly integrating thousands of GPUs
 // across hundreds of system nodes". The package models such a plane, its
 // hierarchical ring collectives (intra-node over the switch, inter-node over
-// the uplinks), the memory-node pool it exposes, and a first-order training
-// iteration estimator that extends the §V evaluation beyond one node.
+// the uplinks), and the memory-node pool it exposes, and extends the §V
+// evaluation beyond one node with two engines: Simulate, the event-driven
+// plane simulation that drives one representative device per system node
+// over real sim.Channels (per-chassis switch link complexes, a shared
+// uplink carrying the inter-node shard rings, memory-node delivery as a
+// group cap), and Estimate, the retired first-order closed form kept for
+// analytic-vs-event-driven comparison.
 package scaleout
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/memcentric/mcdla/internal/accel"
 	"github.com/memcentric/mcdla/internal/collective"
+	"github.com/memcentric/mcdla/internal/core"
 	"github.com/memcentric/mcdla/internal/memnode"
 	"github.com/memcentric/mcdla/internal/train"
 	"github.com/memcentric/mcdla/internal/units"
@@ -166,6 +173,21 @@ type IterationEstimate struct {
 	Iteration units.Time
 }
 
+// validateMemCentric rejects memory-centric planes that cannot back a single
+// byte: without memory-nodes the virtualization bandwidth is zero, and
+// units.TransferTime over zero bandwidth is +Inf — which used to leak out of
+// Estimate as an infinite iteration time and NaN speedups downstream.
+func (p Plane) validateMemCentric() error {
+	if p.MemNodesPerNode == 0 {
+		return fmt.Errorf("scaleout: memory-centric plane needs memory-nodes (MemNodesPerNode = 0)")
+	}
+	if p.VirtBW() <= 0 {
+		return fmt.Errorf("scaleout: memory-centric plane has no deviceremote bandwidth (%d memory-nodes delivering %v)",
+			p.MemNodesPerNode, p.MemNode.MemBW())
+	}
+	return nil
+}
+
 // Estimate computes the iteration estimate for a workload trained
 // data-parallel across the whole plane. memCentric selects the MC-plane
 // (memory-nodes as backing store) versus the DC-plane baseline (PCIe to
@@ -173,6 +195,11 @@ type IterationEstimate struct {
 func (p Plane) Estimate(workload string, globalBatch int, memCentric bool) (IterationEstimate, error) {
 	if err := p.Validate(); err != nil {
 		return IterationEstimate{}, err
+	}
+	if memCentric {
+		if err := p.validateMemCentric(); err != nil {
+			return IterationEstimate{}, err
+		}
 	}
 	devices := p.TotalDevices()
 	if globalBatch%devices != 0 {
@@ -204,6 +231,23 @@ func (p Plane) Estimate(workload string, globalBatch int, memCentric bool) (Iter
 	}
 
 	plan := vmem.Analyze(g, vmem.Options{})
+	// The virtualization policy trades stashes for recompute bursts; the
+	// re-executed layers are real device time and belong in the compute
+	// term (omitting them made the estimate diverge hardest on the
+	// recompute-heavy CNNs once the event engine charged them honestly).
+	recompute := map[int]bool{}
+	for _, l := range g.Layers {
+		for _, rid := range plan.RecomputeFor(l.ID) {
+			recompute[rid] = true
+		}
+	}
+	// Summed in layer order: float64 accumulation over map iteration order
+	// would make the estimate differ in the low ULPs run to run.
+	for _, l := range g.Layers {
+		if recompute[l.ID] {
+			compute += core.LayerFwdTime(p.Device, g, l, s.Work[l.ID])
+		}
+	}
 	virtBW := p.HostBW
 	if memCentric {
 		virtBW = p.VirtBW()
@@ -231,39 +275,99 @@ func (p Plane) Estimate(workload string, globalBatch int, memCentric bool) (Iter
 type ScalingPoint struct {
 	SystemNodes int
 	Devices     int
-	// SpeedupDC / SpeedupMC are strong-scaling speedups over the 1-node
-	// plane of the same design.
+	// IterDC / IterMC are the absolute iteration times of the two planes.
+	IterDC, IterMC units.Time
+	// SpeedupDC / SpeedupMC are strong-scaling speedups over the first
+	// point's plane of the same design.
 	SpeedupDC, SpeedupMC float64
 	// PoolTB is the plane-wide memory pool.
 	PoolTB float64
 }
 
 // Scaling runs the §VI study: strong scaling of a workload across growing
-// plane sizes for the DC- and MC-planes.
+// plane sizes for the DC- and MC-planes, on the event-driven plane engine.
 func Scaling(workload string, globalBatch int, nodeCounts []int) ([]ScalingPoint, error) {
-	var out []ScalingPoint
-	var baseDC, baseMC float64
+	return ScalingPlanes(workload, globalBatch, defaultPlanes(nodeCounts), false)
+}
+
+// ScalingAnalytic is Scaling on the retired first-order estimator, kept for
+// analytic-vs-event-driven comparison tables.
+func ScalingAnalytic(workload string, globalBatch int, nodeCounts []int) ([]ScalingPoint, error) {
+	return ScalingPlanes(workload, globalBatch, defaultPlanes(nodeCounts), true)
+}
+
+func defaultPlanes(nodeCounts []int) []Plane {
+	planes := make([]Plane, len(nodeCounts))
 	for i, n := range nodeCounts {
-		p := Default(n)
+		planes[i] = Default(n)
+	}
+	return planes
+}
+
+// EvalPoint evaluates one plane of the §VI study on the chosen engine and
+// returns the point with its absolute iteration times (speedups are filled
+// in by the study against its first point). Every evaluation must yield a
+// finite, positive iteration time; configuration errors (e.g. a
+// memory-centric plane without memory-nodes) propagate instead of turning
+// into Inf/NaN rows.
+func (p Plane) EvalPoint(workload string, globalBatch int, analytic bool) (ScalingPoint, error) {
+	var dcIter, mcIter units.Time
+	if analytic {
 		dc, err := p.Estimate(workload, globalBatch, false)
 		if err != nil {
-			return nil, err
+			return ScalingPoint{}, err
 		}
 		mc, err := p.Estimate(workload, globalBatch, true)
 		if err != nil {
+			return ScalingPoint{}, err
+		}
+		dcIter, mcIter = dc.Iteration, mc.Iteration
+	} else {
+		dc, err := p.Simulate(workload, globalBatch, false, DataParallel)
+		if err != nil {
+			return ScalingPoint{}, err
+		}
+		mc, err := p.Simulate(workload, globalBatch, true, DataParallel)
+		if err != nil {
+			return ScalingPoint{}, err
+		}
+		dcIter, mcIter = dc.Iteration, mc.Iteration
+	}
+	if !(dcIter > 0) || !(mcIter > 0) || math.IsInf(dcIter.Seconds(), 0) || math.IsInf(mcIter.Seconds(), 0) {
+		return ScalingPoint{}, fmt.Errorf("scaleout: %d-node plane produced a degenerate iteration time (DC %v, MC %v)",
+			p.SystemNodes, dcIter, mcIter)
+	}
+	return ScalingPoint{
+		SystemNodes: p.SystemNodes,
+		Devices:     p.TotalDevices(),
+		IterDC:      dcIter,
+		IterMC:      mcIter,
+		PoolTB:      float64(p.PoolCapacity()) / 1e12,
+	}, nil
+}
+
+// FillSpeedups normalizes a study's points against its first point.
+func FillSpeedups(pts []ScalingPoint) {
+	if len(pts) == 0 {
+		return
+	}
+	baseDC, baseMC := pts[0].IterDC.Seconds(), pts[0].IterMC.Seconds()
+	for i := range pts {
+		pts[i].SpeedupDC = baseDC / pts[i].IterDC.Seconds()
+		pts[i].SpeedupMC = baseMC / pts[i].IterMC.Seconds()
+	}
+}
+
+// ScalingPlanes runs the study over explicit plane configurations.
+func ScalingPlanes(workload string, globalBatch int, planes []Plane, analytic bool) ([]ScalingPoint, error) {
+	var out []ScalingPoint
+	for _, p := range planes {
+		pt, err := p.EvalPoint(workload, globalBatch, analytic)
+		if err != nil {
 			return nil, err
 		}
-		if i == 0 {
-			baseDC = dc.Iteration.Seconds()
-			baseMC = mc.Iteration.Seconds()
-		}
-		out = append(out, ScalingPoint{
-			SystemNodes: n,
-			Devices:     p.TotalDevices(),
-			SpeedupDC:   baseDC / dc.Iteration.Seconds(),
-			SpeedupMC:   baseMC / mc.Iteration.Seconds(),
-			PoolTB:      float64(p.PoolCapacity()) / 1e12,
-		})
+		out = append(out, pt)
 	}
+	FillSpeedups(out)
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package scaleout
 
 import (
+	"math"
 	"testing"
 
 	"github.com/memcentric/mcdla/internal/units"
@@ -167,5 +168,55 @@ func TestEstimateErrors(t *testing.T) {
 	bad.DevicesPerNode = 0
 	if err := bad.Validate(); err == nil {
 		t.Error("expected validation error for zero devices")
+	}
+}
+
+// Regression: memory-centric estimates over a plane without memory-nodes
+// used to return +Inf iteration times (units.TransferTime over the zero
+// VirtBW) and NaN speedups downstream; they must be rejected instead.
+func TestEstimateRejectsMemCentricWithoutMemNodes(t *testing.T) {
+	p := Default(2)
+	p.MemNodesPerNode = 0
+	if _, err := p.Estimate("VGG-E", 1024, true); err == nil {
+		t.Fatal("expected error for memory-centric plane without memory-nodes")
+	}
+	// The DC-plane ignores memory-nodes and must keep working.
+	dc, err := p.Estimate("VGG-E", 1024, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(dc.Iteration > 0) || math.IsInf(dc.Iteration.Seconds(), 0) {
+		t.Fatalf("DC iteration = %v", dc.Iteration)
+	}
+	// A memory-node board that can deliver nothing is equally unusable.
+	p = Default(1)
+	p.MemNode.DIMM.BW = 0
+	if _, err := p.Estimate("VGG-E", 1024, true); err == nil {
+		t.Fatal("expected error for zero-bandwidth memory-nodes")
+	}
+}
+
+// Regression: Scaling propagates configuration errors instead of emitting
+// Inf/NaN speedup rows.
+func TestScalingPropagatesErrors(t *testing.T) {
+	broken := Default(2)
+	broken.MemNodesPerNode = 0
+	for _, analytic := range []bool{true, false} {
+		pts, err := ScalingPlanes("VGG-E", 1024, []Plane{broken}, analytic)
+		if err == nil {
+			t.Fatalf("analytic=%v: expected error, got rows %+v", analytic, pts)
+		}
+	}
+	// Sanity: no NaN/Inf ever leaks from a healthy study.
+	pts, err := ScalingAnalytic("VGG-E", 4096, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range pts {
+		for _, v := range []float64{pt.SpeedupDC, pt.SpeedupMC, pt.IterDC.Seconds(), pt.IterMC.Seconds()} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("degenerate value in %+v", pt)
+			}
+		}
 	}
 }

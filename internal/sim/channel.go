@@ -24,6 +24,7 @@ type Flow struct {
 	ch        *Channel
 	tag       string
 	group     string  // shared-cap group ("" = independent)
+	pri       int     // priority class within the group (higher first)
 	remaining float64 // bytes left to move
 	maxRate   units.Bandwidth
 	rate      units.Bandwidth // current allocated rate
@@ -160,7 +161,7 @@ func (c *Channel) allocate() {
 	}
 	shares := waterfill(float64(c.capacity), unitCaps(units_))
 	for i, u := range units_ {
-		memberShares := waterfill(shares[i], flowCaps(u.flows))
+		memberShares := priorityFill(shares[i], u.flows)
 		for j, f := range u.flows {
 			f.rate = units.Bandwidth(memberShares[j])
 		}
@@ -186,6 +187,46 @@ func flowCaps(fs []*Flow) []float64 {
 	out := make([]float64, len(fs))
 	for i, f := range fs {
 		out[i] = float64(f.maxRate)
+	}
+	return out
+}
+
+// priorityFill distributes a unit's capacity across its member flows:
+// strictly by descending priority class, max-min fairly within a class.
+// The common all-priority-zero case reduces to a plain water-fill.
+func priorityFill(capacity float64, fs []*Flow) []float64 {
+	uniform := true
+	for _, f := range fs {
+		if f.pri != fs[0].pri {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		return waterfill(capacity, flowCaps(fs))
+	}
+	order := make([]int, len(fs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return fs[order[a]].pri > fs[order[b]].pri })
+	out := make([]float64, len(fs))
+	remaining := capacity
+	for lo := 0; lo < len(order); {
+		hi := lo
+		for hi < len(order) && fs[order[hi]].pri == fs[order[lo]].pri {
+			hi++
+		}
+		class := make([]*Flow, 0, hi-lo)
+		for _, i := range order[lo:hi] {
+			class = append(class, fs[i])
+		}
+		shares := waterfill(remaining, flowCaps(class))
+		for k, i := range order[lo:hi] {
+			out[i] = shares[k]
+			remaining -= shares[k]
+		}
+		lo = hi
 	}
 	return out
 }
@@ -223,6 +264,15 @@ func (c *Channel) Start(t units.Time, tag string, size units.Bytes, maxRate unit
 // StartGroup is Start with the flow placed in a shared-cap group (see
 // SetGroupCap).
 func (c *Channel) StartGroup(t units.Time, tag, group string, size units.Bytes, maxRate units.Bandwidth, extra units.Time) *Flow {
+	return c.StartGroupPriority(t, tag, group, size, maxRate, extra, 0)
+}
+
+// StartGroupPriority is StartGroup with a priority class: a group's
+// bandwidth goes to its highest-priority active flows first (equal
+// priorities share max-min fairly), modeling DMA queues where demand
+// fetches outrank background lookahead. Priorities do not cross group
+// boundaries — groups still share the channel max-min fairly.
+func (c *Channel) StartGroupPriority(t units.Time, tag, group string, size units.Bytes, maxRate units.Bandwidth, extra units.Time, pri int) *Flow {
 	if size < 0 {
 		panic(fmt.Sprintf("sim: channel %q: negative transfer size %d", c.name, size))
 	}
@@ -230,10 +280,15 @@ func (c *Channel) StartGroup(t units.Time, tag, group string, size units.Bytes, 
 		panic(fmt.Sprintf("sim: channel %q: flow %q max rate must be positive", c.name, tag))
 	}
 	c.AdvanceTo(t)
-	f := &Flow{ch: c, tag: tag, group: group, remaining: float64(size), maxRate: maxRate, extra: extra}
+	f := &Flow{ch: c, tag: tag, group: group, pri: pri, remaining: float64(size), maxRate: maxRate, extra: extra}
 	if size == 0 {
+		// Stamp from the channel clock, not the caller's t: AdvanceTo may
+		// have left now past t (the clock is shared between issue sites),
+		// and a completion in the clock's past would run Wait/Drain
+		// backwards. Zero bytes move, so only the tag is registered in the
+		// stats; byte counters and the rate integral stay untouched.
 		f.done = true
-		f.doneAt = t + extra
+		f.doneAt = c.now + extra
 		c.stats.BytesByTag[tag] += 0
 		return f
 	}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -366,5 +367,89 @@ func TestPropertyGroupWorkConservation(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestZeroSizeFlowStampsFromChannelClock(t *testing.T) {
+	ch := NewChannel("ch", units.GBps(10))
+	// Advance the clock well past the zero-size flow's nominal issue time.
+	ch.Start(0, "warm", gb(50), units.GBps(10), 0)
+	ch.AdvanceTo(5)
+	f := ch.Start(1, "alpha-only", 0, units.GBps(10), 2)
+	if !f.Done() {
+		t.Fatal("zero-size flow must complete immediately")
+	}
+	// doneAt must clamp against the channel clock (5), not the stale issue
+	// time (1): 5 + 2 = 7, never 3.
+	if !almostEqual(f.DoneAt().Seconds(), 7, 1e-12) {
+		t.Fatalf("doneAt = %v, want 7 s (clock 5 + extra 2)", f.DoneAt())
+	}
+	if _, ok := ch.Stats().BytesByTag["alpha-only"]; !ok {
+		t.Fatal("zero-size flow must register its tag")
+	}
+	// A zero-size flow issued after the clock advances stamps from t.
+	g := ch.Start(9, "later", 0, units.GBps(10), 1)
+	if !almostEqual(g.DoneAt().Seconds(), 10, 1e-12) {
+		t.Fatalf("doneAt = %v, want 10 s", g.DoneAt())
+	}
+}
+
+// TestRateIntegralMatchesTotalBytes checks the documented ChannelStats
+// invariant RateIntegral ≈ TotalBytes across a randomized grid of grouped,
+// capped, priority-classed flows issued at staggered times.
+func TestRateIntegralMatchesTotalBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		ch := NewChannel("grid", units.GBps(float64(10+rng.Intn(200))))
+		groups := []string{"", "a", "b", "c"}
+		for _, g := range groups[1:] {
+			ch.SetGroupCap(g, units.GBps(float64(5+rng.Intn(100))))
+		}
+		var issue units.Time
+		for i := 0; i < 3+rng.Intn(12); i++ {
+			size := units.Bytes(1+rng.Intn(4096)) * units.MB
+			rate := units.GBps(float64(1 + rng.Intn(150)))
+			ch.StartGroupPriority(issue, "flow", groups[rng.Intn(len(groups))], size, rate, 0, rng.Intn(3))
+			issue += units.Time(rng.Float64() * 0.05)
+		}
+		ch.Drain(issue)
+		s := ch.Stats()
+		if s.TotalBytes <= 0 {
+			t.Fatalf("trial %d: no bytes moved", trial)
+		}
+		if diff := math.Abs(s.RateIntegral - s.TotalBytes); diff > 1e-6*s.TotalBytes+1 {
+			t.Fatalf("trial %d: RateIntegral %.3f != TotalBytes %.3f (diff %.3f)",
+				trial, s.RateIntegral, s.TotalBytes, diff)
+		}
+	}
+}
+
+func TestPriorityClassesWithinGroup(t *testing.T) {
+	// Two flows share a 10 GB/s group; the high-priority one takes the whole
+	// group until it drains, then the background flow proceeds.
+	ch := NewChannel("dma", units.GBps(10))
+	ch.SetGroupCap("virt", units.GBps(10))
+	bg := ch.StartGroupPriority(0, "lookahead", "virt", gb(10), units.GBps(10), 0, 0)
+	hi := ch.StartGroupPriority(0, "demand", "virt", gb(10), units.GBps(10), 0, 5)
+	endHi := ch.Wait(0, hi)
+	if !almostEqual(endHi.Seconds(), 1.0, 1e-9) {
+		t.Fatalf("demand flow finished at %v, want 1 s (full group rate)", endHi)
+	}
+	endBg := ch.Wait(endHi, bg)
+	if !almostEqual(endBg.Seconds(), 2.0, 1e-9) {
+		t.Fatalf("background flow finished at %v, want 2 s", endBg)
+	}
+}
+
+func TestPriorityDoesNotCrossGroups(t *testing.T) {
+	// A high-priority flow in one group must not starve another group: the
+	// two groups still split the channel max-min fairly.
+	ch := NewChannel("links", units.GBps(100))
+	a := ch.StartGroupPriority(0, "a", "virt", gb(50), units.GBps(100), 0, 9)
+	b := ch.StartGroup(0, "b", "sync", gb(50), units.GBps(100), 0)
+	endA := ch.Wait(0, a)
+	endB := ch.Wait(endA, b)
+	if !almostEqual(endA.Seconds(), 1.0, 1e-9) || !almostEqual(endB.Seconds(), 1.0, 1e-9) {
+		t.Fatalf("cross-group priority leak: a=%v b=%v, want 1 s each", endA, endB)
 	}
 }

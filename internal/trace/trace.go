@@ -24,6 +24,10 @@ const (
 	SyncWait  Category = "sync-wait"
 	Offload   Category = "offload"
 	Prefetch  Category = "prefetch"
+	// InterSync marks scale-out collective stages crossing the system-node
+	// uplinks (the inter-node lap of a hierarchical all-reduce), so plane
+	// traces separate chassis-local from plane-wide synchronization.
+	InterSync Category = "inter-sync"
 )
 
 // Span is one closed interval of simulated time attributed to an activity.
@@ -99,8 +103,10 @@ func track(cat Category) int {
 		return 2
 	case Prefetch:
 		return 3
+	case InterSync:
+		return 4
 	}
-	return 4
+	return 5
 }
 
 // WriteChrome serializes the log in Chrome trace-event JSON.
