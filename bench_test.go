@@ -294,6 +294,68 @@ func BenchmarkSimulateVGGEDP(b *testing.B)      { benchSimulate(b, "VGG-E", trai
 func BenchmarkSimulateResNetDP(b *testing.B)    { benchSimulate(b, "ResNet", train.DataParallel) }
 func BenchmarkSimulateGRUMP(b *testing.B)       { benchSimulate(b, "RNN-GRU", train.ModelParallel) }
 
+// BenchmarkTransformerSimulate times one BERT-Large-class training iteration
+// through the engine (the longest single-node workload of the new axis).
+// Metric: MC-DLA(B)'s speedup over DC-DLA at the default 512-token sequence —
+// the gap cDMA cannot close because attention tensors are dense.
+func BenchmarkTransformerSimulate(b *testing.B) {
+	s := train.MustBuild("BERT-Large", 512, 8, train.DataParallel)
+	mc, err := core.DesignByName("MC-DLA(B)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	dc, err := core.DesignByName("DC-DLA")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sp float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rm, err := core.Simulate(mc, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rd, err := core.Simulate(dc, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sp = rd.IterationTime.Seconds() / rm.IterationTime.Seconds()
+	}
+	b.ReportMetric(sp, "bert-speedup-x")
+}
+
+// BenchmarkPrecisionSweep times the precision axis end to end on GPT-2.
+// Metric: the FP32/FP16 iteration-time ratio on MC-DLA(B) — how much the
+// halved activation and gradient bytes buy.
+func BenchmarkPrecisionSweep(b *testing.B) {
+	d, err := core.DesignByName("MC-DLA(B)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	scheds := make(map[train.Precision]*train.Schedule)
+	for _, prec := range train.Precisions() {
+		s, err := train.BuildSeq("GPT-2", 512, 8, train.DataParallel, 0, prec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scheds[prec] = s
+	}
+	var ratio float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		times := make(map[train.Precision]float64)
+		for _, prec := range train.Precisions() {
+			r, err := core.Simulate(d, scheds[prec])
+			if err != nil {
+				b.Fatal(err)
+			}
+			times[prec] = r.IterationTime.Seconds()
+		}
+		ratio = times[train.FP32] / times[train.FP16]
+	}
+	b.ReportMetric(ratio, "fp32-over-fp16-x")
+}
+
 // BenchmarkBuildNetworks measures workload construction (DAG + shape
 // inference) across the Table III registry.
 func BenchmarkBuildNetworks(b *testing.B) {

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/memcentric/mcdla/internal/experiments"
+)
+
+// Golden-output regression tests: every subcommand's stdout is pinned to a
+// fixture under testdata/, and each fixture is asserted byte-identical at
+// -parallel 1 and -parallel 8 — the PR-1 determinism guarantee promoted to
+// full-command granularity. Refresh after an intentional model change with:
+//
+//	go test ./cmd/mcdla -run TestGoldenOutputs -update
+var update = flag.Bool("update", false, "rewrite the golden fixtures under testdata/")
+
+// goldenCases lists every subcommand variant the harness pins. The plane and
+// transformer cases run reduced axes so the full suite stays fast; `all` is
+// the concatenation of subcommands already covered individually.
+var goldenCases = []struct {
+	name string
+	args []string
+}{
+	{"networks", []string{"networks"}},
+	{"config", []string{"config"}},
+	{"fig2", []string{"fig2"}},
+	{"fig9", []string{"fig9"}},
+	{"fig11_dp", []string{"fig11", "-strategy", "dp"}},
+	{"fig11_mp", []string{"fig11", "-strategy", "mp"}},
+	{"fig12", []string{"fig12"}},
+	{"fig13_dp", []string{"fig13", "-strategy", "dp"}},
+	{"fig13_mp", []string{"fig13", "-strategy", "mp"}},
+	{"fig14", []string{"fig14"}},
+	{"tab4", []string{"tab4"}},
+	{"headline", []string{"headline"}},
+	{"sens", []string{"sens"}},
+	{"scale", []string{"scale"}},
+	{"explore", []string{"explore"}},
+	{"plane_compare", []string{"plane", "-nodes", "1,2", "-compare"}},
+	{"plane_analytic", []string{"plane", "-nodes", "1,2", "-analytic"}},
+	{"plane_bert", []string{"plane", "-workload", "BERT-Large", "-nodes", "1,2"}},
+	{"transformer", []string{"transformer", "-seqlens", "128,256"}},
+	{"run_default", []string{"run"}},
+	{"run_rnn_mp", []string{"run", "-workload", "RNN-GRU", "-strategy", "mp", "-design", "DC-DLA"}},
+	{"run_gpt2_mixed", []string{"run", "-workload", "GPT-2", "-precision", "mixed", "-seqlen", "256"}},
+	{"run_bert_fp32", []string{"run", "-workload", "BERT-Large", "-precision", "fp32", "-design", "DC-DLA"}},
+}
+
+// captureRun executes the dispatcher with stdout redirected and returns what
+// it printed.
+func captureRun(t *testing.T, args []string) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	outCh := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		outCh <- string(b)
+	}()
+	runErr := run(args)
+	w.Close()
+	os.Stdout = old
+	out := <-outCh
+	if runErr != nil {
+		t.Fatalf("mcdla %s: %v", strings.Join(args, " "), runErr)
+	}
+	return out
+}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", name+".golden")
+}
+
+func TestGoldenOutputs(t *testing.T) {
+	for _, parallel := range []int{1, 8} {
+		experiments.SetParallelism(parallel)
+		for _, c := range goldenCases {
+			t.Run(fmt.Sprintf("%s/parallel%d", c.name, parallel), func(t *testing.T) {
+				got := captureRun(t, c.args)
+				path := goldenPath(c.name)
+				if *update && parallel == 1 {
+					if err := os.MkdirAll("testdata", 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing fixture (run with -update to create): %v", err)
+				}
+				if got != string(want) {
+					t.Fatalf("mcdla %s output diverged from %s at -parallel %d\ngot:\n%s\nwant:\n%s",
+						strings.Join(c.args, " "), path, parallel, got, string(want))
+				}
+			})
+		}
+	}
+	experiments.SetParallelism(0)
+}
+
+// TestGoldenTrace pins the trace subcommand: the summary line (span count,
+// iteration time, compute coverage) is deterministic; the output file lands
+// in a temp dir and its path is normalized out of the comparison.
+func TestGoldenTrace(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "trace.json")
+	got := captureRun(t, []string{"trace", "-workload", "AlexNet", "-o", out})
+	got = strings.ReplaceAll(got, dir+string(os.PathSeparator), "")
+	path := goldenPath("trace_alexnet")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing fixture (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("trace output diverged:\ngot:\n%s\nwant:\n%s", got, string(want))
+	}
+	if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace file not written: %v", err)
+	}
+}
+
+// TestUnknownSubcommandErrors keeps the dispatcher's failure path honest.
+func TestUnknownSubcommandErrors(t *testing.T) {
+	if err := run([]string{"no-such-subcommand"}); err == nil {
+		t.Fatal("unknown subcommand did not error")
+	}
+	if err := run(nil); err == nil {
+		t.Fatal("missing subcommand did not error")
+	}
+}

@@ -29,11 +29,16 @@
 //	scale      §V-D scalability experiment
 //	explore    §III-B design-space sweep over link technology
 //	plane      §VI scale-out plane study on the event-driven plane engine
-//	           (flags: -nodes 1,2,4,8,16 -analytic -compare)
+//	           (flags: -nodes 1,2,4,8,16 -analytic -compare; transformer
+//	           workloads run on the plane unchanged)
+//	transformer  seqlen × precision × design study over the attention-era
+//	           workloads, plus the "attention doesn't compress" headline
+//	           (flags: -workload, -seqlens, -precisions)
 //	trace      write a Chrome trace of one iteration (flags as `run` + -o)
-//	networks   Table III benchmark inventory
+//	networks   Table III and transformer benchmark inventory
 //	config     Table II device and memory-node configuration
-//	run        one simulation (flags: -design, -workload, -strategy, -batch)
+//	run        one simulation (flags: -design, -workload, -strategy, -batch,
+//	           -seqlen, -precision)
 //	all        everything above, in paper order
 package main
 
@@ -52,6 +57,7 @@ import (
 	"github.com/memcentric/mcdla/internal/runner"
 	"github.com/memcentric/mcdla/internal/trace"
 	"github.com/memcentric/mcdla/internal/train"
+	"github.com/memcentric/mcdla/internal/units"
 )
 
 func main() {
@@ -195,13 +201,9 @@ func run(args []string) error {
 		if err := fs.Parse(rest); err != nil {
 			return err
 		}
-		var counts []int
-		for _, part := range strings.Split(*nodesCSV, ",") {
-			var n int
-			if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &n); err != nil {
-				return fmt.Errorf("bad node count %q", part)
-			}
-			counts = append(counts, n)
+		counts, err := parseIntsCSV(*nodesCSV, "node count")
+		if err != nil {
+			return err
 		}
 		pts, err := experiments.ScaleOutRows(*workload, counts, *analytic)
 		if err != nil {
@@ -221,6 +223,8 @@ func run(args []string) error {
 			}
 			fmt.Print(experiments.RenderScaleOutCompare(*workload, rows))
 		}
+	case "transformer":
+		return runTransformer(rest)
 	case "trace":
 		return runTrace(rest)
 	case "networks":
@@ -228,6 +232,12 @@ func run(args []string) error {
 		for _, name := range dnn.BenchmarkNames() {
 			g := dnn.MustBuild(name, 64)
 			fmt.Printf("  %s  (paper layer count: %d)\n", g.Summary(), dnn.PaperLayerCount(name))
+		}
+		fmt.Println("Transformer workloads (per-device shapes at batch 64, default seqlen):")
+		for _, name := range dnn.TransformerNames() {
+			g := dnn.MustBuild(name, 64)
+			fmt.Printf("  %s  (blocks: %d, seqlen: %d, scores: %.1f MB)\n",
+				g.Summary(), dnn.PaperLayerCount(name), g.SeqLen, float64(g.ScoreBytes())/1e6)
 		}
 	case "config":
 		dev := accel.Default()
@@ -248,7 +258,7 @@ func run(args []string) error {
 	case "run":
 		return runOne(rest)
 	case "all":
-		for _, sub := range []string{"config", "networks", "fig2", "fig9", "fig11", "fig12", "fig13", "fig14", "tab4", "headline", "sens", "scale", "explore", "plane"} {
+		for _, sub := range []string{"config", "networks", "fig2", "fig9", "fig11", "fig12", "fig13", "fig14", "tab4", "headline", "sens", "scale", "explore", "transformer", "plane"} {
 			fmt.Printf("\n================ %s ================\n", sub)
 			var err error
 			switch sub {
@@ -273,6 +283,20 @@ func run(args []string) error {
 	return nil
 }
 
+// parseIntsCSV parses a comma-separated list of positive integers, rejecting
+// trailing garbage ("512x1024") and nonpositive values outright.
+func parseIntsCSV(csv, what string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(csv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad %s %q (want a positive integer)", what, part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
 func strategyFlag(args []string) (train.Strategy, error) {
 	fs := flag.NewFlagSet("strategy", flag.ContinueOnError)
 	s := fs.String("strategy", "dp", "parallelization strategy: dp or mp")
@@ -295,9 +319,11 @@ func parseStrategy(s string) (train.Strategy, error) {
 func runOne(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	design := fs.String("design", "MC-DLA(B)", "system design point")
-	workload := fs.String("workload", "VGG-E", "Table III benchmark")
+	workload := fs.String("workload", "VGG-E", "benchmark (Table III or transformer)")
 	strategyS := fs.String("strategy", "dp", "dp or mp")
 	batch := fs.Int("batch", experiments.Batch, "global batch size")
+	seqlen := fs.Int("seqlen", 0, "sequence-length override (0: workload default)")
+	precS := fs.String("precision", "fp16", "training precision: fp16, mixed or fp32")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -305,11 +331,15 @@ func runOne(args []string) error {
 	if err != nil {
 		return err
 	}
+	prec, err := train.ParsePrecision(*precS)
+	if err != nil {
+		return err
+	}
 	d, err := core.DesignByName(*design)
 	if err != nil {
 		return err
 	}
-	s, err := train.Build(*workload, *batch, experiments.Workers, strategy)
+	s, err := train.BuildSeq(*workload, *batch, experiments.Workers, strategy, *seqlen, prec)
 	if err != nil {
 		return err
 	}
@@ -317,29 +347,83 @@ func runOne(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf(`%s × %s (%v, batch %d, %d devices)
+	// Resident parameter footprint: the fp16 compute copy at base size, or
+	// the fp32 master weights (Mixed/FP32) at twice it; model-parallel
+	// devices hold a 1/workers slice.
+	resident := units.Bytes(s.Graph.TotalWeightBytes() * prec.MasterScale())
+	if strategy == train.ModelParallel {
+		resident = units.Bytes(int64(resident) / int64(experiments.Workers))
+	}
+	fmt.Printf(`%s × %s (%v, %v, batch %d, %d devices)
   iteration time:        %v
   compute (standalone):  %v
   sync (standalone):     %v
   virt (standalone):     %v
   virt traffic/device:   %v
   sync payload/device:   %v
+  weights resident/dev:  %v
   prefetch stalls:       %v
-`, r.Design, r.Workload, r.Strategy, *batch, experiments.Workers,
+`, r.Design, r.Workload, r.Strategy, r.Precision, *batch, experiments.Workers,
 		r.IterationTime, r.Breakdown.Compute, r.Breakdown.Sync, r.Breakdown.Virt,
-		r.VirtTraffic, r.SyncTraffic, r.StallVirt)
+		r.VirtTraffic, r.SyncTraffic, resident, r.StallVirt)
 	if r.HostBytes > 0 {
 		fmt.Printf("  CPU socket bandwidth:  avg %v, max %v\n", r.AvgHostSocketBW, r.MaxHostSocketBW)
 	}
 	return nil
 }
 
+// runTransformer drives the seqlen × precision × design study plus the
+// attention-compression headline table.
+func runTransformer(args []string) error {
+	fs := flag.NewFlagSet("transformer", flag.ContinueOnError)
+	workload := fs.String("workload", "", "transformer workload (default: all)")
+	seqlensCSV := fs.String("seqlens", "", "comma-separated sequence lengths (default: 128,256,512,1024)")
+	precsCSV := fs.String("precisions", "", "comma-separated precisions (default: fp16,mixed,fp32)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var workloads []string
+	if *workload != "" {
+		workloads = []string{*workload}
+	}
+	var seqlens []int
+	if *seqlensCSV != "" {
+		var err error
+		if seqlens, err = parseIntsCSV(*seqlensCSV, "seqlen"); err != nil {
+			return err
+		}
+	}
+	var precs []train.Precision
+	if *precsCSV != "" {
+		for _, part := range strings.Split(*precsCSV, ",") {
+			p, err := train.ParsePrecision(strings.TrimSpace(part))
+			if err != nil {
+				return err
+			}
+			precs = append(precs, p)
+		}
+	}
+	rows, err := experiments.TransformerSweep(workloads, seqlens, precs)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderTransformerSweep(rows))
+	cRows, err := experiments.AttentionCompress()
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderAttentionCompress(cRows))
+	return nil
+}
+
 func runTrace(args []string) error {
 	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
 	design := fs.String("design", "MC-DLA(B)", "system design point")
-	workload := fs.String("workload", "VGG-E", "Table III benchmark")
+	workload := fs.String("workload", "VGG-E", "benchmark (Table III or transformer)")
 	strategyS := fs.String("strategy", "dp", "dp or mp")
 	batch := fs.Int("batch", experiments.Batch, "global batch size")
+	seqlen := fs.Int("seqlen", 0, "sequence-length override (0: workload default)")
+	precS := fs.String("precision", "fp16", "training precision: fp16, mixed or fp32")
 	out := fs.String("o", "trace.json", "output file (chrome://tracing format)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -348,11 +432,15 @@ func runTrace(args []string) error {
 	if err != nil {
 		return err
 	}
+	prec, err := train.ParsePrecision(*precS)
+	if err != nil {
+		return err
+	}
 	d, err := core.DesignByName(*design)
 	if err != nil {
 		return err
 	}
-	s, err := train.Build(*workload, *batch, experiments.Workers, strategy)
+	s, err := train.BuildSeq(*workload, *batch, experiments.Workers, strategy, *seqlen, prec)
 	if err != nil {
 		return err
 	}
@@ -389,8 +477,11 @@ subcommands:
   explore | plane                              design-space and §VI scale-out sweeps
   plane -analytic                              retired first-order plane estimator
   plane -compare                               analytic vs event-driven divergence table
+  transformer                                  seqlen × precision × design study
+    [-workload W] [-seqlens 128,512] [-precisions fp16,mixed,fp32]
   networks | config                            inventories
   run -design D -workload W -strategy dp|mp    one simulation
+    [-seqlen N] [-precision fp16|mixed|fp32]
   trace -design D -workload W -o out.json      chrome://tracing timeline
   all                                          everything`)
 }

@@ -3,11 +3,14 @@
 // MICRO-51, 2018).
 //
 // The library lives under internal/: the dnn package models the Table III
-// workloads, accel the Table II PE-array device, topo/collective the
-// device-side interconnects and ring collectives, memnode/vmem/cudart the
-// memory-node architecture and virtualization runtime, train the
-// parallelization strategies, and core assembles the six evaluated system
-// design points and simulates full training iterations. The scaleout
+// workloads plus an attention-era transformer family (BERT-Large-class
+// encoder, GPT-2-class decoder, per-head GEMM attention whose score tensors
+// grow with seqlen²), accel the Table II PE-array device, topo/collective
+// the device-side interconnects and ring collectives, memnode/vmem/cudart
+// the memory-node architecture and virtualization runtime, train the
+// parallelization strategies and the fp16/mixed/fp32 precision memory
+// model, and core assembles the six evaluated system design points and
+// simulates full training iterations. The scaleout
 // package extends the evaluation to the §VI Figure 15 datacenter plane
 // with an event-driven engine of its own: one representative device per
 // system node on sim channels (chassis switch link complexes, a shared
@@ -20,10 +23,13 @@
 // worker-pool engine that fans jobs across GOMAXPROCS goroutines, memoizes
 // identical (design, schedule) simulations, and streams per-job progress —
 // so output stays byte-identical at every parallelism (non-core grids use
-// its generic Fan primitive). The root-level benchmarks in bench_test.go
-// expose one benchmark per table and figure, each reporting its headline
-// number as a custom metric, plus BenchmarkRunnerFanout and
-// BenchmarkPlaneSimulate for the engines themselves.
+// its generic Fan primitive) — a guarantee the golden CLI fixtures under
+// cmd/mcdla/testdata pin at full-command granularity, alongside the dnn
+// fuzz target and the vmem/precision property tests. The root-level
+// benchmarks in bench_test.go expose one benchmark per table and figure,
+// each reporting its headline number as a custom metric, plus
+// BenchmarkRunnerFanout, BenchmarkPlaneSimulate and
+// BenchmarkTransformerSimulate for the engines themselves.
 //
 // See README.md for a tour and CLI cookbook, and EXPERIMENTS.md for
 // paper-vs-measured results.

@@ -19,7 +19,10 @@ const CDMARatio = 2.6
 // LayerRatio estimates the compression factor cDMA achieves on one layer's
 // output activations. ReLU outputs and the pooling/normalization layers fed
 // by them carry the exploitable sparsity; GEMM-layer pre-activations and
-// recurrent state (tanh/sigmoid-gated, dense) do not compress.
+// recurrent state (tanh/sigmoid-gated, dense) do not compress — and neither
+// does anything a transformer stashes: softmaxed attention scores,
+// LayerNorm'd tokens and GELU activations have essentially no exact zeros,
+// so the zero-value compressor passes them through at 1.0×.
 func LayerRatio(kind dnn.Kind) float64 {
 	switch kind {
 	case dnn.ReLU, dnn.Pool, dnn.LRN, dnn.Dropout:
@@ -33,13 +36,23 @@ func LayerRatio(kind dnn.Kind) float64 {
 		return 1.6
 	case dnn.FC:
 		return 1.3
+	case dnn.Attention, dnn.LayerNorm, dnn.GELU, dnn.Softmax:
+		// Dense by construction: attention probabilities are strictly
+		// positive, normalization re-centres every element, and GELU's
+		// smooth tail leaves near- but not exactly-zero values.
+		return 1.0
 	default:
 		return 1.0
 	}
 }
 
 // GraphRatio reports the stash-weighted compression factor for a network:
-// compressed stash traffic = StashBytes / GraphRatio.
+// compressed stash traffic = StashBytes / GraphRatio. Sequence (transformer)
+// graphs are honest 1.0×: every tensor on their stash path is dense — the
+// FC-kind projections there produce pre-attention Q/K/V and FFN tensors, not
+// the sparse post-ReLU maps the per-kind CNN table models — so the cDMA
+// escape hatch that rescues DC-DLA on CNNs does not exist for the attention
+// era, and the DC-DLA↔MC-DLA gap survives the compressor.
 func GraphRatio(g *dnn.Graph) float64 {
 	var raw, compressed float64
 	seen := make(map[int]bool)
@@ -54,7 +67,11 @@ func GraphRatio(g *dnn.Graph) float64 {
 			seen[in] = true
 			b := float64(g.Layers[in].OutBytes())
 			raw += b
-			compressed += b / LayerRatio(g.Layers[in].Kind)
+			ratio := LayerRatio(g.Layers[in].Kind)
+			if g.SeqLen > 0 {
+				ratio = 1.0
+			}
+			compressed += b / ratio
 		}
 		if l.StashExtraBytes > 0 {
 			b := float64(l.StashExtraBytes)

@@ -59,3 +59,33 @@ func TestCDMAConstant(t *testing.T) {
 		t.Fatalf("paper constant = %g", CDMARatio)
 	}
 }
+
+func TestAttentionDoesNotCompress(t *testing.T) {
+	// The compressing-DMA escape hatch must vanish on the transformer
+	// workloads: dense attention tensors yield an honest 1.0×.
+	for _, name := range dnn.TransformerNames() {
+		g := dnn.MustBuild(name, 8)
+		if r := GraphRatio(g); r != 1.0 {
+			t.Errorf("%s: ratio %.3f, want exactly 1.0 — attention stashes are dense", name, r)
+		}
+	}
+	for _, kind := range []dnn.Kind{dnn.Attention, dnn.LayerNorm, dnn.GELU, dnn.Softmax} {
+		if LayerRatio(kind) != 1.0 {
+			t.Errorf("LayerRatio(%v) = %g, want 1.0", kind, LayerRatio(kind))
+		}
+	}
+}
+
+func TestSeqLenRatioStaysAtOne(t *testing.T) {
+	// The honest ratio holds across the seqlen axis — longer sequences grow
+	// the score tensors but never manufacture sparsity.
+	for _, seqlen := range []int{128, 512, 1024} {
+		g, err := dnn.BuildSeq("GPT-2", 4, seqlen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := GraphRatio(g); r != 1.0 {
+			t.Errorf("GPT-2 seq %d: ratio %.3f, want 1.0", seqlen, r)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/memcentric/mcdla/internal/accel"
+	"github.com/memcentric/mcdla/internal/dnn"
+	"github.com/memcentric/mcdla/internal/train"
+	"github.com/memcentric/mcdla/internal/units"
+)
+
+// precisionWorkloads is the full scenario axis the invariants run over: the
+// Table III suite plus the transformer family.
+func precisionWorkloads() []string {
+	return append(dnn.BenchmarkNames(), dnn.TransformerNames()...)
+}
+
+func finite(t units.Time) bool {
+	s := t.Seconds()
+	return !math.IsNaN(s) && !math.IsInf(s, 0) && s >= 0
+}
+
+// Invariant: on every benchmark × design point, narrowing the precision never
+// slows training down — FP16 ≤ Mixed ≤ FP32 on iteration time, and every
+// breakdown category stays finite. The mixed policy sits between the pure
+// formats: it halves activations against FP32 but pays FP32's dW payload.
+func TestPrecisionMonotoneAcrossBenchmarksAndDesigns(t *testing.T) {
+	const batch = 512
+	for _, net := range precisionWorkloads() {
+		for _, d := range StandardDesigns() {
+			results := make(map[train.Precision]Result)
+			for _, prec := range train.Precisions() {
+				s, err := train.BuildSeq(net, batch, d.Workers, train.DataParallel, 0, prec)
+				if err != nil {
+					t.Fatalf("%s: %v", net, err)
+				}
+				r, err := Simulate(d, s)
+				if err != nil {
+					t.Fatalf("%s × %s (%v): %v", net, d.Name, prec, err)
+				}
+				if !finite(r.IterationTime) || !finite(r.Breakdown.Compute) || !finite(r.Breakdown.Sync) || !finite(r.Breakdown.Virt) {
+					t.Fatalf("%s × %s (%v): non-finite result %+v", net, d.Name, prec, r)
+				}
+				if r.IterationTime <= 0 {
+					t.Fatalf("%s × %s (%v): nonpositive iteration time %v", net, d.Name, prec, r.IterationTime)
+				}
+				if r.Precision != prec {
+					t.Fatalf("%s × %s: result precision %v, want %v", net, d.Name, r.Precision, prec)
+				}
+				results[prec] = r
+			}
+			fp16, mixed, fp32 := results[train.FP16], results[train.Mixed], results[train.FP32]
+			if fp16.IterationTime > mixed.IterationTime || mixed.IterationTime > fp32.IterationTime {
+				t.Fatalf("%s × %s: iteration times not monotone: fp16 %v, mixed %v, fp32 %v",
+					net, d.Name, fp16.IterationTime, mixed.IterationTime, fp32.IterationTime)
+			}
+			if fp16.Breakdown.Total() > fp32.Breakdown.Total() {
+				t.Fatalf("%s × %s: fp16 breakdown %v exceeds fp32 %v",
+					net, d.Name, fp16.Breakdown.Total(), fp32.Breakdown.Total())
+			}
+			if !d.Oracle {
+				if fp16.VirtTraffic != mixed.VirtTraffic {
+					t.Fatalf("%s × %s: mixed precision changed activation traffic: %v vs %v",
+						net, d.Name, mixed.VirtTraffic, fp16.VirtTraffic)
+				}
+				if fp32.VirtTraffic < 2*fp16.VirtTraffic {
+					t.Fatalf("%s × %s: fp32 stash traffic %v not doubled over fp16 %v",
+						net, d.Name, fp32.VirtTraffic, fp16.VirtTraffic)
+				}
+			}
+		}
+	}
+}
+
+// Invariant: the engine's charged synchronization traffic equals the
+// schedule's collective payload bytes (within 1e-9 relative) at every
+// precision — the dW widening is accounted once, in the schedule, and the
+// engine never invents or drops payload.
+func TestPrecisionSyncTrafficMatchesPayload(t *testing.T) {
+	const batch = 512
+	for _, net := range precisionWorkloads() {
+		for _, strategy := range []train.Strategy{train.DataParallel, train.ModelParallel} {
+			for _, prec := range train.Precisions() {
+				s, err := train.BuildSeq(net, batch, 8, strategy, 0, prec)
+				if err != nil {
+					t.Fatalf("%s: %v", net, err)
+				}
+				d := NewMCDLAB(accel.Default(), 8)
+				r, err := Simulate(d, s)
+				if err != nil {
+					t.Fatalf("%s (%v, %v): %v", net, strategy, prec, err)
+				}
+				var want int64
+				for _, b := range s.SyncBytes() {
+					want += b
+				}
+				got, wantf := float64(r.SyncTraffic), float64(want)
+				if diff := math.Abs(got - wantf); diff > 1e-9*math.Max(1, wantf) {
+					t.Fatalf("%s (%v, %v): sync traffic %v != scheduled payload %d",
+						net, strategy, prec, r.SyncTraffic, want)
+				}
+			}
+		}
+	}
+}
+
+// The dW payload widening must be visible exactly where the model says: under
+// data parallel, Mixed doubles the dW bytes over FP16 while FP32 doubles
+// feature-map collectives too.
+func TestPrecisionPayloadScaling(t *testing.T) {
+	for _, net := range precisionWorkloads() {
+		sched := func(prec train.Precision) map[string]int64 {
+			s, err := train.BuildSeq(net, 512, 8, train.DataParallel, 0, prec)
+			if err != nil {
+				t.Fatalf("%s: %v", net, err)
+			}
+			return s.SyncBytes()
+		}
+		fp16, mixed, fp32 := sched(train.FP16), sched(train.Mixed), sched(train.FP32)
+		if mixed["dW"] != 2*fp16["dW"] || fp32["dW"] != 2*fp16["dW"] {
+			t.Fatalf("%s: dW payloads fp16 %d, mixed %d, fp32 %d — want exact 2x widening",
+				net, fp16["dW"], mixed["dW"], fp32["dW"])
+		}
+	}
+}

@@ -31,6 +31,8 @@ type Result struct {
 	Design   string
 	Workload string
 	Strategy train.Strategy
+	// Precision is the schedule's number-format policy.
+	Precision train.Precision
 
 	// IterationTime is the end-to-end latency of one training iteration on
 	// the 8-device node (compute, collectives, and DMAs overlapped).
@@ -99,10 +101,12 @@ func SimulateTraced(d Design, s *train.Schedule, tr *trace.Log) (Result, error) 
 	// step needs are re-materialized by the per-timestep collectives that
 	// are already part of the schedule. Convolutional model parallelism
 	// (Krizhevsky-style filter splits) stashes the gathered inputs, which
-	// backward's dW GEMM consumes locally.
-	stashScale := 1.0
+	// backward's dW GEMM consumes locally. The precision policy scales the
+	// stash the other way: the plan's bytes are the graph's 2-byte base, and
+	// FP32 activations double every migrated tensor.
+	stashScale := float64(s.Precision.ActScale())
 	if s.Strategy == train.ModelParallel && s.Graph.Timesteps > 0 {
-		stashScale = 1 / float64(s.Workers)
+		stashScale /= float64(s.Workers)
 	}
 	scaleStash := func(b int64) units.Bytes {
 		return units.Bytes(float64(b)*stashScale + 0.5)
@@ -132,9 +136,10 @@ func SimulateTraced(d Design, s *train.Schedule, tr *trace.Log) (Result, error) 
 	}
 
 	res := Result{
-		Design:   d.Name,
-		Workload: s.Name,
-		Strategy: s.Strategy,
+		Design:    d.Name,
+		Workload:  s.Name,
+		Strategy:  s.Strategy,
+		Precision: s.Precision,
 	}
 
 	if tr != nil {
@@ -193,46 +198,63 @@ func SimulateTraced(d Design, s *train.Schedule, tr *trace.Log) (Result, error) 
 
 	// ---- Backward propagation (reverse topological order) ----
 	//
-	// Prefetches run as a FIFO pipeline: the DMA engine fetches layer
-	// stashes in reverse-layer order back to back, so a transfer is always
-	// in flight underneath the backward computation (the vDNN/LMS
-	// performance-aware overlap of §IV). The device stalls only when the
-	// channel falls behind the compute.
+	// Prefetches run as a FIFO pipeline over the plan's deduplicated queue:
+	// the DMA engine fetches each stash tensor exactly once, ordered by first
+	// backward use, so a transfer is always in flight underneath the backward
+	// computation (the vDNN/LMS performance-aware overlap of §IV) and a
+	// tensor shared by several backward consumers moves once and stays
+	// resident. The device stalls only when the channel falls behind the
+	// compute.
 	type inflight struct {
 		flow   *sim.Flow
 		issued units.Time
+		traced bool
 	}
-	prefetch := make(map[int]inflight)
-	nextToIssue := len(g.Layers) - 1
-	issueNextPrefetch := func(at units.Time) {
-		if d.Oracle {
+	sched := plan.PrefetchSchedule()
+	queue := sched.Items
+	fetched := make([]inflight, len(queue))
+	// The pipeline issues whole per-layer groups: all items first needed at
+	// the same backward step enter the channel together, so the lookahead
+	// unit matches the old per-layer blob and a transfer is in flight during
+	// the preceding layers' compute.
+	next := 0
+	issueNextGroup := func(at units.Time) {
+		if d.Oracle || next >= len(queue) {
 			return
 		}
-		for nextToIssue >= 0 {
-			id := nextToIssue
-			nextToIssue--
-			bytes := scaleStash(plan.PrefetchFor(id))
-			if bytes > 0 {
-				prefetch[id] = inflight{virtCh.StartGroup(at, "prefetch", "virt", bytes, virtRate, 0), at}
-				res.VirtTraffic += bytes
-				return
-			}
+		layer := queue[next].Layer
+		for next < len(queue) && queue[next].Layer == layer {
+			bytes := scaleStash(queue[next].Bytes)
+			fetched[next] = inflight{flow: virtCh.StartGroup(at, "prefetch", "virt", bytes, virtRate, 0), issued: at}
+			res.VirtTraffic += bytes
+			next++
 		}
 	}
 	recomputed := make(map[int]bool)
 	var pending []*sim.Flow
 
 	last := len(g.Layers) - 1
-	issueNextPrefetch(t)
+	issueNextGroup(t)
 	for id := last; id >= 0; id-- {
-		if f, ok := prefetch[id]; ok {
-			resume := virtCh.Wait(t, f.flow)
-			tr.Add(g.Layer(id).Name+"/prefetch", trace.Prefetch, f.issued, f.flow.DoneAt())
-			tr.Add(g.Layer(id).Name+"/stall", trace.Stall, t, resume)
-			res.StallVirt += resume - t
-			t = resume
-			// The DMA engine starts the next queued stash immediately.
-			issueNextPrefetch(t)
+		if items := sched.NeededAt(id); len(items) > 0 && !d.Oracle {
+			// Force the FIFO through everything this layer needs, then block
+			// on the transfers (already-landed shared tensors wait for free).
+			for next <= sched.MaxNeededAt(id) {
+				issueNextGroup(t)
+			}
+			stallFrom := t
+			for _, i := range items {
+				f := &fetched[i]
+				t = virtCh.Wait(t, f.flow)
+				if !f.traced {
+					f.traced = true
+					tr.Add(sched.ItemName(i)+"/prefetch", trace.Prefetch, f.issued, f.flow.DoneAt())
+				}
+			}
+			tr.Add(g.Layer(id).Name+"/stall", trace.Stall, stallFrom, t)
+			res.StallVirt += t - stallFrom
+			// The DMA engine starts the next queued group immediately.
+			issueNextGroup(t)
 		}
 		// Recompute cheap producers whose outputs were not stashed.
 		for _, rid := range plan.RecomputeFor(id) {

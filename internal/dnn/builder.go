@@ -42,6 +42,15 @@ func (b *Builder) InputVec(features int) int {
 	})
 }
 
+// InputSeq declares a (batch, dModel, seqlen) token-embedding source for
+// transformer networks: C carries the model width, H the sequence axis.
+func (b *Builder) InputSeq(dModel, seqlen int) int {
+	return b.add(&Layer{
+		Name: "tokens", Kind: Input,
+		Out: Shape{N: b.g.Batch, C: dModel, H: seqlen, W: 1},
+	})
+}
+
 func convOut(in, k, stride, pad int) int {
 	out := (in+2*pad-k)/stride + 1
 	if out <= 0 {
@@ -172,6 +181,90 @@ func (b *Builder) Add(name string, a, c int) int {
 	})
 }
 
+// SeqLinear adds a per-token dense projection over a (batch, features, seq)
+// tensor: every token position runs through the same weight matrix, so the
+// GEMM batches M = batch×seq rows instead of flattening the sequence the way
+// FC would.
+func (b *Builder) SeqLinear(name string, in, outF int) int {
+	s := b.shape(in)
+	if s.W != 1 {
+		panic(fmt.Sprintf("dnn: seq-linear %q input %v is not a sequence tensor", name, s))
+	}
+	rows := int64(s.N) * int64(s.H)
+	return b.add(&Layer{
+		Name: name, Kind: FC, Inputs: []int{in},
+		Out:         Shape{N: s.N, C: outF, H: s.H, W: 1},
+		GEMMs:       []GEMM{{M: rows, N: int64(outF), K: int64(s.C)}},
+		WeightElems: int64(s.C) * int64(outF),
+		WeightGroup: b.g.Name + "/" + name,
+	})
+}
+
+// LayerNorm adds layer normalization with per-feature scale and shift.
+func (b *Builder) LayerNorm(name string, in int) int {
+	s := b.shape(in)
+	return b.add(&Layer{
+		Name: name, Kind: LayerNorm, Inputs: []int{in}, Out: s, EwOps: 8,
+		WeightElems: 2 * int64(s.C),
+		WeightGroup: b.g.Name + "/" + name,
+	})
+}
+
+// GELU adds a Gaussian-error linear unit activation.
+func (b *Builder) GELU(name string, in int) int { return b.elementwise(name, GELU, in, 8) }
+
+// AttentionScores adds the QKᵀ matmul of multi-head attention: one GEMM per
+// head over the (batch, dModel, seq) query and key tensors, producing the
+// (batch, heads, seq, seq) score tensor whose footprint grows quadratically
+// with sequence length — the tensor class that breaks the CNN-era
+// compressing-DMA escape hatch.
+func (b *Builder) AttentionScores(name string, q, k, heads int) int {
+	sq, sk := b.shape(q), b.shape(k)
+	if sq != sk {
+		panic(fmt.Sprintf("dnn: attention %q query %v and key %v disagree", name, sq, sk))
+	}
+	if heads <= 0 || sq.C%heads != 0 {
+		panic(fmt.Sprintf("dnn: attention %q needs d_model %d divisible by positive heads %d", name, sq.C, heads))
+	}
+	headDim := int64(sq.C / heads)
+	rows := int64(sq.N) * int64(sq.H)
+	gemms := make([]GEMM, heads)
+	for h := range gemms {
+		gemms[h] = GEMM{M: rows, N: int64(sq.H), K: headDim}
+	}
+	return b.add(&Layer{
+		Name: name, Kind: Attention, Inputs: []int{q, k},
+		Out:   Shape{N: sq.N, C: heads, H: sq.H, W: sq.H},
+		GEMMs: gemms,
+		EwOps: 1, // 1/sqrt(d_head) scaling
+	})
+}
+
+// AttentionContext adds the probs×V matmul: the softmaxed (batch, heads, seq,
+// seq) score tensor gathers the value rows back into a (batch, dModel, seq)
+// context tensor, one GEMM per head.
+func (b *Builder) AttentionContext(name string, probs, v int) int {
+	sp, sv := b.shape(probs), b.shape(v)
+	heads := sp.C
+	if sp.N != sv.N || sp.H != sp.W || sp.H != sv.H || sv.W != 1 {
+		panic(fmt.Sprintf("dnn: attention %q probs %v and value %v disagree", name, sp, sv))
+	}
+	if heads <= 0 || sv.C%heads != 0 {
+		panic(fmt.Sprintf("dnn: attention %q needs d_model %d divisible by %d heads", name, sv.C, heads))
+	}
+	headDim := int64(sv.C / heads)
+	rows := int64(sv.N) * int64(sv.H)
+	gemms := make([]GEMM, heads)
+	for h := range gemms {
+		gemms[h] = GEMM{M: rows, N: headDim, K: int64(sp.H)}
+	}
+	return b.add(&Layer{
+		Name: name, Kind: Attention, Inputs: []int{probs, v},
+		Out:   sv,
+		GEMMs: gemms,
+	})
+}
+
 // recurrent cell geometry: the gate GEMM consumes the concatenation [x; h]
 // (K = inFeat + hidden) and produces gates×hidden outputs.
 func (b *Builder) cell(name string, kind Kind, in int, hidden, gates int, group string, stashVectors int) int {
@@ -219,5 +312,12 @@ func (b *Builder) Finish() *Graph {
 // count for Table III accounting.
 func (b *Builder) FinishRecurrent(timesteps int) *Graph {
 	b.g.Timesteps = timesteps
+	return b.Finish()
+}
+
+// FinishSeq validates and returns the graph, recording its sequence length
+// (transformer workloads).
+func (b *Builder) FinishSeq(seqlen int) *Graph {
+	b.g.SeqLen = seqlen
 	return b.Finish()
 }

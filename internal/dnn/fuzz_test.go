@@ -1,0 +1,56 @@
+package dnn
+
+import "testing"
+
+// FuzzBuildSeq holds the workload-construction boundary to its contract: for
+// ANY (name, batch, seqlen) input, BuildSeq either returns an error or a
+// graph that passes Validate — it never panics and never yields a malformed
+// DAG. The seed corpus covers every registered workload (so the normal test
+// pass exercises each builder through the fuzz oracle) plus the historical
+// panic inputs: nonpositive batch, which used to blow up in NewBuilder, and
+// seqlen on workloads with no sequence axis.
+func FuzzBuildSeq(f *testing.F) {
+	for _, name := range BenchmarkNames() {
+		f.Add(name, 64, 0)
+	}
+	for _, name := range TransformerNames() {
+		f.Add(name, 8, 128)
+		f.Add(name, 2, 1)
+	}
+	f.Add("RNN-GRU", 16, 7)
+	f.Add("DenseNet-121", 32, 0)
+	f.Add("AlexNet", -1, 0)   // used to panic in NewBuilder
+	f.Add("AlexNet", 0, 0)    // ditto
+	f.Add("AlexNet", 64, 128) // no sequence axis
+	f.Add("VGG-E", MaxBatch+1, 0)
+	f.Add("BERT-Large", 4, MaxSeqLen+1)
+	f.Add("BERT-Large", 4, -3)
+	f.Add("no-such-network", 64, 0)
+	f.Add("", 1, 1)
+
+	f.Fuzz(func(t *testing.T, name string, batch, seqlen int) {
+		g, err := BuildSeq(name, batch, seqlen)
+		if err != nil {
+			if g != nil {
+				t.Fatalf("BuildSeq(%q,%d,%d) returned both a graph and error %v", name, batch, seqlen, err)
+			}
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("BuildSeq(%q,%d,%d) built an invalid graph: %v", name, batch, seqlen, err)
+		}
+		if g.Batch != batch {
+			t.Fatalf("BuildSeq(%q,%d,%d) graph batch = %d", name, batch, seqlen, g.Batch)
+		}
+		if seqlen > 0 && g.Timesteps != seqlen && g.SeqLen != seqlen {
+			t.Fatalf("BuildSeq(%q,%d,%d) ignored the sequence override (timesteps %d, seqlen %d)",
+				name, batch, seqlen, g.Timesteps, g.SeqLen)
+		}
+		if g.TotalMACs() < 0 || g.TotalWeightBytes() < 0 || g.TotalFeatureMapBytes() < 0 || g.StashBytes() < 0 {
+			t.Fatalf("BuildSeq(%q,%d,%d) overflowed an accounting sum", name, batch, seqlen)
+		}
+		if g.Name != name {
+			t.Fatalf("BuildSeq(%q,%d,%d) graph named %q", name, batch, seqlen, g.Name)
+		}
+	})
+}

@@ -17,6 +17,10 @@ type Graph struct {
 	// Timesteps is nonzero for recurrent benchmarks (Table III lists
 	// timesteps instead of layer count for the four RNNs).
 	Timesteps int
+
+	// SeqLen is nonzero for transformer benchmarks: the token count whose
+	// square scales the attention score tensors.
+	SeqLen int
 }
 
 // Layer returns the layer with the given ID.
@@ -136,8 +140,11 @@ func (g *Graph) TotalMACs() int64 {
 }
 
 // Validate checks structural invariants: IDs are dense and topologically
-// ordered, inputs exist and precede consumers, shapes are positive, and
-// every non-input layer has at least one producer.
+// ordered (which makes the graph acyclic by construction), inputs exist and
+// precede consumers, there is exactly one data source, shapes and GEMM
+// dimensions are positive, and every non-input layer has at least one
+// producer. It is the post-condition of every Build and the oracle the dnn
+// fuzz target holds the builders to.
 func (g *Graph) Validate() error {
 	if g.Batch <= 0 {
 		return fmt.Errorf("dnn: graph %q: batch %d must be positive", g.Name, g.Batch)
@@ -145,6 +152,7 @@ func (g *Graph) Validate() error {
 	if len(g.Layers) == 0 {
 		return fmt.Errorf("dnn: graph %q has no layers", g.Name)
 	}
+	inputs := 0
 	for i, l := range g.Layers {
 		if l.ID != i {
 			return fmt.Errorf("dnn: graph %q: layer %q has ID %d at index %d", g.Name, l.Name, l.ID, i)
@@ -155,8 +163,11 @@ func (g *Graph) Validate() error {
 		if l.Out.N != g.Batch {
 			return fmt.Errorf("dnn: graph %q: layer %q batch %d != graph batch %d", g.Name, l.Name, l.Out.N, g.Batch)
 		}
-		if l.Kind == Input && len(l.Inputs) != 0 {
-			return fmt.Errorf("dnn: graph %q: input layer %q has producers", g.Name, l.Name)
+		if l.Kind == Input {
+			inputs++
+			if len(l.Inputs) != 0 {
+				return fmt.Errorf("dnn: graph %q: input layer %q has producers", g.Name, l.Name)
+			}
 		}
 		if l.Kind != Input && len(l.Inputs) == 0 {
 			return fmt.Errorf("dnn: graph %q: layer %q has no producers", g.Name, l.Name)
@@ -166,9 +177,20 @@ func (g *Graph) Validate() error {
 				return fmt.Errorf("dnn: graph %q: layer %q input %d not topologically earlier", g.Name, l.Name, in)
 			}
 		}
+		for _, gm := range l.GEMMs {
+			if gm.M <= 0 || gm.N <= 0 || gm.K <= 0 {
+				return fmt.Errorf("dnn: graph %q: layer %q has nonpositive GEMM %+v", g.Name, l.Name, gm)
+			}
+		}
+		if l.WeightElems < 0 || l.StashExtraBytes < 0 || l.EwOps < 0 {
+			return fmt.Errorf("dnn: graph %q: layer %q has negative work counts", g.Name, l.Name)
+		}
 		if l.Kind.Stateful() && l.WeightGroup == "" {
 			return fmt.Errorf("dnn: graph %q: stateful layer %q has no weight group", g.Name, l.Name)
 		}
+	}
+	if inputs != 1 {
+		return fmt.Errorf("dnn: graph %q has %d input layers, want exactly 1", g.Name, inputs)
 	}
 	return nil
 }

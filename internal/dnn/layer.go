@@ -40,6 +40,14 @@ const (
 	LSTMCell
 	// GRUCell is one timestep of a GRU cell.
 	GRUCell
+	// Attention is a weightless batched matrix multiply of the attention
+	// mechanism: either the QKᵀ score computation or the score×V context
+	// gather, decomposed into one GEMM per head.
+	Attention
+	// LayerNorm is layer normalization (per-token, transformer blocks).
+	LayerNorm
+	// GELU is the Gaussian-error linear unit activation (transformer FFNs).
+	GELU
 )
 
 var kindNames = map[Kind]string{
@@ -48,6 +56,7 @@ var kindNames = map[Kind]string{
 	BatchNorm: "bn", Dropout: "dropout", Softmax: "softmax",
 	Concat: "concat", Add: "add",
 	RNNCell: "rnn-cell", LSTMCell: "lstm-cell", GRUCell: "gru-cell",
+	Attention: "attention", LayerNorm: "ln", GELU: "gelu",
 }
 
 func (k Kind) String() string {
@@ -58,10 +67,11 @@ func (k Kind) String() string {
 }
 
 // Major reports whether the kind counts as a "layer" in the paper's Table III
-// sense (convolutional, fully-connected, or recurrent timestep).
+// sense (convolutional, fully-connected, recurrent timestep, or an attention
+// matmul — the GEMM-class work units of a network).
 func (k Kind) Major() bool {
 	switch k {
-	case Conv, FC, RNNCell, LSTMCell, GRUCell:
+	case Conv, FC, RNNCell, LSTMCell, GRUCell, Attention:
 		return true
 	}
 	return false
@@ -74,10 +84,11 @@ func (k Kind) Major() bool {
 // recomputed, GEMM-class layers are stashed.
 func (k Kind) Expensive() bool { return k.Major() }
 
-// Stateful reports whether the layer owns trainable weights.
+// Stateful reports whether the layer owns trainable weights. Attention
+// matmuls are weightless — the projections around them carry the parameters.
 func (k Kind) Stateful() bool {
 	switch k {
-	case Conv, FC, RNNCell, LSTMCell, GRUCell, BatchNorm:
+	case Conv, FC, RNNCell, LSTMCell, GRUCell, BatchNorm, LayerNorm:
 		return true
 	}
 	return false

@@ -25,6 +25,21 @@ var benchmarks = map[string]BuilderFunc{
 	"RNN-GRU":    RNNGRU,
 }
 
+// seqBenchmarks holds the workloads with a sequence axis: recurrent networks
+// (where the sequence is the timestep count) and transformers (where it is
+// the token count). BuildSeq consults it for seqlen overrides.
+var seqBenchmarks = map[string]func(batch, seqlen int) *Graph{}
+
+// Input-size guards: builders multiply batch and sequence dimensions into
+// int64 byte and MAC counts, so Build bounds them to keep every derived
+// quantity far from overflow (the dnn fuzz target exercises the full range).
+const (
+	// MaxBatch is the largest accepted batch size.
+	MaxBatch = 65536
+	// MaxSeqLen is the largest accepted sequence length / timestep count.
+	MaxSeqLen = 8192
+)
+
 // BenchmarkNames returns the Table III workload names in paper order.
 func BenchmarkNames() []string { return append([]string(nil), benchmarkOrder...) }
 
@@ -37,8 +52,29 @@ func RNNNames() []string {
 	return []string{"RNN-GEMV", "RNN-LSTM-1", "RNN-LSTM-2", "RNN-GRU"}
 }
 
-// Build constructs a benchmark network by Table III name.
+// TransformerNames returns the attention-era workloads (the post-Table III
+// scenario axis: dense activations, quadratic score tensors).
+func TransformerNames() []string { return []string{"BERT-Large", "GPT-2"} }
+
+// Build constructs a benchmark network by name at its default sequence
+// length. Unknown names and out-of-range batch sizes are errors, never
+// panics — Build is the boundary the CLI and the fuzz harness drive with
+// untrusted input.
 func Build(name string, batch int) (*Graph, error) {
+	return BuildSeq(name, batch, 0)
+}
+
+// BuildSeq is Build with a sequence-length override: seqlen 0 keeps the
+// workload's default, a positive seqlen re-parameterizes sequence workloads
+// (token count for transformers, timestep count for RNNs) and is an error
+// for workloads without a sequence axis.
+func BuildSeq(name string, batch, seqlen int) (*Graph, error) {
+	if batch <= 0 || batch > MaxBatch {
+		return nil, fmt.Errorf("dnn: batch %d outside [1, %d]", batch, MaxBatch)
+	}
+	if seqlen < 0 || seqlen > MaxSeqLen {
+		return nil, fmt.Errorf("dnn: seqlen %d outside [0, %d]", seqlen, MaxSeqLen)
+	}
 	f, ok := benchmarks[name]
 	if !ok {
 		known := make([]string, 0, len(benchmarks))
@@ -48,7 +84,14 @@ func Build(name string, batch int) (*Graph, error) {
 		sort.Strings(known)
 		return nil, fmt.Errorf("dnn: unknown benchmark %q (have %v)", name, known)
 	}
-	return f(batch), nil
+	if seqlen == 0 {
+		return f(batch), nil
+	}
+	sf, ok := seqBenchmarks[name]
+	if !ok {
+		return nil, fmt.Errorf("dnn: benchmark %q has no sequence axis (seqlen %d)", name, seqlen)
+	}
+	return sf(batch, seqlen), nil
 }
 
 // MustBuild is Build for configuration-time call sites.
@@ -247,37 +290,59 @@ func recurrentNet(name string, batch, hidden, timesteps int,
 	return b.FinishRecurrent(timesteps)
 }
 
-// RNNGEMV builds the vanilla-RNN speech-recognition workload
-// (DeepBench-class dimensions: hidden 2560, 50 timesteps).
-func RNNGEMV(batch int) *Graph {
-	return recurrentNet("RNN-GEMV", batch, 2560, 50,
-		func(b *Builder, name string, in, hidden int, group string) int {
-			return b.RNNCell(name, in, hidden, group)
-		})
+// rnnGeometry is the single source of truth for the recurrent workloads'
+// dimensions (DeepBench-class, Table III): cell kind, hidden size, default
+// timestep count. Both the default builders and the seqlen-override registry
+// derive from it, so the two can never drift apart.
+var rnnGeometry = map[string]struct {
+	hidden, timesteps int
+	cell              func(b *Builder, name string, in, hidden int, group string) int
+}{
+	"RNN-GEMV": {2560, 50, func(b *Builder, name string, in, hidden int, group string) int {
+		return b.RNNCell(name, in, hidden, group)
+	}},
+	"RNN-LSTM-1": {1024, 25, func(b *Builder, name string, in, hidden int, group string) int {
+		return b.LSTMCell(name, in, hidden, group)
+	}},
+	"RNN-LSTM-2": {8192, 25, func(b *Builder, name string, in, hidden int, group string) int {
+		return b.LSTMCell(name, in, hidden, group)
+	}},
+	"RNN-GRU": {2816, 187, func(b *Builder, name string, in, hidden int, group string) int {
+		return b.GRUCell(name, in, hidden, group)
+	}},
 }
+
+func rnnNet(name string, batch, timesteps int) *Graph {
+	geo := rnnGeometry[name]
+	return recurrentNet(name, batch, geo.hidden, timesteps, geo.cell)
+}
+
+func rnnDefault(name string, batch int) *Graph {
+	return rnnNet(name, batch, rnnGeometry[name].timesteps)
+}
+
+// RNNGEMV builds the vanilla-RNN speech-recognition workload
+// (hidden 2560, 50 timesteps).
+func RNNGEMV(batch int) *Graph { return rnnDefault("RNN-GEMV", batch) }
 
 // RNNLSTM1 builds the machine-translation LSTM (hidden 1024, 25 timesteps).
-func RNNLSTM1(batch int) *Graph {
-	return recurrentNet("RNN-LSTM-1", batch, 1024, 25,
-		func(b *Builder, name string, in, hidden int, group string) int {
-			return b.LSTMCell(name, in, hidden, group)
-		})
-}
+func RNNLSTM1(batch int) *Graph { return rnnDefault("RNN-LSTM-1", batch) }
 
 // RNNLSTM2 builds the language-modelling LSTM (hidden 8192, 25 timesteps).
-func RNNLSTM2(batch int) *Graph {
-	return recurrentNet("RNN-LSTM-2", batch, 8192, 25,
-		func(b *Builder, name string, in, hidden int, group string) int {
-			return b.LSTMCell(name, in, hidden, group)
-		})
-}
+func RNNLSTM2(batch int) *Graph { return rnnDefault("RNN-LSTM-2", batch) }
 
 // RNNGRU builds the speech GRU (hidden 2816, 187 timesteps).
-func RNNGRU(batch int) *Graph {
-	return recurrentNet("RNN-GRU", batch, 2816, 187,
-		func(b *Builder, name string, in, hidden int, group string) int {
-			return b.GRUCell(name, in, hidden, group)
-		})
+func RNNGRU(batch int) *Graph { return rnnDefault("RNN-GRU", batch) }
+
+func init() {
+	// The recurrent workloads expose their timestep count as the sequence
+	// axis: BuildSeq("RNN-GRU", b, 400) unrolls 400 GRU timesteps.
+	for name := range rnnGeometry {
+		name := name
+		seqBenchmarks[name] = func(batch, seqlen int) *Graph {
+			return rnnNet(name, batch, seqlen)
+		}
+	}
 }
 
 // PaperLayerCount reports the Table III "# of layers" (or timesteps for the
@@ -298,6 +363,10 @@ func PaperLayerCount(name string) int {
 		return 25
 	case "RNN-GRU":
 		return 187
+	case "BERT-Large":
+		return 24
+	case "GPT-2":
+		return 48
 	}
 	return 0
 }

@@ -1,0 +1,112 @@
+package dnn
+
+import "fmt"
+
+// TransformerConfig parameterizes an attention-era workload: a stack of
+// pre-LN encoder/decoder blocks of width DModel with Heads attention heads
+// and an FFN hidden width, run at SeqLen tokens. The two Table III-style
+// reference points (BERT-Large-class encoder, GPT-2-class decoder) are
+// instances of this config; the seqlen sweep re-instantiates it per point.
+type TransformerConfig struct {
+	Name   string
+	Layers int
+	DModel int
+	Heads  int
+	FFN    int
+	SeqLen int
+}
+
+// Validate reports configuration errors, including the overflow guards the
+// fuzz harness relies on.
+func (c TransformerConfig) Validate() error {
+	switch {
+	case c.Layers <= 0:
+		return fmt.Errorf("dnn: transformer %q: layers %d must be positive", c.Name, c.Layers)
+	case c.DModel <= 0 || c.Heads <= 0 || c.FFN <= 0:
+		return fmt.Errorf("dnn: transformer %q: d_model %d, heads %d, ffn %d must be positive", c.Name, c.DModel, c.Heads, c.FFN)
+	case c.DModel%c.Heads != 0:
+		return fmt.Errorf("dnn: transformer %q: d_model %d not divisible by %d heads", c.Name, c.DModel, c.Heads)
+	case c.SeqLen <= 0 || c.SeqLen > MaxSeqLen:
+		return fmt.Errorf("dnn: transformer %q: seqlen %d outside [1, %d]", c.Name, c.SeqLen, MaxSeqLen)
+	}
+	return nil
+}
+
+// BERTLargeConfig is the BERT-Large-class encoder: 24 blocks, d_model 1024,
+// 16 heads, FFN 4096, at a 512-token pre-training sequence.
+func BERTLargeConfig() TransformerConfig {
+	return TransformerConfig{Name: "BERT-Large", Layers: 24, DModel: 1024, Heads: 16, FFN: 4096, SeqLen: 512}
+}
+
+// GPT2Config is the GPT-2-class decoder: 48 blocks, d_model 1600, 25 heads,
+// FFN 6400, at a 1024-token context.
+func GPT2Config() TransformerConfig {
+	return TransformerConfig{Name: "GPT-2", Layers: 48, DModel: 1600, Heads: 25, FFN: 6400, SeqLen: 1024}
+}
+
+// Transformer builds a transformer stack from the config. Both reference
+// workloads use the pre-LN block (LN → QKV projections → per-head QKᵀ →
+// softmax → per-head probs×V → output projection → residual, then LN → FFN
+// with GELU → residual); the input is the embedded token tensor and the
+// output head is left off, matching the convention of counting only the
+// repeated blocks. Invalid configs panic — use Build/BuildSeq for the
+// error-returning entry points.
+func Transformer(cfg TransformerConfig, batch int) *Graph {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	b := NewBuilder(cfg.Name, batch)
+	x := b.InputSeq(cfg.DModel, cfg.SeqLen)
+	for i := 1; i <= cfg.Layers; i++ {
+		p := fmt.Sprintf("block%d", i)
+		ln1 := b.LayerNorm(p+"/ln1", x)
+		q := b.SeqLinear(p+"/q", ln1, cfg.DModel)
+		k := b.SeqLinear(p+"/k", ln1, cfg.DModel)
+		v := b.SeqLinear(p+"/v", ln1, cfg.DModel)
+		scores := b.AttentionScores(p+"/scores", q, k, cfg.Heads)
+		probs := b.Softmax(p+"/softmax", scores)
+		ctx := b.AttentionContext(p+"/context", probs, v)
+		proj := b.SeqLinear(p+"/proj", ctx, cfg.DModel)
+		res1 := b.Add(p+"/res1", x, proj)
+		ln2 := b.LayerNorm(p+"/ln2", res1)
+		ff1 := b.SeqLinear(p+"/ff1", ln2, cfg.FFN)
+		act := b.GELU(p+"/gelu", ff1)
+		ff2 := b.SeqLinear(p+"/ff2", act, cfg.DModel)
+		x = b.Add(p+"/res2", res1, ff2)
+	}
+	b.LayerNorm("ln_final", x)
+	return b.FinishSeq(cfg.SeqLen)
+}
+
+// BERTLarge builds the encoder reference workload at its default sequence.
+func BERTLarge(batch int) *Graph { return Transformer(BERTLargeConfig(), batch) }
+
+// GPT2 builds the decoder reference workload at its default sequence.
+func GPT2(batch int) *Graph { return Transformer(GPT2Config(), batch) }
+
+// ScoreBytes reports the per-iteration footprint of the attention score
+// tensors — the O(batch·heads·seq²) term of the capacity argument.
+func (g *Graph) ScoreBytes() int64 {
+	var total int64
+	for _, l := range g.Layers {
+		if l.Kind == Attention && l.Out.W > 1 {
+			total += l.OutBytes()
+		}
+	}
+	return total
+}
+
+func init() {
+	benchmarks["BERT-Large"] = BERTLarge
+	benchmarks["GPT-2"] = GPT2
+	seqBenchmarks["BERT-Large"] = func(batch, seqlen int) *Graph {
+		cfg := BERTLargeConfig()
+		cfg.SeqLen = seqlen
+		return Transformer(cfg, batch)
+	}
+	seqBenchmarks["GPT-2"] = func(batch, seqlen int) *Graph {
+		cfg := GPT2Config()
+		cfg.SeqLen = seqlen
+		return Transformer(cfg, batch)
+	}
+}

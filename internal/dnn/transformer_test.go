@@ -1,0 +1,112 @@
+package dnn
+
+import "testing"
+
+// BERT-Large's block parameters are 12·d_model² per block (4 attention
+// projections + the 8·d² FFN pair) plus small LayerNorm vectors; with
+// embeddings and the output head excluded the 24-block stack carries ≈302 M
+// parameters.
+func TestBERTLargeParameterCount(t *testing.T) {
+	g := MustBuild("BERT-Large", 8)
+	params := g.TotalWeightBytes() / ElemBytes
+	if params < 300e6 || params > 310e6 {
+		t.Fatalf("BERT-Large parameter count = %d, want ≈302M", params)
+	}
+	if got := g.MajorLayers(); got != 24*8 {
+		t.Fatalf("BERT-Large major layers = %d, want %d (8 GEMM units × 24 blocks)", got, 24*8)
+	}
+	if g.SeqLen != 512 {
+		t.Fatalf("BERT-Large seqlen = %d, want 512", g.SeqLen)
+	}
+}
+
+// The attention score tensors must scale quadratically with sequence length
+// while the rest of the activation footprint scales linearly: doubling seqlen
+// must ~4× ScoreBytes and strictly grow the stash.
+func TestScoreBytesQuadraticInSeqLen(t *testing.T) {
+	const batch = 4
+	g1, err := BuildSeq("BERT-Large", batch, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := BuildSeq("BERT-Large", batch, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.ScoreBytes() == 0 {
+		t.Fatal("encoder graph reports no attention score bytes")
+	}
+	if got := g2.ScoreBytes(); got != 4*g1.ScoreBytes() {
+		t.Fatalf("score bytes at 2x seqlen = %d, want exactly 4x %d", got, g1.ScoreBytes())
+	}
+	// One score tensor per block: batch·heads·seq² elements.
+	cfg := BERTLargeConfig()
+	want := int64(batch) * int64(cfg.Heads) * 256 * 256 * ElemBytes * int64(cfg.Layers)
+	if got := g1.ScoreBytes(); got != want {
+		t.Fatalf("score bytes = %d, want %d", got, want)
+	}
+	if g2.StashBytes() <= g1.StashBytes() {
+		t.Fatalf("stash bytes did not grow with seqlen: %d vs %d", g2.StashBytes(), g1.StashBytes())
+	}
+}
+
+// The per-head GEMM decomposition must account for exactly the attention
+// arithmetic: each block's two attention matmuls contribute
+// 2·batch·seq²·d_model MACs regardless of the head count.
+func TestAttentionGEMMDecomposition(t *testing.T) {
+	cfg := TransformerConfig{Name: "tiny", Layers: 1, DModel: 64, Heads: 4, FFN: 128, SeqLen: 32}
+	const batch = 2
+	g := Transformer(cfg, batch)
+	var attnMACs int64
+	var attnGEMMs int
+	for _, l := range g.Layers {
+		if l.Kind == Attention {
+			attnMACs += l.MACs()
+			attnGEMMs += len(l.GEMMs)
+		}
+	}
+	want := 2 * int64(batch) * int64(cfg.SeqLen) * int64(cfg.SeqLen) * int64(cfg.DModel)
+	if attnMACs != want {
+		t.Fatalf("attention MACs = %d, want %d", attnMACs, want)
+	}
+	if attnGEMMs != 2*cfg.Heads {
+		t.Fatalf("attention GEMM count = %d, want %d (one per head per matmul)", attnGEMMs, 2*cfg.Heads)
+	}
+}
+
+// GPT-2 sanity: registered, decoder-scale parameters, default 1024-token
+// context.
+func TestGPT2Registered(t *testing.T) {
+	g, err := Build("GPT-2", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := g.TotalWeightBytes() / ElemBytes
+	if params < 1.4e9 || params > 1.6e9 {
+		t.Fatalf("GPT-2 parameter count = %d, want ≈1.5B", params)
+	}
+	if g.SeqLen != 1024 {
+		t.Fatalf("GPT-2 seqlen = %d, want 1024", g.SeqLen)
+	}
+}
+
+// Build must reject out-of-range inputs with errors, not panics.
+func TestBuildRejectsBadInputs(t *testing.T) {
+	cases := []struct {
+		name          string
+		batch, seqlen int
+	}{
+		{"AlexNet", 0, 0},
+		{"AlexNet", -7, 0},
+		{"AlexNet", MaxBatch + 1, 0},
+		{"AlexNet", 64, 16}, // no sequence axis
+		{"BERT-Large", 8, -1},
+		{"BERT-Large", 8, MaxSeqLen + 1},
+		{"unknown", 64, 0},
+	}
+	for _, c := range cases {
+		if g, err := BuildSeq(c.name, c.batch, c.seqlen); err == nil {
+			t.Fatalf("BuildSeq(%q,%d,%d) = %v, want error", c.name, c.batch, c.seqlen, g)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/memcentric/mcdla/internal/train"
+)
+
+func TestTransformerSweepShape(t *testing.T) {
+	rows, err := TransformerSweep([]string{"BERT-Large"}, []int{128, 256}, []train.Precision{train.FP16, train.FP32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4 (2 seqlens × 2 precisions)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Speedup <= 1 {
+			t.Errorf("seq %d %v: MC-DLA(B) speedup %.2f not above 1 — the memory-centric advantage must survive attention",
+				r.SeqLen, r.Precision, r.Speedup)
+		}
+		if r.ScoreShare <= 0 || r.ScoreShare >= 1 {
+			t.Errorf("seq %d: score share %.2f outside (0,1)", r.SeqLen, r.ScoreShare)
+		}
+		if r.VirtPerDevice <= 0 {
+			t.Errorf("seq %d %v: no DC-DLA virtualization traffic", r.SeqLen, r.Precision)
+		}
+	}
+	// The attention-score share of the stash must grow with seqlen.
+	if rows[2].ScoreShare <= rows[0].ScoreShare {
+		t.Fatalf("score share did not grow with seqlen: %.3f (256) vs %.3f (128)",
+			rows[2].ScoreShare, rows[0].ScoreShare)
+	}
+	// FP32 moves twice the activations: its DC-DLA virt traffic must double
+	// the fp16 row's.
+	if rows[1].VirtPerDevice < 2*rows[0].VirtPerDevice {
+		t.Fatalf("fp32 virt traffic %v not doubled over fp16 %v", rows[1].VirtPerDevice, rows[0].VirtPerDevice)
+	}
+}
+
+func TestAttentionCompressHeadline(t *testing.T) {
+	rows, err := AttentionCompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cnns, transformers int
+	for _, r := range rows {
+		switch r.Family {
+		case "CNN":
+			cnns++
+			if r.Ratio <= 1.2 {
+				t.Errorf("%s: CNN cDMA ratio %.2f implausibly low", r.Workload, r.Ratio)
+			}
+			if r.GapCDMA >= r.GapPlain {
+				t.Errorf("%s: cDMA did not narrow the CNN gap (%.2f -> %.2f)", r.Workload, r.GapPlain, r.GapCDMA)
+			}
+		case "Transformer":
+			transformers++
+			if r.Ratio != 1.0 {
+				t.Errorf("%s: transformer cDMA ratio %.2f, want exactly 1.0", r.Workload, r.Ratio)
+			}
+			if r.GapCDMA != r.GapPlain {
+				t.Errorf("%s: cDMA changed the transformer gap (%.2f -> %.2f) despite a 1.0x ratio",
+					r.Workload, r.GapPlain, r.GapCDMA)
+			}
+			if r.GapPlain < 2 {
+				t.Errorf("%s: transformer DC↔MC gap %.2f — expected the uncompressed gap to stay wide", r.Workload, r.GapPlain)
+			}
+		default:
+			t.Errorf("%s: unknown family %q", r.Workload, r.Family)
+		}
+	}
+	if cnns != 4 || transformers != 2 {
+		t.Fatalf("got %d CNN and %d transformer rows, want 4 and 2", cnns, transformers)
+	}
+}

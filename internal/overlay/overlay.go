@@ -136,35 +136,44 @@ func (r *Runtime) Iteration() (units.Time, error) {
 	}
 
 	// ---- Backward: chained prefetch pipeline + recompute + compute ----
-	type pending struct {
-		layer int
-		event *cudart.Event
-	}
-	next := len(r.graph.Layers) - 1
-	issue := func() (*pending, error) {
-		for next >= 0 {
-			id := next
-			next--
-			bytes := r.plan.PrefetchFor(id)
-			if bytes > 0 {
-				e, err := r.dev.MemcpyAsync(units.Bytes(bytes), inDir)
-				if err != nil {
-					return nil, err
-				}
-				return &pending{layer: id, event: e}, nil
-			}
+	// The pipeline streams the plan's deduplicated schedule: each stash
+	// tensor is fetched exactly once, before its first backward use, and
+	// stays resident for later consumers — the same discipline as the core
+	// engine.
+	sched := r.plan.PrefetchSchedule()
+	queue := sched.Items
+	events := make([]*cudart.Event, len(queue))
+	next := 0
+	issue := func() error {
+		if next >= len(queue) {
+			return nil
 		}
-		return nil, nil
+		layer := queue[next].Layer
+		for next < len(queue) && queue[next].Layer == layer {
+			e, err := r.dev.MemcpyAsync(units.Bytes(queue[next].Bytes), inDir)
+			if err != nil {
+				return err
+			}
+			events[next] = e
+			next++
+		}
+		return nil
 	}
-	inflight, err := issue()
-	if err != nil {
+	if err := issue(); err != nil {
 		return 0, err
 	}
 	recomputed := make(map[int]bool)
 	for id := len(r.graph.Layers) - 1; id >= 0; id-- {
-		if inflight != nil && inflight.layer == id {
-			r.dev.Sync(inflight.event)
-			if inflight, err = issue(); err != nil {
+		if items := sched.NeededAt(id); len(items) > 0 {
+			for next <= sched.MaxNeededAt(id) {
+				if err := issue(); err != nil {
+					return 0, err
+				}
+			}
+			for _, i := range items {
+				r.dev.Sync(events[i])
+			}
+			if err := issue(); err != nil {
 				return 0, err
 			}
 		}

@@ -23,13 +23,19 @@ import (
 )
 
 // Job is one point of a simulation grid: simulate Workload trained with
-// Strategy at the global Batch across Workers devices on Design.
+// Strategy at the global Batch across Workers devices on Design. SeqLen and
+// Precision default to the workload's sequence length and the seed's fp16
+// accounting, so zero values reproduce the paper grids exactly.
 type Job struct {
 	Design   core.Design
 	Workload string
 	Strategy train.Strategy
 	Batch    int
 	Workers  int
+	// SeqLen overrides the workload's sequence axis (0 keeps the default).
+	SeqLen int
+	// Precision selects the number-format policy (zero value: train.FP16).
+	Precision train.Precision
 	// Tag is an optional caller label carried into progress updates
 	// (e.g. the sensitivity variant a job belongs to).
 	Tag string
@@ -39,13 +45,13 @@ type Job struct {
 // plain value trees (no pointers or maps), so their printed form is a
 // faithful fingerprint.
 func (j Job) key() string {
-	return fmt.Sprintf("%+v|%s|%d|%d|%d", j.Design, j.Workload, j.Strategy, j.Batch, j.Workers)
+	return fmt.Sprintf("%+v|%s|%d|%d|%d|%d|%d", j.Design, j.Workload, j.Strategy, j.Batch, j.Workers, j.SeqLen, j.Precision)
 }
 
-// scheduleKey identifies the train.Build inputs shared by every design
+// scheduleKey identifies the train.BuildSeq inputs shared by every design
 // simulated against the same workload point.
 func (j Job) scheduleKey() string {
-	return fmt.Sprintf("%s|%d|%d|%d", j.Workload, j.Strategy, j.Batch, j.Workers)
+	return fmt.Sprintf("%s|%d|%d|%d|%d|%d", j.Workload, j.Strategy, j.Batch, j.Workers, j.SeqLen, j.Precision)
 }
 
 // Update is one progress event, emitted after a job finishes (successfully,
@@ -170,7 +176,7 @@ func (e *Engine) Run(jobs []Job, progress func(Update)) ([]core.Result, error) {
 func (e *Engine) simulate(j Job) (core.Result, bool, error) {
 	return e.results.do(j.key(), func() (core.Result, error) {
 		s, _, err := e.scheds.do(j.scheduleKey(), func() (*train.Schedule, error) {
-			return train.Build(j.Workload, j.Batch, j.Workers, j.Strategy)
+			return train.BuildSeq(j.Workload, j.Batch, j.Workers, j.Strategy, j.SeqLen, j.Precision)
 		})
 		if err != nil {
 			return core.Result{}, err
@@ -188,22 +194,38 @@ type Grid struct {
 	Designs    []core.Design
 	Strategies []train.Strategy
 	Batches    []int
+	// SeqLens and Precisions are optional axes; nil means the single
+	// default point ({0} and {train.FP16}).
+	SeqLens    []int
+	Precisions []train.Precision
 	Workers    int
 	Tag        string
 }
 
 // Jobs expands the grid in deterministic workload-major order:
-// workload × design × strategy × batch.
+// workload × seqlen × precision × design × strategy × batch.
 func (g Grid) Jobs() []Job {
-	jobs := make([]Job, 0, len(g.Workloads)*len(g.Designs)*len(g.Strategies)*len(g.Batches))
+	seqs := g.SeqLens
+	if len(seqs) == 0 {
+		seqs = []int{0}
+	}
+	precs := g.Precisions
+	if len(precs) == 0 {
+		precs = []train.Precision{train.FP16}
+	}
+	jobs := make([]Job, 0, len(g.Workloads)*len(seqs)*len(precs)*len(g.Designs)*len(g.Strategies)*len(g.Batches))
 	for _, w := range g.Workloads {
-		for _, d := range g.Designs {
-			for _, s := range g.Strategies {
-				for _, b := range g.Batches {
-					jobs = append(jobs, Job{
-						Design: d, Workload: w, Strategy: s, Batch: b,
-						Workers: g.Workers, Tag: g.Tag,
-					})
+		for _, q := range seqs {
+			for _, p := range precs {
+				for _, d := range g.Designs {
+					for _, s := range g.Strategies {
+						for _, b := range g.Batches {
+							jobs = append(jobs, Job{
+								Design: d, Workload: w, Strategy: s, Batch: b,
+								Workers: g.Workers, SeqLen: q, Precision: p, Tag: g.Tag,
+							})
+						}
+					}
 				}
 			}
 		}

@@ -296,9 +296,9 @@ func (p Plane) SimulateTraced(workload string, globalBatch int, memCentric bool,
 	}
 
 	plan := vmem.Analyze(g, vmem.Options{})
-	stashScale := 1.0
+	stashScale := float64(s.Precision.ActScale())
 	if s.Strategy == train.ModelParallel && g.Timesteps > 0 {
-		stashScale = 1 / float64(s.Workers)
+		stashScale /= float64(s.Workers)
 	}
 	scaleStash := func(b int64) units.Bytes {
 		return units.Bytes(float64(b)*stashScale + 0.5)
@@ -355,21 +355,35 @@ func (p Plane) SimulateTraced(workload string, globalBatch int, memCentric bool,
 	type inflight struct {
 		flow   *sim.Flow
 		issued units.Time
+		traced bool
 	}
-	prefetch := make(map[int]inflight)
-	nextToIssue := len(g.Layers) - 1
 	// The DMA engine keeps a queue of prefetches in flight (the vDNN/LMS
 	// performance-aware overlap, §IV): a one-deep pipeline would idle the
 	// channel between a prefetch landing and the device reaching the next
 	// layer boundary, which the first-order estimator's max(compute, virt)
-	// overlap never charges for. Demand order is preserved with priority
-	// classes — the earliest-needed stash (largest layer ID during
-	// backward) outranks lookahead, so queue depth buys channel utilization
-	// without delaying the critical prefetch. The queue refills at every
-	// backward layer boundary; in-flight flows are counted lazily by
+	// overlap never charges for. The queue is the plan's deduplicated
+	// schedule — each stash tensor moves exactly once, at its first backward
+	// use, and stays resident for later consumers. Demand order is preserved
+	// with priority classes — the earliest-needed stash (largest layer ID
+	// during backward) outranks lookahead, so queue depth buys channel
+	// utilization without delaying the critical prefetch. The queue refills
+	// at every backward layer boundary; in-flight flows are counted lazily by
 	// advancing the channel to the device clock.
 	const prefetchDepth = 8
+	sched := plan.PrefetchSchedule()
+	queue := sched.Items
+	fetched := make([]inflight, len(queue))
+	next := 0
 	var outstanding []*sim.Flow
+	issueItem := func(at units.Time) {
+		it := queue[next]
+		bytes := scaleStash(it.Bytes)
+		f := virtCh.StartGroupPriority(at, "prefetch", "virt", bytes, virtRate, 0, 1+it.Layer)
+		fetched[next] = inflight{flow: f, issued: at}
+		res.Virt += units.TransferTime(bytes, virtRate)
+		outstanding = append(outstanding, f)
+		next++
+	}
 	fillPrefetchQueue := func(at units.Time) {
 		virtCh.AdvanceTo(at)
 		kept := outstanding[:0]
@@ -379,16 +393,8 @@ func (p Plane) SimulateTraced(workload string, globalBatch int, memCentric bool,
 			}
 		}
 		outstanding = kept
-		for len(outstanding) < prefetchDepth && nextToIssue >= 0 {
-			id := nextToIssue
-			nextToIssue--
-			bytes := scaleStash(plan.PrefetchFor(id))
-			if bytes > 0 {
-				f := virtCh.StartGroupPriority(at, "prefetch", "virt", bytes, virtRate, 0, 1+id)
-				prefetch[id] = inflight{f, at}
-				res.Virt += units.TransferTime(bytes, virtRate)
-				outstanding = append(outstanding, f)
-			}
+		for len(outstanding) < prefetchDepth && next < len(queue) {
+			issueItem(at)
 		}
 	}
 	recomputed := make(map[int]bool)
@@ -403,12 +409,21 @@ func (p Plane) SimulateTraced(workload string, globalBatch int, memCentric bool,
 	for id := len(g.Layers) - 1; id >= 0; id-- {
 		fillPrefetchQueue(t)
 		pumpStaged(t)
-		if f, ok := prefetch[id]; ok {
-			resume := virtCh.Wait(t, f.flow)
-			tr.Add(g.Layer(id).Name+"/prefetch", trace.Prefetch, f.issued, f.flow.DoneAt())
-			tr.Add(g.Layer(id).Name+"/stall", trace.Stall, t, resume)
-			res.StallVirt += resume - t
-			t = resume
+		if items := sched.NeededAt(id); len(items) > 0 {
+			for next <= sched.MaxNeededAt(id) {
+				issueItem(t)
+			}
+			stallFrom := t
+			for _, i := range items {
+				f := &fetched[i]
+				t = virtCh.Wait(t, f.flow)
+				if !f.traced {
+					f.traced = true
+					tr.Add(sched.ItemName(i)+"/prefetch", trace.Prefetch, f.issued, f.flow.DoneAt())
+				}
+			}
+			tr.Add(g.Layer(id).Name+"/stall", trace.Stall, stallFrom, t)
+			res.StallVirt += t - stallFrom
 			fillPrefetchQueue(t)
 		}
 		for _, rid := range plan.RecomputeFor(id) {

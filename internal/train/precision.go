@@ -1,0 +1,87 @@
+package train
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Precision selects the training number-format policy. The dnn package
+// stores tensors at a 2-byte base element (the fp16 storage of the Table II
+// tensor-core-class device), so precision acts as a byte-scale on top of the
+// graph: activations, weight reads and collective payloads widen under FP32,
+// and the mixed policy keeps fp16 activations while widening the dW
+// all-reduce to the fp32 master-weight gradients it accumulates into.
+//
+// The zero value is FP16 — the seed simulator's historical accounting — so
+// every existing call site and cache key is unchanged by default.
+type Precision int
+
+const (
+	// FP16 is pure half precision: 2-byte activations, weights, gradients
+	// and collective payloads (the seed model's accounting).
+	FP16 Precision = iota
+	// Mixed is fp16 compute with fp32 master weights: activations, weight
+	// reads and feature-map collectives stay at 2 bytes, but the dW
+	// all-reduce carries the 4-byte gradients the fp32 master copy
+	// accumulates — the payload-widening cost of loss-scaled training.
+	Mixed
+	// FP32 is full single precision: every tensor and payload doubles
+	// against the 2-byte base.
+	FP32
+)
+
+func (p Precision) String() string {
+	switch p {
+	case FP16:
+		return "fp16"
+	case Mixed:
+		return "mixed"
+	case FP32:
+		return "fp32"
+	}
+	return fmt.Sprintf("Precision(%d)", int(p))
+}
+
+// ParsePrecision resolves a CLI spelling.
+func ParsePrecision(s string) (Precision, error) {
+	switch strings.ToLower(s) {
+	case "fp16", "half":
+		return FP16, nil
+	case "mixed", "amp":
+		return Mixed, nil
+	case "fp32", "single", "float":
+		return FP32, nil
+	}
+	return 0, fmt.Errorf("train: unknown precision %q (want fp16, mixed or fp32)", s)
+}
+
+// Precisions returns the sweep axis in narrow-to-wide order.
+func Precisions() []Precision { return []Precision{FP16, Mixed, FP32} }
+
+// ActScale is the multiplier on activation, weight-read and feature-map
+// bytes over the 2-byte graph base.
+func (p Precision) ActScale() int64 {
+	if p == FP32 {
+		return 2
+	}
+	return 1
+}
+
+// DWScale is the multiplier on dW all-reduce payload bytes: widened whenever
+// the gradient accumulation runs in fp32 (Mixed and FP32).
+func (p Precision) DWScale() int64 {
+	if p == FP16 {
+		return 1
+	}
+	return 2
+}
+
+// MasterScale is the multiplier on the resident parameter footprint: Mixed
+// and FP32 keep 4-byte master weights (Mixed additionally keeps the fp16
+// compute copy, which the capacity accounting rolls into the same term).
+func (p Precision) MasterScale() int64 {
+	if p == FP16 {
+		return 1
+	}
+	return 2
+}

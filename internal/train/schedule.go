@@ -75,6 +75,9 @@ type Schedule struct {
 	Workers  int
 	// GlobalBatch is the problem-size batch (512 in the paper's runs).
 	GlobalBatch int
+	// Precision is the number-format policy the byte accounting was scaled
+	// with.
+	Precision Precision
 	// Graph is the per-device graph: batch/workers under data parallel,
 	// the full batch under model parallel.
 	Graph *dnn.Graph
@@ -82,32 +85,60 @@ type Schedule struct {
 	Work []LayerWork
 }
 
-// Build constructs the per-device schedule for a benchmark. Workers must
-// divide the global batch under data parallel and every layer's output
-// features under model parallel (true for all Table III networks at 8).
+// Build constructs the per-device schedule for a benchmark at its default
+// sequence length in the seed's fp16 accounting. Workers must divide the
+// global batch under data parallel and every layer's output features under
+// model parallel (true for all Table III networks at 8).
 func Build(name string, globalBatch, workers int, strategy Strategy) (*Schedule, error) {
+	return BuildSeq(name, globalBatch, workers, strategy, 0, FP16)
+}
+
+// BuildSeq is Build with the full scenario axis: a sequence-length override
+// (0 keeps the workload default) and a training precision.
+func BuildSeq(name string, globalBatch, workers int, strategy Strategy, seqlen int, prec Precision) (*Schedule, error) {
 	if workers <= 0 {
 		return nil, fmt.Errorf("train: workers must be positive, got %d", workers)
 	}
 	if globalBatch <= 0 {
 		return nil, fmt.Errorf("train: batch must be positive, got %d", globalBatch)
 	}
-	switch strategy {
-	case DataParallel:
+	deviceBatch := globalBatch
+	if strategy == DataParallel {
 		if globalBatch%workers != 0 {
 			return nil, fmt.Errorf("train: batch %d not divisible by %d workers", globalBatch, workers)
 		}
-		g, err := dnn.Build(name, globalBatch/workers)
-		if err != nil {
-			return nil, err
+		deviceBatch = globalBatch / workers
+	}
+	g, err := dnn.BuildSeq(name, deviceBatch, seqlen)
+	if err != nil {
+		return nil, err
+	}
+	return BuildGraph(g, globalBatch, workers, strategy, prec)
+}
+
+// BuildGraph constructs the per-device schedule for an already-built graph:
+// under data parallel g is the per-device graph (batch = globalBatch /
+// workers), under model parallel the full-batch graph. It is the entry point
+// for custom (non-registry) workloads — randomized property-test graphs,
+// hand-built capacity studies.
+func BuildGraph(g *dnn.Graph, globalBatch, workers int, strategy Strategy, prec Precision) (*Schedule, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("train: workers must be positive, got %d", workers)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	switch strategy {
+	case DataParallel:
+		if g.Batch*workers != globalBatch {
+			return nil, fmt.Errorf("train: device batch %d × %d workers != global batch %d", g.Batch, workers, globalBatch)
 		}
-		return buildDataParallel(g, globalBatch, workers), nil
+		return buildDataParallel(g, globalBatch, workers, prec), nil
 	case ModelParallel:
-		g, err := dnn.Build(name, globalBatch)
-		if err != nil {
-			return nil, err
+		if g.Batch != globalBatch {
+			return nil, fmt.Errorf("train: model-parallel graph batch %d != global batch %d", g.Batch, globalBatch)
 		}
-		return buildModelParallel(g, globalBatch, workers)
+		return buildModelParallel(g, globalBatch, workers, prec)
 	default:
 		return nil, fmt.Errorf("train: unknown strategy %v", strategy)
 	}
@@ -133,16 +164,20 @@ func inputBytes(g *dnn.Graph, l *dnn.Layer) int64 {
 // buildDataParallel: full model per device; the only synchronization is the
 // all-reduce of each weight group's gradients, issued when backprop finishes
 // the group's earliest layer (gradients for shared recurrent weights
-// accumulate across timesteps and reduce once).
-func buildDataParallel(g *dnn.Graph, globalBatch, workers int) *Schedule {
+// accumulate across timesteps and reduce once). Precision scales the byte
+// accounting: activation/weight reads by ActScale, the dW payload by DWScale
+// (fp32 master-weight gradients under mixed precision).
+func buildDataParallel(g *dnn.Graph, globalBatch, workers int, prec Precision) *Schedule {
 	s := &Schedule{
 		Name:        g.Name,
 		Strategy:    DataParallel,
 		Workers:     workers,
 		GlobalBatch: globalBatch,
+		Precision:   prec,
 		Graph:       g,
 		Work:        make([]LayerWork, len(g.Layers)),
 	}
+	act, dw := prec.ActScale(), prec.DWScale()
 	// Earliest layer of each weight group = last processed during backprop.
 	groupIssue := make(map[string]int)
 	groupBytes := make(map[string]int64)
@@ -159,14 +194,14 @@ func buildDataParallel(g *dnn.Graph, globalBatch, workers int) *Schedule {
 		w := LayerWork{
 			LayerID:     l.ID,
 			GEMMs:       append([]dnn.GEMM(nil), l.GEMMs...),
-			WeightBytes: l.WeightBytes(),
-			InputBytes:  inputBytes(g, l),
-			OutputBytes: l.OutBytes(),
+			WeightBytes: act * l.WeightBytes(),
+			InputBytes:  act * inputBytes(g, l),
+			OutputBytes: act * l.OutBytes(),
 		}
 		if workers > 1 && l.WeightGroup != "" && groupIssue[l.WeightGroup] == l.ID {
 			w.BwdSync = append(w.BwdSync, SyncOp{
 				Op:    collective.AllReduce,
-				Bytes: units.Bytes(groupBytes[l.WeightGroup]),
+				Bytes: units.Bytes(dw * groupBytes[l.WeightGroup]),
 				Tag:   "dW",
 				// Data-parallel dW reductions overlap with the rest of
 				// backprop (Figure 3(a): synchronization only at gradient
@@ -182,22 +217,26 @@ func buildDataParallel(g *dnn.Graph, globalBatch, workers int) *Schedule {
 // buildModelParallel: every GEMM layer's output features are sliced across
 // workers; feature maps are all-gathered at layer boundaries in forward and
 // input gradients all-reduced in backward (Figure 3(b)). Elementwise layers
-// run replicated on the gathered tensors.
-func buildModelParallel(g *dnn.Graph, globalBatch, workers int) (*Schedule, error) {
+// run replicated on the gathered tensors. Precision scales every term by
+// ActScale — the X/dX collectives carry activations and activation
+// gradients, which stay fp16 under the mixed policy.
+func buildModelParallel(g *dnn.Graph, globalBatch, workers int, prec Precision) (*Schedule, error) {
 	s := &Schedule{
 		Name:        g.Name,
 		Strategy:    ModelParallel,
 		Workers:     workers,
 		GlobalBatch: globalBatch,
+		Precision:   prec,
 		Graph:       g,
 		Work:        make([]LayerWork, len(g.Layers)),
 	}
+	act := prec.ActScale()
 	consumers := g.Consumers()
 	for _, l := range g.Layers {
 		w := LayerWork{
 			LayerID:     l.ID,
-			InputBytes:  inputBytes(g, l),
-			OutputBytes: l.OutBytes(),
+			InputBytes:  act * inputBytes(g, l),
+			OutputBytes: act * l.OutBytes(),
 		}
 		if len(l.GEMMs) > 0 {
 			div := int64(workers)
@@ -208,14 +247,14 @@ func buildModelParallel(g *dnn.Graph, globalBatch, workers int) (*Schedule, erro
 				}
 				w.GEMMs = append(w.GEMMs, dnn.GEMM{M: gm.M, N: gm.N / div, K: gm.K})
 			}
-			w.WeightBytes = l.WeightBytes() / div
+			w.WeightBytes = act * l.WeightBytes() / div
 			// Forward: the device produced 1/workers of Y; gather the full
 			// tensor before downstream layers consume it. The final layer
 			// of the graph needs no gather.
 			if len(consumers[l.ID]) > 0 {
 				w.FwdSync = append(w.FwdSync, SyncOp{
 					Op:       collective.AllGather,
-					Bytes:    units.Bytes(l.OutBytes()),
+					Bytes:    units.Bytes(act * l.OutBytes()),
 					Tag:      "X",
 					Blocking: true,
 				})
@@ -230,7 +269,7 @@ func buildModelParallel(g *dnn.Graph, globalBatch, workers int) (*Schedule, erro
 			})
 		} else {
 			w.GEMMs = nil
-			w.WeightBytes = l.WeightBytes()
+			w.WeightBytes = act * l.WeightBytes()
 		}
 		s.Work[l.ID] = w
 	}

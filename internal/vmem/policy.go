@@ -192,7 +192,9 @@ func (p *Plan) OffloadBytes() int64 {
 }
 
 // PrefetchBytes reports the per-iteration bytes DMAed back during backprop.
-// Symmetric with OffloadBytes under this policy.
+// Genuinely symmetric with OffloadBytes: every stash tensor is prefetched
+// exactly once (before its first backward use) and stays resident for any
+// later backward consumers, so the plan never re-fetches a shared tensor.
 func (p *Plan) PrefetchBytes() int64 { return p.OffloadBytes() }
 
 // TrafficBytes reports total backing-store traffic per iteration.
@@ -212,7 +214,9 @@ func (p *Plan) OffloadsAfter(layer int) (tensors []int, extraBytes int64) {
 
 // PrefetchFor returns the stash bytes that must be resident before the
 // backward pass of the given layer runs: its planned input tensors plus its
-// extra stash.
+// extra stash. Residency, not traffic: a tensor shared by several backward
+// consumers appears in every consumer's PrefetchFor but moves only once (see
+// PrefetchQueue).
 func (p *Plan) PrefetchFor(layer int) int64 {
 	var total int64
 	l := p.Graph.Layer(layer)
@@ -223,6 +227,128 @@ func (p *Plan) PrefetchFor(layer int) int64 {
 	}
 	total += p.ExtraStash[layer]
 	return total
+}
+
+// FirstBackwardUse reports the layer whose backward pass reads the stash
+// tensor first — the highest consumer ID, since backprop walks the graph in
+// reverse topological order. The prefetch must land before that layer's
+// backward step; the tensor then stays resident for later (lower-ID)
+// consumers. Returns -1 for tensors no backward step reads.
+func (p *Plan) FirstBackwardUse(tensor int) int {
+	tp, ok := p.Tensors[tensor]
+	if !ok {
+		return -1
+	}
+	first := -1
+	for _, id := range tp.NeededAt {
+		if id > first {
+			first = id
+		}
+	}
+	return first
+}
+
+// PrefetchItem is one DMA the backward pass issues from the backing store.
+type PrefetchItem struct {
+	// Layer is the backward step the transfer must precede.
+	Layer int
+	// Tensor is the stashed producer ID, or -1 for a layer's extra backward
+	// state (recurrent gate activations).
+	Tensor int
+	// Bytes is the transfer size.
+	Bytes int64
+}
+
+// PrefetchQueue returns the backward DMA schedule in issue order: layers in
+// reverse topological order, each stash tensor appearing exactly once at the
+// layer of its first backward use (its extra state alongside). The DMA
+// engine streams the queue FIFO underneath the backward computation; summing
+// the queue reproduces PrefetchBytes exactly, which is the invariant tying
+// the planner's accounting to the engine's charged traffic.
+func (p *Plan) PrefetchQueue() []PrefetchItem {
+	g := p.Graph
+	var queue []PrefetchItem
+	seen := make(map[int]bool)
+	for id := len(g.Layers) - 1; id >= 0; id-- {
+		for _, in := range g.Layer(id).Inputs {
+			tp, ok := p.Tensors[in]
+			if !ok || tp.Action != Stash || seen[in] {
+				continue
+			}
+			seen[in] = true
+			queue = append(queue, PrefetchItem{Layer: id, Tensor: in, Bytes: tp.Bytes})
+		}
+		if extra := p.ExtraStash[id]; extra > 0 {
+			queue = append(queue, PrefetchItem{Layer: id, Tensor: -1, Bytes: extra})
+		}
+	}
+	return queue
+}
+
+// PrefetchSchedule is the indexed form of the prefetch queue the backward
+// engines consume: the FIFO items plus, per layer, the queue positions whose
+// transfers must have landed before that layer's backward step (its stashed
+// inputs — wherever their first use put them — and its own extra state). All
+// three engines (core, scale-out plane, overlay runtime) drive the same
+// schedule; only the flow/event bookkeeping differs.
+type PrefetchSchedule struct {
+	Items []PrefetchItem
+
+	plan   *Plan
+	needed [][]int
+}
+
+// PrefetchSchedule builds the indexed schedule.
+func (p *Plan) PrefetchSchedule() *PrefetchSchedule {
+	s := &PrefetchSchedule{Items: p.PrefetchQueue(), plan: p}
+	g := p.Graph
+	tensorItem := make(map[int]int, len(s.Items))
+	extraItem := make(map[int]int)
+	for i, it := range s.Items {
+		if it.Tensor >= 0 {
+			tensorItem[it.Tensor] = i
+		} else {
+			extraItem[it.Layer] = i
+		}
+	}
+	s.needed = make([][]int, len(g.Layers))
+	for id, l := range g.Layers {
+		for _, in := range l.Inputs {
+			if tp, ok := p.Tensors[in]; ok && tp.Action == Stash {
+				s.needed[id] = append(s.needed[id], tensorItem[in])
+			}
+		}
+		if i, ok := extraItem[id]; ok {
+			s.needed[id] = append(s.needed[id], i)
+		}
+	}
+	return s
+}
+
+// NeededAt returns the queue indices that must be resident before the given
+// layer's backward step, in deterministic (input, then extra-state) order.
+func (s *PrefetchSchedule) NeededAt(layer int) []int { return s.needed[layer] }
+
+// MaxNeededAt returns the highest queue index NeededAt(layer) contains — the
+// position a FIFO issuer must have reached — or -1 when the layer needs
+// nothing.
+func (s *PrefetchSchedule) MaxNeededAt(layer int) int {
+	max := -1
+	for _, i := range s.needed[layer] {
+		if i > max {
+			max = i
+		}
+	}
+	return max
+}
+
+// ItemName names a queue item for trace spans: the producing layer of the
+// tensor, or "<layer>/state" for extra backward state.
+func (s *PrefetchSchedule) ItemName(i int) string {
+	if it := s.Items[i]; it.Tensor >= 0 {
+		return s.plan.Graph.Layer(it.Tensor).Name
+	}
+	return s.plan.Graph.Layer(s.Items[i].Layer).Name + "/state"
 }
 
 // RecomputeFor returns the producer layer IDs that must be re-executed
