@@ -1,9 +1,10 @@
-// Command mcdla regenerates the paper's tables and figures and runs ad-hoc
-// simulations of the evaluated system design points.
+// Command mcdla regenerates the paper's tables and figures, runs ad-hoc
+// simulations of the evaluated system design points, and serves the whole
+// experiment suite over HTTP.
 //
 // Usage:
 //
-//	mcdla [-parallel N] [-quiet] <subcommand> [flags]
+//	mcdla [-parallel N] [-quiet] [-format text|json|csv|md] <subcommand> [flags]
 //
 // The grid-based experiment subcommands (fig2, fig11-fig14, headline, sens,
 // scale, explore, plane, and their aggregation in all) fan their simulations
@@ -14,6 +15,13 @@
 // byte-identical at every parallelism. The single-simulation and analytic
 // subcommands (fig9, tab4, run, trace, networks, config) don't fan out and
 // ignore -parallel.
+//
+// Every subcommand builds a typed report (internal/report) and renders it
+// through the global -format flag: the default text format reproduces the
+// paper-style tables byte-for-byte, while json, csv and md emit the same
+// numbers for scripts and documents. `mcdla serve` exposes the same reports
+// as a long-running HTTP API (internal/server) with a bounded cross-request
+// simulation cache.
 //
 // Subcommands:
 //
@@ -39,6 +47,8 @@
 //	config     Table II device and memory-node configuration
 //	run        one simulation (flags: -design, -workload, -strategy, -batch,
 //	           -seqlen, -precision)
+//	serve      long-running HTTP API over the experiment suite
+//	           (flags: -addr, -cache)
 //	all        everything above, in paper order
 package main
 
@@ -50,19 +60,24 @@ import (
 	"strconv"
 	"strings"
 
-	"github.com/memcentric/mcdla/internal/accel"
 	"github.com/memcentric/mcdla/internal/core"
-	"github.com/memcentric/mcdla/internal/dnn"
 	"github.com/memcentric/mcdla/internal/experiments"
+	"github.com/memcentric/mcdla/internal/report"
 	"github.com/memcentric/mcdla/internal/runner"
+	"github.com/memcentric/mcdla/internal/server"
 	"github.com/memcentric/mcdla/internal/trace"
 	"github.com/memcentric/mcdla/internal/train"
 	"github.com/memcentric/mcdla/internal/units"
 )
 
+// outputFormat is the global -format selection; the zero default renders
+// paper-style text.
+var outputFormat = report.FormatText
+
 func main() {
-	args, parallel, quiet, err := globalFlags(os.Args[1:])
+	args, parallel, quiet, format, err := globalFlags(os.Args[1:])
 	if err == nil {
+		outputFormat = format
 		experiments.SetParallelism(parallel)
 		if !quiet {
 			experiments.SetProgress(progressLine)
@@ -75,26 +90,40 @@ func main() {
 	}
 }
 
-// globalFlags extracts -parallel/-quiet from anywhere in the argument list so
-// both `mcdla -parallel 8 all` and `mcdla all -parallel 8` work; everything
-// else passes through to the subcommand dispatch.
-func globalFlags(args []string) (rest []string, parallel int, quiet bool, err error) {
+// globalFlags extracts -parallel/-quiet/-format from anywhere in the
+// argument list so both `mcdla -parallel 8 all` and `mcdla all -parallel 8`
+// work; everything else passes through to the subcommand dispatch.
+func globalFlags(args []string) (rest []string, parallel int, quiet bool, format report.Format, err error) {
 	parallel = runtime.GOMAXPROCS(0)
+	format = report.FormatText
 	for i := 0; i < len(args); i++ {
 		a := args[i]
 		switch {
 		case a == "-parallel" || a == "--parallel":
 			i++
 			if i >= len(args) {
-				return nil, 0, false, fmt.Errorf("-parallel needs a worker count")
+				return nil, 0, false, "", fmt.Errorf("-parallel needs a worker count")
 			}
 			if parallel, err = strconv.Atoi(args[i]); err != nil || parallel < 1 {
-				return nil, 0, false, fmt.Errorf("bad -parallel value %q (want a count ≥ 1)", args[i])
+				return nil, 0, false, "", fmt.Errorf("bad -parallel value %q (want a count ≥ 1)", args[i])
 			}
 		case strings.HasPrefix(a, "-parallel=") || strings.HasPrefix(a, "--parallel="):
 			v := a[strings.Index(a, "=")+1:]
 			if parallel, err = strconv.Atoi(v); err != nil || parallel < 1 {
-				return nil, 0, false, fmt.Errorf("bad -parallel value %q (want a count ≥ 1)", v)
+				return nil, 0, false, "", fmt.Errorf("bad -parallel value %q (want a count ≥ 1)", v)
+			}
+		case a == "-format" || a == "--format":
+			i++
+			if i >= len(args) {
+				return nil, 0, false, "", fmt.Errorf("-format needs a value (text, json, csv or md)")
+			}
+			if format, err = report.ParseFormat(args[i]); err != nil {
+				return nil, 0, false, "", fmt.Errorf("bad -format value: %v", err)
+			}
+		case strings.HasPrefix(a, "-format=") || strings.HasPrefix(a, "--format="):
+			v := a[strings.Index(a, "=")+1:]
+			if format, err = report.ParseFormat(v); err != nil {
+				return nil, 0, false, "", fmt.Errorf("bad -format value: %v", err)
 			}
 		case a == "-quiet" || a == "--quiet":
 			quiet = true
@@ -102,7 +131,17 @@ func globalFlags(args []string) (rest []string, parallel int, quiet bool, err er
 			rest = append(rest, a)
 		}
 	}
-	return rest, parallel, quiet, nil
+	return rest, parallel, quiet, format, nil
+}
+
+// emit renders a report in the globally selected format onto stdout.
+func emit(r *report.Report) error {
+	out, err := report.Render(r, outputFormat)
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	return nil
 }
 
 // progressLine streams grid progress to stderr on a single rewritten line,
@@ -131,9 +170,9 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderFig2(rows))
+		return emit(experiments.Fig2Report(rows))
 	case "fig9":
-		fmt.Print(experiments.RenderFig9(experiments.Fig9()))
+		return emit(experiments.Fig9Report(experiments.Fig9()))
 	case "fig11":
 		strategy, err := strategyFlag(rest)
 		if err != nil {
@@ -143,13 +182,13 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderFig11(rows, strategy))
+		return emit(experiments.Fig11Report(rows, strategy))
 	case "fig12":
 		rows, err := experiments.Fig12()
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderFig12(rows))
+		return emit(experiments.Fig12Report(rows))
 	case "fig13":
 		strategy, err := strategyFlag(rest)
 		if err != nil {
@@ -159,39 +198,39 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderFig13(rows, speedups, strategy))
+		return emit(experiments.Fig13Report(rows, speedups, strategy))
 	case "fig14":
 		rows, err := experiments.Fig14()
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderFig14(rows))
+		return emit(experiments.Fig14Report(rows))
 	case "tab4":
-		fmt.Print(experiments.RenderTable4())
+		return emit(experiments.Table4Report())
 	case "headline":
 		h, err := experiments.RunHeadline()
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderHeadline(h))
+		return emit(experiments.HeadlineReport(h))
 	case "sens":
 		rows, err := experiments.Sensitivity()
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderSensitivity(rows))
+		return emit(experiments.SensitivityReport(rows))
 	case "scale":
 		rows, err := experiments.Scalability()
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderScalability(rows))
+		return emit(experiments.ScalabilityReport(rows))
 	case "explore":
 		rows, err := experiments.Explore([]int{4, 6, 8, 12}, []float64{25, 50, 100})
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderExplore(rows))
+		return emit(experiments.ExploreReport(rows))
 	case "plane":
 		fs := flag.NewFlagSet("plane", flag.ContinueOnError)
 		workload := fs.String("workload", "VGG-E", "Table III benchmark")
@@ -201,7 +240,7 @@ func run(args []string) error {
 		if err := fs.Parse(rest); err != nil {
 			return err
 		}
-		counts, err := parseIntsCSV(*nodesCSV, "node count")
+		counts, err := parseIntsCSV("-nodes", *nodesCSV)
 		if err != nil {
 			return err
 		}
@@ -209,7 +248,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderScaleOut(*workload, pts, *analytic))
+		rep := experiments.ScaleOutReport(*workload, pts, *analytic)
 		if *compare {
 			// Reuse the event-driven study just computed (unless the main
 			// table ran on the analytic engine).
@@ -221,45 +260,28 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
-			fmt.Print(experiments.RenderScaleOutCompare(*workload, rows))
+			rep = report.Merge("plane", rep, experiments.ScaleOutCompareReport(*workload, rows))
 		}
+		return emit(rep)
 	case "transformer":
 		return runTransformer(rest)
 	case "trace":
 		return runTrace(rest)
 	case "networks":
-		fmt.Println("Table III benchmarks (per-device shapes at batch 64):")
-		for _, name := range dnn.BenchmarkNames() {
-			g := dnn.MustBuild(name, 64)
-			fmt.Printf("  %s  (paper layer count: %d)\n", g.Summary(), dnn.PaperLayerCount(name))
-		}
-		fmt.Println("Transformer workloads (per-device shapes at batch 64, default seqlen):")
-		for _, name := range dnn.TransformerNames() {
-			g := dnn.MustBuild(name, 64)
-			fmt.Printf("  %s  (blocks: %d, seqlen: %d, scores: %.1f MB)\n",
-				g.Summary(), dnn.PaperLayerCount(name), g.SeqLen, float64(g.ScoreBytes())/1e6)
-		}
+		return emit(experiments.NetworksReport())
 	case "config":
-		dev := accel.Default()
-		fmt.Printf(`Device-node (Table II):
-  PEs:              %d × %d MACs @ %.0f GHz (peak %.0f TMAC/s)
-  SRAM per PE:      %v
-  HBM:              %v, %d-cycle latency
-  links:            N=%d × B=%v (aggregate %v)
-`, dev.PEs, dev.MACsPerPE, dev.FreqHz/1e9, dev.PeakMACsPerSec()/1e12,
-			dev.SRAMPerPE, dev.MemBW, dev.MemLatencyCycles,
-			dev.Links, dev.LinkBW, dev.AggregateLinkBW())
-		fmt.Print(experiments.MemNodeSummary())
-		fmt.Println("Design points:")
-		for _, d := range core.StandardDesigns() {
-			fmt.Printf("  %-10s virt=%v sync=%v×%d-node rings  shared-links=%v oracle=%v\n",
-				d.Name, d.VirtBW, d.Sync.AggregateBW(), d.Sync.Nodes, d.SharedLinks, d.Oracle)
-		}
+		return emit(experiments.ConfigReport())
 	case "run":
 		return runOne(rest)
+	case "serve":
+		return runServe(rest)
 	case "all":
 		for _, sub := range []string{"config", "networks", "fig2", "fig9", "fig11", "fig12", "fig13", "fig14", "tab4", "headline", "sens", "scale", "explore", "transformer", "plane"} {
-			fmt.Printf("\n================ %s ================\n", sub)
+			// The banner keeps the text stream navigable; structured
+			// formats concatenate clean documents instead.
+			if outputFormat == report.FormatText {
+				fmt.Printf("\n================ %s ================\n", sub)
+			}
 			var err error
 			switch sub {
 			case "fig11", "fig13":
@@ -283,16 +305,19 @@ func run(args []string) error {
 	return nil
 }
 
-// parseIntsCSV parses a comma-separated list of positive integers, rejecting
-// trailing garbage ("512x1024") and nonpositive values outright.
-func parseIntsCSV(csv, what string) ([]int, error) {
-	var out []int
-	for _, part := range strings.Split(csv, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || n <= 0 {
-			return nil, fmt.Errorf("bad %s %q (want a positive integer)", what, part)
-		}
-		out = append(out, n)
+// parseIntsCSV parses a flag's comma-separated list of positive integers
+// through the shared list parser, so `mcdla plane -nodes 1,x` names the
+// offending flag and element exactly like the HTTP API names its parameter.
+func parseIntsCSV(flagName, csv string) ([]int, error) {
+	return units.ParsePositiveInts(flagName, csv)
+}
+
+// parsePrecisionsCSV parses a flag's comma-separated precision list, naming
+// the flag and element on failure.
+func parsePrecisionsCSV(flagName, csv string) ([]train.Precision, error) {
+	out, err := train.ParsePrecisionList(csv)
+	if err != nil {
+		return nil, fmt.Errorf("invalid %s list %q: %v", flagName, csv, err)
 	}
 	return out, nil
 }
@@ -307,13 +332,11 @@ func strategyFlag(args []string) (train.Strategy, error) {
 }
 
 func parseStrategy(s string) (train.Strategy, error) {
-	switch strings.ToLower(s) {
-	case "dp", "data", "data-parallel":
-		return train.DataParallel, nil
-	case "mp", "model", "model-parallel":
-		return train.ModelParallel, nil
+	strategy, err := train.ParseStrategy(s)
+	if err != nil {
+		return 0, fmt.Errorf("invalid -strategy value: %v", err)
 	}
-	return 0, fmt.Errorf("unknown strategy %q (want dp or mp)", s)
+	return strategy, nil
 }
 
 func runOne(args []string) error {
@@ -333,43 +356,26 @@ func runOne(args []string) error {
 	}
 	prec, err := train.ParsePrecision(*precS)
 	if err != nil {
-		return err
+		return fmt.Errorf("invalid -precision value: %v", err)
 	}
-	d, err := core.DesignByName(*design)
+	rep, err := experiments.RunReport(*design, *workload, strategy, *batch, *seqlen, prec)
 	if err != nil {
 		return err
 	}
-	s, err := train.BuildSeq(*workload, *batch, experiments.Workers, strategy, *seqlen, prec)
-	if err != nil {
+	return emit(rep)
+}
+
+// runServe starts the long-running HTTP API over the experiment suite.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	cache := fs.Int("cache", server.DefaultCacheEntries, "cross-request simulation cache bound (LRU entries, 0 = unbounded)")
+	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	r, err := core.Simulate(d, s)
-	if err != nil {
-		return err
-	}
-	// Resident parameter footprint: the fp16 compute copy at base size, or
-	// the fp32 master weights (Mixed/FP32) at twice it; model-parallel
-	// devices hold a 1/workers slice.
-	resident := units.Bytes(s.Graph.TotalWeightBytes() * prec.MasterScale())
-	if strategy == train.ModelParallel {
-		resident = units.Bytes(int64(resident) / int64(experiments.Workers))
-	}
-	fmt.Printf(`%s × %s (%v, %v, batch %d, %d devices)
-  iteration time:        %v
-  compute (standalone):  %v
-  sync (standalone):     %v
-  virt (standalone):     %v
-  virt traffic/device:   %v
-  sync payload/device:   %v
-  weights resident/dev:  %v
-  prefetch stalls:       %v
-`, r.Design, r.Workload, r.Strategy, r.Precision, *batch, experiments.Workers,
-		r.IterationTime, r.Breakdown.Compute, r.Breakdown.Sync, r.Breakdown.Virt,
-		r.VirtTraffic, r.SyncTraffic, resident, r.StallVirt)
-	if r.HostBytes > 0 {
-		fmt.Printf("  CPU socket bandwidth:  avg %v, max %v\n", r.AvgHostSocketBW, r.MaxHostSocketBW)
-	}
-	return nil
+	srv := server.New(server.Options{Parallelism: experiments.Parallelism(), CacheEntries: *cache})
+	fmt.Fprintf(os.Stderr, "mcdla serve: listening on %s (cache bound %d entries)\n", *addr, *cache)
+	return srv.ListenAndServe(*addr)
 }
 
 // runTransformer drives the seqlen × precision × design study plus the
@@ -389,31 +395,26 @@ func runTransformer(args []string) error {
 	var seqlens []int
 	if *seqlensCSV != "" {
 		var err error
-		if seqlens, err = parseIntsCSV(*seqlensCSV, "seqlen"); err != nil {
+		if seqlens, err = parseIntsCSV("-seqlens", *seqlensCSV); err != nil {
 			return err
 		}
 	}
 	var precs []train.Precision
 	if *precsCSV != "" {
-		for _, part := range strings.Split(*precsCSV, ",") {
-			p, err := train.ParsePrecision(strings.TrimSpace(part))
-			if err != nil {
-				return err
-			}
-			precs = append(precs, p)
+		var err error
+		if precs, err = parsePrecisionsCSV("-precisions", *precsCSV); err != nil {
+			return err
 		}
 	}
 	rows, err := experiments.TransformerSweep(workloads, seqlens, precs)
 	if err != nil {
 		return err
 	}
-	fmt.Print(experiments.RenderTransformerSweep(rows))
 	cRows, err := experiments.AttentionCompress()
 	if err != nil {
 		return err
 	}
-	fmt.Print(experiments.RenderAttentionCompress(cRows))
-	return nil
+	return emit(experiments.TransformerStudyReport(rows, cRows))
 }
 
 func runTrace(args []string) error {
@@ -434,7 +435,7 @@ func runTrace(args []string) error {
 	}
 	prec, err := train.ParsePrecision(*precS)
 	if err != nil {
-		return err
+		return fmt.Errorf("invalid -precision value: %v", err)
 	}
 	d, err := core.DesignByName(*design)
 	if err != nil {
@@ -457,19 +458,24 @@ func runTrace(args []string) error {
 	if err := tr.WriteChrome(f); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s: %d spans over %v (compute covers %.0f%% of the iteration)\n",
-		*out, len(tr.Spans), r.IterationTime, 100*tr.CriticalPathShare())
-	return nil
+	return emit(&report.Report{
+		Name: "trace",
+		Sections: []report.Section{{
+			KVs: []report.KV{{Key: "summary", Text: fmt.Sprintf("wrote %s: %d spans over %v (compute covers %.0f%% of the iteration)",
+				*out, len(tr.Spans), r.IterationTime, 100*tr.CriticalPathShare())}},
+		}},
+	})
 }
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `mcdla — memory-centric deep-learning system simulator (MICRO-51 reproduction)
 
-usage: mcdla [-parallel N] [-quiet] <subcommand> [flags]
+usage: mcdla [-parallel N] [-quiet] [-format F] <subcommand> [flags]
 
 global flags:
   -parallel N   worker goroutines for experiment grids (default GOMAXPROCS)
   -quiet        suppress the stderr progress line
+  -format F     output format: text (default), json, csv, md
 
 subcommands:
   fig2 | fig9 | fig11 | fig12 | fig13 | fig14   regenerate a figure
@@ -483,5 +489,6 @@ subcommands:
   run -design D -workload W -strategy dp|mp    one simulation
     [-seqlen N] [-precision fp16|mixed|fp32]
   trace -design D -workload W -o out.json      chrome://tracing timeline
+  serve [-addr :8080] [-cache N]               HTTP API over the experiment suite
   all                                          everything`)
 }

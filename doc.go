@@ -25,12 +25,25 @@
 // so output stays byte-identical at every parallelism (non-core grids use
 // its generic Fan primitive) — a guarantee the golden CLI fixtures under
 // cmd/mcdla/testdata pin at full-command granularity, alongside the dnn
-// fuzz target and the vmem/precision property tests. The root-level
-// benchmarks in bench_test.go expose one benchmark per table and figure,
-// each reporting its headline number as a custom metric, plus
-// BenchmarkRunnerFanout, BenchmarkPlaneSimulate and
+// fuzz target and the vmem/precision property tests.
+//
+// Results leave the simulator through the report package, the typed layer
+// between generators and consumers: experiments build report.Report values
+// (tables of cells carrying both the paper's presentation string and the
+// raw datum) and pluggable renderers emit paper-style text — byte-identical
+// to the golden fixtures — JSON, CSV, or markdown, selected by the CLI's
+// global -format flag. The server package serves the same reports as a
+// long-running HTTP API (`mcdla serve`): each experiment family is a /v1
+// endpoint whose query parameters map onto runner job axes, requests share
+// the engine's worker pool, and the memo cache acts as a bounded
+// cross-request LRU with hit/miss accounting on /healthz.
+//
+// The root-level benchmarks in bench_test.go expose one benchmark per
+// table and figure, each reporting its headline number as a custom metric,
+// plus BenchmarkRunnerFanout, BenchmarkPlaneSimulate and
 // BenchmarkTransformerSimulate for the engines themselves.
 //
-// See README.md for a tour and CLI cookbook, and EXPERIMENTS.md for
-// paper-vs-measured results.
+// See README.md for a tour, CLI cookbook and serve quickstart,
+// ARCHITECTURE.md for the package map and layer invariants, and
+// EXPERIMENTS.md for paper-vs-measured results.
 package mcdla

@@ -1,0 +1,27 @@
+package core_test
+
+import (
+	"fmt"
+
+	"github.com/memcentric/mcdla/internal/accel"
+	"github.com/memcentric/mcdla/internal/core"
+	"github.com/memcentric/mcdla/internal/train"
+)
+
+// ExampleSimulate runs the paper's headline design point — MC-DLA(B)
+// training VGG-E data-parallel at batch 512 across 8 devices — and prints
+// the iteration time and per-device dW all-reduce payload. This is the same
+// simulation `mcdla run` and the `/v1/run` endpoint serve.
+func ExampleSimulate() {
+	s, err := train.BuildSeq("VGG-E", 512, 8, train.DataParallel, 0, train.FP16)
+	if err != nil {
+		panic(err)
+	}
+	r, err := core.Simulate(core.NewMCDLAB(accel.Default(), 8), s)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(r.IterationTime, r.SyncTraffic)
+	// Output:
+	// 51.141 ms 274.00 MB
+}

@@ -1,0 +1,29 @@
+package dnn_test
+
+import (
+	"fmt"
+
+	"github.com/memcentric/mcdla/internal/dnn"
+)
+
+// ExampleMustBuild builds a Table III workload at its per-device batch and
+// prints the one-line inventory the CLI's `networks` subcommand shows.
+func ExampleMustBuild() {
+	g := dnn.MustBuild("AlexNet", 64)
+	fmt.Println(g.Summary())
+	// Output:
+	// AlexNet      layers=8   batch=64   weights= 124.7 MB  fmaps=   266.3 MB  stash=    53.1 MB  MACs=   72.7 G
+}
+
+// ExampleBuildSeq builds a transformer workload at an explicit sequence
+// length; the attention score tensors (and with them the stash the memory
+// system must absorb) grow with seqlen².
+func ExampleBuildSeq() {
+	g, err := dnn.BuildSeq("BERT-Large", 8, 256)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(g.Summary())
+	// Output:
+	// BERT-Large   layers=192 batch=8    weights= 604.2 MB  fmaps=  2625.6 MB  stash=  1409.3 MB  MACs=  644.2 G
+}

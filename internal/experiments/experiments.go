@@ -1,13 +1,14 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation (§V) plus the motivational Figure 2 and the collective-latency
-// Figure 9. Each experiment returns structured rows so that benchmarks, the
-// CLI, and tests consume the same generators; Render* helpers print them in
-// the paper's presentation shape.
+// Figure 9. Each experiment returns structured rows, and a *Report builder
+// turns the rows into the typed report layer consumed by the CLI, the HTTP
+// service, benchmarks, and tests; the Render* helpers are the builders'
+// text renderings, byte-identical to the paper-style output the golden CLI
+// fixtures pin.
 package experiments
 
 import (
 	"fmt"
-	"strings"
 	"sync"
 
 	"github.com/memcentric/mcdla/internal/accel"
@@ -15,6 +16,7 @@ import (
 	"github.com/memcentric/mcdla/internal/core"
 	"github.com/memcentric/mcdla/internal/dnn"
 	"github.com/memcentric/mcdla/internal/metrics"
+	"github.com/memcentric/mcdla/internal/report"
 	"github.com/memcentric/mcdla/internal/runner"
 	"github.com/memcentric/mcdla/internal/train"
 	"github.com/memcentric/mcdla/internal/units"
@@ -43,13 +45,23 @@ var (
 	progress func(runner.Update)
 )
 
+// SetOptions replaces the package engine with one built from o: worker
+// bound and, for long-running callers like the HTTP service, the LRU bound
+// on the cross-request memo cache. The cache is reset with the engine.
+func SetOptions(o runner.Options) {
+	engineMu.Lock()
+	defer engineMu.Unlock()
+	engine = runner.New(o)
+}
+
 // SetParallelism replaces the package engine with one bounded to n workers
 // (n ≤ 0 means GOMAXPROCS). The memo cache is reset with it.
 func SetParallelism(n int) {
-	engineMu.Lock()
-	defer engineMu.Unlock()
-	engine = runner.New(runner.Options{Parallelism: n})
+	SetOptions(runner.Options{Parallelism: n})
 }
+
+// Parallelism reports the package engine's worker bound.
+func Parallelism() int { return parallelism() }
 
 // SetProgress installs a callback that receives per-job progress from every
 // generator's grid submission (nil disables streaming).
@@ -72,6 +84,15 @@ func submit(jobs []runner.Job) ([]core.Result, error) {
 	e, p := engine, progress
 	engineMu.Unlock()
 	return e.Run(jobs, p)
+}
+
+// schedule returns the engine's memoized training schedule for a job's
+// workload point, sharing the graph build with the simulation cache.
+func schedule(j runner.Job) (*train.Schedule, error) {
+	engineMu.Lock()
+	e := engine
+	engineMu.Unlock()
+	return e.Schedule(j)
 }
 
 // parallelism reports the package engine's worker bound, shared by the
@@ -165,14 +186,22 @@ func Fig2() ([]Fig2Row, error) {
 	return rows, nil
 }
 
-// RenderFig2 prints Figure 2 as a table.
-func RenderFig2(rows []Fig2Row) string {
-	t := metrics.NewTable("network", "generation", "time (norm. to Kepler)", "virt overhead %")
+// Fig2Report builds the typed Figure 2 report.
+func Fig2Report(rows []Fig2Row) *report.Report {
+	t := report.NewTable("network", "generation", "time (norm. to Kepler)", "virt overhead %")
 	for _, r := range rows {
-		t.AddRow(r.Network, r.Generation, fmt.Sprintf("%.4f", r.NormTime), fmt.Sprintf("%.1f", r.OverheadPct))
+		t.AddRow(report.Str(r.Network), report.Str(r.Generation),
+			report.Numf("%.4f", r.NormTime), report.Numf("%.1f", r.OverheadPct))
 	}
-	return "Figure 2: single-device execution time across accelerator generations\n" + t.String()
+	return &report.Report{
+		Name:     "fig2",
+		Title:    "Figure 2: single-device execution time across accelerator generations",
+		Sections: []report.Section{{Table: t}},
+	}
 }
+
+// RenderFig2 prints Figure 2 as a table.
+func RenderFig2(rows []Fig2Row) string { return report.Text(Fig2Report(rows)) }
 
 // ---------------------------------------------------------------- Figure 9
 
@@ -211,20 +240,14 @@ func Fig9() []Fig9Point {
 	return pts
 }
 
-// RenderFig9 prints the figure's three series.
-func RenderFig9(pts []Fig9Point) string {
-	bc := metrics.Series{Name: "broadcast"}
-	ag := metrics.Series{Name: "all-gather"}
-	ar := metrics.Series{Name: "all-reduce"}
+// Fig9Report builds the typed Figure 9 report: the three collective series
+// as one shared-label table, plus the paper's 16-vs-8-node headline.
+func Fig9Report(pts []Fig9Point) *report.Report {
+	t := report.NewTable("point", "broadcast", "all-gather", "all-reduce")
 	for _, p := range pts {
-		label := fmt.Sprintf("%d", p.Nodes)
-		bc.Add(label, p.Broadcast)
-		ag.Add(label, p.AllGather)
-		ar.Add(label, p.AllReduce)
+		t.AddRow(report.Int(p.Nodes),
+			report.Numf("%.4f", p.Broadcast), report.Numf("%.4f", p.AllGather), report.Numf("%.4f", p.AllReduce))
 	}
-	var b strings.Builder
-	b.WriteString("Figure 9: collective latency vs ring size (normalized to 2 nodes)\n")
-	b.WriteString(metrics.RenderSeries([]metrics.Series{bc, ag, ar}))
 	l8 := 0.0
 	l16 := 0.0
 	for _, p := range pts {
@@ -235,9 +258,17 @@ func RenderFig9(pts []Fig9Point) string {
 			l16 = p.AllReduce
 		}
 	}
-	fmt.Fprintf(&b, "MC-DLA (16 nodes) vs DC-DLA (8 nodes) all-reduce overhead: %.1f%% (paper: ~7%%)\n", 100*(l16/l8-1))
-	return b.String()
+	return &report.Report{
+		Name:  "fig9",
+		Title: "Figure 9: collective latency vs ring size (normalized to 2 nodes)",
+		Sections: []report.Section{{Table: t, Notes: []string{
+			fmt.Sprintf("MC-DLA (16 nodes) vs DC-DLA (8 nodes) all-reduce overhead: %.1f%% (paper: ~7%%)", 100*(l16/l8-1)),
+		}}},
+	}
 }
+
+// RenderFig9 prints the figure's three series.
+func RenderFig9(pts []Fig9Point) string { return report.Text(Fig9Report(pts)) }
 
 // --------------------------------------------------------------- Figure 11
 
@@ -279,15 +310,24 @@ func Fig11(strategy train.Strategy) ([]Fig11Row, error) {
 	return rows, nil
 }
 
+// Fig11Report builds the typed Figure 11 report.
+func Fig11Report(rows []Fig11Row, strategy train.Strategy) *report.Report {
+	t := report.NewTable("workload", "design", "compute", "synchronization", "memory virtualization", "stack")
+	for _, r := range rows {
+		t.AddRow(report.Str(r.Workload), report.Str(r.Design),
+			report.Numf("%.3f", r.Compute), report.Numf("%.3f", r.Sync),
+			report.Numf("%.3f", r.Virt), report.Numf("%.3f", r.Compute+r.Sync+r.Virt))
+	}
+	return &report.Report{
+		Name:     "fig11",
+		Title:    fmt.Sprintf("Figure 11 (%v): latency breakdown, normalized per workload", strategy),
+		Sections: []report.Section{{Table: t}},
+	}
+}
+
 // RenderFig11 prints the stacked-bar data.
 func RenderFig11(rows []Fig11Row, strategy train.Strategy) string {
-	t := metrics.NewTable("workload", "design", "compute", "synchronization", "memory virtualization", "stack")
-	for _, r := range rows {
-		t.AddRow(r.Workload, r.Design,
-			fmt.Sprintf("%.3f", r.Compute), fmt.Sprintf("%.3f", r.Sync),
-			fmt.Sprintf("%.3f", r.Virt), fmt.Sprintf("%.3f", r.Compute+r.Sync+r.Virt))
-	}
-	return fmt.Sprintf("Figure 11 (%v): latency breakdown, normalized per workload\n", strategy) + t.String()
+	return report.Text(Fig11Report(rows, strategy))
 }
 
 // --------------------------------------------------------------- Figure 12
@@ -331,15 +371,22 @@ func Fig12() ([]Fig12Row, error) {
 	return rows, nil
 }
 
-// RenderFig12 prints the bandwidth-usage table.
-func RenderFig12(rows []Fig12Row) string {
-	t := metrics.NewTable("design", "workload", "avg DP (GB/s)", "avg MP (GB/s)", "max (GB/s)")
+// Fig12Report builds the typed Figure 12 report.
+func Fig12Report(rows []Fig12Row) *report.Report {
+	t := report.NewTable("design", "workload", "avg DP (GB/s)", "avg MP (GB/s)", "max (GB/s)")
 	for _, r := range rows {
-		t.AddRow(r.Design, r.Workload,
-			fmt.Sprintf("%.1f", r.AvgDP), fmt.Sprintf("%.1f", r.AvgMP), fmt.Sprintf("%.1f", r.Max))
+		t.AddRow(report.Str(r.Design), report.Str(r.Workload),
+			report.Numf("%.1f", r.AvgDP), report.Numf("%.1f", r.AvgMP), report.Numf("%.1f", r.Max))
 	}
-	return "Figure 12: CPU memory bandwidth usage per socket\n" + t.String()
+	return &report.Report{
+		Name:     "fig12",
+		Title:    "Figure 12: CPU memory bandwidth usage per socket",
+		Sections: []report.Section{{Table: t}},
+	}
 }
+
+// RenderFig12 prints the bandwidth-usage table.
+func RenderFig12(rows []Fig12Row) string { return report.Text(Fig12Report(rows)) }
 
 // --------------------------------------------------------------- Figure 13
 
@@ -374,14 +421,25 @@ func Fig13(strategy train.Strategy) ([]Fig13Row, []float64, error) {
 	return rows, speedups, nil
 }
 
+// Fig13Report builds the typed Figure 13 report.
+func Fig13Report(rows []Fig13Row, speedups []float64, strategy train.Strategy) *report.Report {
+	t := report.NewTable("workload", "design", "performance (norm. to DC-DLA(O))")
+	for _, r := range rows {
+		t.AddRow(report.Str(r.Workload), report.Str(r.Design), report.Numf("%.3f", r.Performance))
+	}
+	mean := metrics.HarmonicMean(speedups)
+	return &report.Report{
+		Name:  "fig13",
+		Title: fmt.Sprintf("Figure 13 (%v): performance normalized to the oracle", strategy),
+		Sections: []report.Section{{Table: t, Notes: []string{
+			fmt.Sprintf("Harmonic-mean MC-DLA(B) speedup over DC-DLA: %.2fx", mean),
+		}}},
+	}
+}
+
 // RenderFig13 prints the performance bars plus the headline speedup.
 func RenderFig13(rows []Fig13Row, speedups []float64, strategy train.Strategy) string {
-	t := metrics.NewTable("workload", "design", "performance (norm. to DC-DLA(O))")
-	for _, r := range rows {
-		t.AddRow(r.Workload, r.Design, fmt.Sprintf("%.3f", r.Performance))
-	}
-	return fmt.Sprintf("Figure 13 (%v): performance normalized to the oracle\n%sHarmonic-mean MC-DLA(B) speedup over DC-DLA: %.2fx\n",
-		strategy, t.String(), metrics.HarmonicMean(speedups))
+	return report.Text(Fig13Report(rows, speedups, strategy))
 }
 
 // --------------------------------------------------------------- Figure 14
@@ -444,15 +502,22 @@ func Fig14() ([]Fig14Row, error) {
 	return rows, nil
 }
 
-// RenderFig14 prints the sensitivity table.
-func RenderFig14(rows []Fig14Row) string {
-	t := metrics.NewTable("batch", "workload", "DP speedup", "MP speedup")
+// Fig14Report builds the typed Figure 14 report.
+func Fig14Report(rows []Fig14Row) *report.Report {
+	t := report.NewTable("batch", "workload", "DP speedup", "MP speedup")
 	for _, r := range rows {
-		t.AddRow(fmt.Sprintf("%d", r.Batch), r.Workload,
-			fmt.Sprintf("%.2f", r.DP), fmt.Sprintf("%.2f", r.MP))
+		t.AddRow(report.Int(r.Batch), report.Str(r.Workload),
+			report.Numf("%.2f", r.DP), report.Numf("%.2f", r.MP))
 	}
-	return "Figure 14: MC-DLA(B) speedup over DC-DLA vs input batch size\n" + t.String()
+	return &report.Report{
+		Name:     "fig14",
+		Title:    "Figure 14: MC-DLA(B) speedup over DC-DLA vs input batch size",
+		Sections: []report.Section{{Table: t}},
+	}
 }
+
+// RenderFig14 prints the sensitivity table.
+func RenderFig14(rows []Fig14Row) string { return report.Text(Fig14Report(rows)) }
 
 func mustDesign(name string) core.Design {
 	d, err := core.DesignByName(name)

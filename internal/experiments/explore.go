@@ -7,6 +7,7 @@ import (
 	"github.com/memcentric/mcdla/internal/core"
 	"github.com/memcentric/mcdla/internal/dnn"
 	"github.com/memcentric/mcdla/internal/metrics"
+	"github.com/memcentric/mcdla/internal/report"
 	"github.com/memcentric/mcdla/internal/runner"
 	"github.com/memcentric/mcdla/internal/scaleout"
 	"github.com/memcentric/mcdla/internal/train"
@@ -67,18 +68,26 @@ func Explore(linkCounts []int, linkGBps []float64) ([]ExploreRow, error) {
 	return rows, nil
 }
 
-// RenderExplore prints the sweep.
-func RenderExplore(rows []ExploreRow) string {
-	t := metrics.NewTable("links N", "B (GB/s)", "virt N*B", "MC-DLA(B) speedup")
+// ExploreReport builds the typed §III-B design-space report.
+func ExploreReport(rows []ExploreRow) *report.Report {
+	t := report.NewTable("links N", "B (GB/s)", "virt N*B", "MC-DLA(B) speedup")
 	for _, r := range rows {
-		t.AddRow(fmt.Sprintf("%d", r.Links), fmt.Sprintf("%.0f", r.LinkBW),
-			fmt.Sprintf("%.0f", r.VirtBW), fmt.Sprintf("%.2fx", r.Speedup))
+		t.AddRow(report.Int(r.Links), report.Numf("%.0f", r.LinkBW),
+			report.Numf("%.0f", r.VirtBW), report.Num(fmt.Sprintf("%.2fx", r.Speedup), r.Speedup))
 	}
-	return "Design-space exploration (§III-B): link technology vs MC-DLA(B) advantage\n" + t.String() +
-		"The memory-centric advantage scales with the signaling technology —\n" +
-		"the paper's argument that MC-DLA, unlike host-attached designs, is not\n" +
-		"capped by CPU socket bandwidth.\n"
+	return &report.Report{
+		Name:  "explore",
+		Title: "Design-space exploration (§III-B): link technology vs MC-DLA(B) advantage",
+		Sections: []report.Section{{Table: t, Notes: []string{
+			"The memory-centric advantage scales with the signaling technology —",
+			"the paper's argument that MC-DLA, unlike host-attached designs, is not",
+			"capped by CPU socket bandwidth.",
+		}}},
+	}
 }
+
+// RenderExplore prints the sweep.
+func RenderExplore(rows []ExploreRow) string { return report.Text(ExploreReport(rows)) }
 
 // ScaleOutBatch picks the study's global batch: divisible by every plane
 // size so the sweep stays strong scaling.
@@ -107,20 +116,30 @@ func ScaleOutRows(workload string, nodeCounts []int, analytic bool) ([]scaleout.
 	return pts, nil
 }
 
-// RenderScaleOut prints the plane study.
-func RenderScaleOut(workload string, pts []scaleout.ScalingPoint, analytic bool) string {
-	t := metrics.NewTable("system nodes", "devices", "DC-plane iter", "MC-plane iter", "DC speedup", "MC speedup", "pool (TB)")
+// ScaleOutReport builds the typed §VI plane report.
+func ScaleOutReport(workload string, pts []scaleout.ScalingPoint, analytic bool) *report.Report {
+	t := report.NewTable("system nodes", "devices", "DC-plane iter", "MC-plane iter", "DC speedup", "MC speedup", "pool (TB)")
 	for _, p := range pts {
-		t.AddRow(fmt.Sprintf("%d", p.SystemNodes), fmt.Sprintf("%d", p.Devices),
-			p.IterDC.String(), p.IterMC.String(),
-			fmt.Sprintf("%.2fx", p.SpeedupDC), fmt.Sprintf("%.2fx", p.SpeedupMC),
-			fmt.Sprintf("%.1f", p.PoolTB))
+		t.AddRow(report.Int(p.SystemNodes), report.Int(p.Devices),
+			report.Time(p.IterDC), report.Time(p.IterMC),
+			report.Num(fmt.Sprintf("%.2fx", p.SpeedupDC), p.SpeedupDC),
+			report.Num(fmt.Sprintf("%.2fx", p.SpeedupMC), p.SpeedupMC),
+			report.Numf("%.1f", p.PoolTB))
 	}
 	engine := "event-driven plane engine"
 	if analytic {
 		engine = "retired first-order estimator (-analytic)"
 	}
-	return fmt.Sprintf("Scale-out plane (§VI, Figure 15): %s strong scaling across system nodes [%s]\n", workload, engine) + t.String()
+	return &report.Report{
+		Name:     "plane",
+		Title:    fmt.Sprintf("Scale-out plane (§VI, Figure 15): %s strong scaling across system nodes [%s]", workload, engine),
+		Sections: []report.Section{{Table: t}},
+	}
+}
+
+// RenderScaleOut prints the plane study.
+func RenderScaleOut(workload string, pts []scaleout.ScalingPoint, analytic bool) string {
+	return report.Text(ScaleOutReport(workload, pts, analytic))
 }
 
 // ScaleOutCompareRow tables one plane size's analytic-vs-event-driven
@@ -174,20 +193,30 @@ func ScaleOutCompare(workload string, nodeCounts []int, event []scaleout.Scaling
 	})
 }
 
+// ScaleOutCompareReport builds the typed engine-comparison report.
+func ScaleOutCompareReport(workload string, rows []ScaleOutCompareRow) *report.Report {
+	t := report.NewTable("system nodes", "devices", "analytic", "event-driven", "divergence", "hybrid (event)")
+	for _, r := range rows {
+		hybrid := report.Str("-")
+		if r.Hybrid > 0 {
+			hybrid = report.Time(r.Hybrid)
+		}
+		t.AddRow(report.Int(r.SystemNodes), report.Int(r.Devices),
+			report.Time(r.Analytic), report.Time(r.Event),
+			report.Num(fmt.Sprintf("%+.1f%%", r.DivergencePct), r.DivergencePct), hybrid)
+	}
+	return &report.Report{
+		Name:  "plane-compare",
+		Title: fmt.Sprintf("MC-plane: analytic estimate vs event-driven simulation (%s)", workload),
+		Sections: []report.Section{{Table: t, Notes: []string{
+			"Divergence grows where the additive formula cannot see contention —",
+			"shared switch links under the dW laps and all local ranks' shard rings",
+			"on one uplink.",
+		}}},
+	}
+}
+
 // RenderScaleOutCompare prints the engine comparison.
 func RenderScaleOutCompare(workload string, rows []ScaleOutCompareRow) string {
-	t := metrics.NewTable("system nodes", "devices", "analytic", "event-driven", "divergence", "hybrid (event)")
-	for _, r := range rows {
-		hybrid := "-"
-		if r.Hybrid > 0 {
-			hybrid = r.Hybrid.String()
-		}
-		t.AddRow(fmt.Sprintf("%d", r.SystemNodes), fmt.Sprintf("%d", r.Devices),
-			r.Analytic.String(), r.Event.String(),
-			fmt.Sprintf("%+.1f%%", r.DivergencePct), hybrid)
-	}
-	return fmt.Sprintf("MC-plane: analytic estimate vs event-driven simulation (%s)\n", workload) + t.String() +
-		"Divergence grows where the additive formula cannot see contention —\n" +
-		"shared switch links under the dW laps and all local ranks' shard rings\n" +
-		"on one uplink.\n"
+	return report.Text(ScaleOutCompareReport(workload, rows))
 }

@@ -10,6 +10,7 @@ import (
 	"github.com/memcentric/mcdla/internal/memnode"
 	"github.com/memcentric/mcdla/internal/metrics"
 	"github.com/memcentric/mcdla/internal/power"
+	"github.com/memcentric/mcdla/internal/report"
 	"github.com/memcentric/mcdla/internal/runner"
 	"github.com/memcentric/mcdla/internal/train"
 	"github.com/memcentric/mcdla/internal/units"
@@ -64,18 +65,27 @@ func RunHeadline() (Headline, error) {
 	return h, nil
 }
 
+// HeadlineReport builds the typed §V-B aggregate report.
+func HeadlineReport(h Headline) *report.Report {
+	t := report.NewTable("design", "DP speedup", "MP speedup", "average")
+	for _, dn := range designNames {
+		t.AddRow(report.Str(dn),
+			report.Numf("%.2f", h.DP[dn]), report.Numf("%.2f", h.MP[dn]), report.Numf("%.2f", h.Average[dn]))
+	}
+	return &report.Report{
+		Name:  "headline",
+		Title: "Headline (§V-B) — speedup over DC-DLA (harmonic means)",
+		Sections: []report.Section{{Table: t, Notes: []string{
+			"Paper reference: MC-DLA(B) 3.5x DP / 2.1x MP / 2.8x average; HC-DLA 1.32x DP / 1.38x MP.",
+			fmt.Sprintf("MC-DLA(B) vs oracle: DP %.0f%%, MP %.0f%% (paper: 84%%-99%%, avg 95%%)",
+				100*h.OracleFractionDP, 100*h.OracleFractionMP),
+		}}},
+	}
+}
+
 // RenderHeadline prints the aggregate table with the paper's reference
 // numbers alongside.
-func RenderHeadline(h Headline) string {
-	t := metrics.NewTable("design", "DP speedup", "MP speedup", "average")
-	for _, dn := range designNames {
-		t.AddRow(dn, fmt.Sprintf("%.2f", h.DP[dn]), fmt.Sprintf("%.2f", h.MP[dn]), fmt.Sprintf("%.2f", h.Average[dn]))
-	}
-	return fmt.Sprintf(`Headline (§V-B) — speedup over DC-DLA (harmonic means)
-%sPaper reference: MC-DLA(B) 3.5x DP / 2.1x MP / 2.8x average; HC-DLA 1.32x DP / 1.38x MP.
-MC-DLA(B) vs oracle: DP %.0f%%, MP %.0f%% (paper: 84%%-99%%, avg 95%%)
-`, t.String(), 100*h.OracleFractionDP, 100*h.OracleFractionMP)
-}
+func RenderHeadline(h Headline) string { return report.Text(HeadlineReport(h)) }
 
 // ----------------------------------------------------------- §V-B sweeps
 
@@ -172,14 +182,21 @@ func Sensitivity() ([]SensitivityRow, error) {
 	return rows, nil
 }
 
-// RenderSensitivity prints the sweep.
-func RenderSensitivity(rows []SensitivityRow) string {
-	t := metrics.NewTable("variant", "MC-DLA(B) gap", "reference")
+// SensitivityReport builds the typed §V-B sensitivity report.
+func SensitivityReport(rows []SensitivityRow) *report.Report {
+	t := report.NewTable("variant", "MC-DLA(B) gap", "reference")
 	for _, r := range rows {
-		t.AddRow(r.Variant, fmt.Sprintf("%.2fx", r.Gap), r.Note)
+		t.AddRow(report.Str(r.Variant), report.Num(fmt.Sprintf("%.2fx", r.Gap), r.Gap), report.Str(r.Note))
 	}
-	return "Sensitivity (§V-B): MC-DLA(B) speedup under design variants\n" + t.String()
+	return &report.Report{
+		Name:     "sens",
+		Title:    "Sensitivity (§V-B): MC-DLA(B) speedup under design variants",
+		Sections: []report.Section{{Table: t}},
+	}
 }
+
+// RenderSensitivity prints the sweep.
+func RenderSensitivity(rows []SensitivityRow) string { return report.Text(SensitivityReport(rows)) }
 
 // ------------------------------------------------------------ §V-D scaling
 
@@ -244,38 +261,54 @@ func Scalability() ([]ScalingRow, error) {
 // experiment's shared-socket model.
 const PCIeSustainedGBps = 12
 
-// RenderScalability prints the §V-D table.
-func RenderScalability(rows []ScalingRow) string {
-	t := metrics.NewTable("network", "GPUs", "no-virtualization", "DC-DLA (virt)", "MC-DLA(B)")
+// ScalabilityReport builds the typed §V-D report.
+func ScalabilityReport(rows []ScalingRow) *report.Report {
+	t := report.NewTable("network", "GPUs", "no-virtualization", "DC-DLA (virt)", "MC-DLA(B)")
 	for _, r := range rows {
-		t.AddRow(r.Network, fmt.Sprintf("%d", r.GPUs),
-			fmt.Sprintf("%.2fx", r.SpeedupOracle),
-			fmt.Sprintf("%.2fx", r.SpeedupVirt),
-			fmt.Sprintf("%.2fx", r.SpeedupMC))
+		t.AddRow(report.Str(r.Network), report.Int(r.GPUs),
+			report.Num(fmt.Sprintf("%.2fx", r.SpeedupOracle), r.SpeedupOracle),
+			report.Num(fmt.Sprintf("%.2fx", r.SpeedupVirt), r.SpeedupVirt),
+			report.Num(fmt.Sprintf("%.2fx", r.SpeedupMC), r.SpeedupMC))
 	}
-	return "Scalability (§V-D): strong scaling of CNN training (paper: virt caps at 1.3x/2.7x; MC-DLA regains it)\n" + t.String()
+	return &report.Report{
+		Name:     "scale",
+		Title:    "Scalability (§V-D): strong scaling of CNN training (paper: virt caps at 1.3x/2.7x; MC-DLA regains it)",
+		Sections: []report.Section{{Table: t}},
+	}
 }
+
+// RenderScalability prints the §V-D table.
+func RenderScalability(rows []ScalingRow) string { return report.Text(ScalabilityReport(rows)) }
 
 // ------------------------------------------------------------- Table IV
 
-// RenderTable4 prints Table IV plus the §V-C system-level analysis.
-func RenderTable4() string {
-	t := metrics.NewTable("DDR4 module", "DIMM TDP (W)", "node TDP (W)", "GB/W", "pool (TB)", "system power", "perf/W @2.8x")
+// Table4Report builds the typed Table IV / §V-C report.
+func Table4Report() *report.Report {
+	t := report.NewTable("DDR4 module", "DIMM TDP (W)", "node TDP (W)", "GB/W", "pool (TB)", "system power", "perf/W @2.8x")
 	for _, r := range power.AnalyzeAll() {
-		t.AddRow(r.DIMM.Name,
-			fmt.Sprintf("%.1f", r.DIMM.TDPWatts),
-			fmt.Sprintf("%.0f", r.NodeTDP),
-			fmt.Sprintf("%.1f", r.GBPerWatt),
-			fmt.Sprintf("%.2f", r.PoolTB),
-			fmt.Sprintf("+%.0f%%", 100*r.OverheadFraction),
-			fmt.Sprintf("%.1fx", power.PerfPerWatt(2.8, r.OverheadFraction)))
+		t.AddRow(report.Str(r.DIMM.Name),
+			report.Numf("%.1f", r.DIMM.TDPWatts),
+			report.Numf("%.0f", r.NodeTDP),
+			report.Numf("%.1f", r.GBPerWatt),
+			report.Numf("%.2f", r.PoolTB),
+			report.Num(fmt.Sprintf("+%.0f%%", 100*r.OverheadFraction), 100*r.OverheadFraction),
+			report.Num(fmt.Sprintf("%.1fx", power.PerfPerWatt(2.8, r.OverheadFraction)),
+				power.PerfPerWatt(2.8, r.OverheadFraction)))
 	}
 	lo, hi := power.LowPowerChoice(), power.HighCapacityChoice()
-	return fmt.Sprintf(`Table IV (§V-C): memory-node power (DDR4-2400, 10 DIMMs per node, 8 nodes)
-%sPaper reference: +7%% (8 GB RDIMM) to +31%% (128 GB LRDIMM) system power;
-perf/W gain 2.6x to 2.1x; pool up to %.1f TB. Low-power pick: %s (+%.0f%%); capacity pick: %s (%.1f GB/W).
-`, t.String(), hi.PoolTB, lo.DIMM.Name, 100*lo.OverheadFraction, hi.DIMM.Name, hi.GBPerWatt)
+	return &report.Report{
+		Name:  "tab4",
+		Title: "Table IV (§V-C): memory-node power (DDR4-2400, 10 DIMMs per node, 8 nodes)",
+		Sections: []report.Section{{Table: t, Notes: []string{
+			"Paper reference: +7% (8 GB RDIMM) to +31% (128 GB LRDIMM) system power;",
+			fmt.Sprintf("perf/W gain 2.6x to 2.1x; pool up to %.1f TB. Low-power pick: %s (+%.0f%%); capacity pick: %s (%.1f GB/W).",
+				hi.PoolTB, lo.DIMM.Name, 100*lo.OverheadFraction, hi.DIMM.Name, hi.GBPerWatt),
+		}}},
+	}
 }
+
+// RenderTable4 prints Table IV plus the §V-C system-level analysis.
+func RenderTable4() string { return report.Text(Table4Report()) }
 
 // MemNodeSummary prints the Table II / §III-A memory-node configuration.
 func MemNodeSummary() string {

@@ -7,6 +7,7 @@ import (
 	"github.com/memcentric/mcdla/internal/core"
 	"github.com/memcentric/mcdla/internal/dnn"
 	"github.com/memcentric/mcdla/internal/metrics"
+	"github.com/memcentric/mcdla/internal/report"
 	"github.com/memcentric/mcdla/internal/runner"
 	"github.com/memcentric/mcdla/internal/train"
 	"github.com/memcentric/mcdla/internal/units"
@@ -107,21 +108,33 @@ func TransformerSweep(workloads []string, seqlens []int, precs []train.Precision
 	return rows, nil
 }
 
-// RenderTransformerSweep prints the study.
-func RenderTransformerSweep(rows []TransformerRow) string {
-	t := metrics.NewTable("workload", "seqlen", "precision", "DC-DLA", "MC-DLA(B)", "DC-DLA(O)",
+// TransformerSweepReport builds the typed transformer-study report.
+func TransformerSweepReport(rows []TransformerRow) *report.Report {
+	t := report.NewTable("workload", "seqlen", "precision", "DC-DLA", "MC-DLA(B)", "DC-DLA(O)",
 		"MC/DC speedup", "vs oracle", "DC virt/dev", "score share")
 	for _, r := range rows {
-		t.AddRow(r.Workload, fmt.Sprintf("%d", r.SeqLen), r.Precision.String(),
-			r.Iter["DC-DLA"].String(), r.Iter["MC-DLA(B)"].String(), r.Iter["DC-DLA(O)"].String(),
-			fmt.Sprintf("%.2fx", r.Speedup), fmt.Sprintf("%.0f%%", 100*r.OracleFraction),
-			r.VirtPerDevice.String(), fmt.Sprintf("%.0f%%", 100*r.ScoreShare))
+		t.AddRow(report.Str(r.Workload), report.Int(r.SeqLen), report.Str(r.Precision.String()),
+			report.Time(r.Iter["DC-DLA"]), report.Time(r.Iter["MC-DLA(B)"]), report.Time(r.Iter["DC-DLA(O)"]),
+			report.Num(fmt.Sprintf("%.2fx", r.Speedup), r.Speedup),
+			report.Num(fmt.Sprintf("%.0f%%", 100*r.OracleFraction), 100*r.OracleFraction),
+			report.Bytes(r.VirtPerDevice),
+			report.Num(fmt.Sprintf("%.0f%%", 100*r.ScoreShare), 100*r.ScoreShare))
 	}
-	return "Transformer workload axis: seqlen × precision × design (data-parallel, batch 512)\n" + t.String() +
-		"Attention score tensors grow O(batch·heads·seq²): the score share of the\n" +
-		"stash rises with seqlen, and with it the DC-DLA virtualization penalty.\n" +
-		"Mixed precision halves the migrated activation bytes (fp16) while the dW\n" +
-		"all-reduce widens to the fp32 master-weight gradients.\n"
+	return &report.Report{
+		Name:  "transformer",
+		Title: "Transformer workload axis: seqlen × precision × design (data-parallel, batch 512)",
+		Sections: []report.Section{{Table: t, Notes: []string{
+			"Attention score tensors grow O(batch·heads·seq²): the score share of the",
+			"stash rises with seqlen, and with it the DC-DLA virtualization penalty.",
+			"Mixed precision halves the migrated activation bytes (fp16) while the dW",
+			"all-reduce widens to the fp32 master-weight gradients.",
+		}}},
+	}
+}
+
+// RenderTransformerSweep prints the study.
+func RenderTransformerSweep(rows []TransformerRow) string {
+	return report.Text(TransformerSweepReport(rows))
 }
 
 // AttnCompressRow is one workload of the compression headline table.
@@ -186,19 +199,32 @@ func AttentionCompress() ([]AttnCompressRow, error) {
 	return rows, nil
 }
 
+// AttentionCompressReport builds the typed compression-headline report.
+func AttentionCompressReport(rows []AttnCompressRow) *report.Report {
+	t := report.NewTable("workload", "family", "cDMA ratio", "gap (plain)", "gap (cDMA)")
+	gaps := map[string][]float64{}
+	for _, r := range rows {
+		t.AddRow(report.Str(r.Workload), report.Str(r.Family),
+			report.Num(fmt.Sprintf("%.2fx", r.Ratio), r.Ratio),
+			report.Num(fmt.Sprintf("%.2fx", r.GapPlain), r.GapPlain),
+			report.Num(fmt.Sprintf("%.2fx", r.GapCDMA), r.GapCDMA))
+		gaps[r.Family] = append(gaps[r.Family], r.GapCDMA)
+	}
+	return &report.Report{
+		Name:  "attention-compress",
+		Title: "Headline: attention doesn't compress — MC-DLA(B) gap over DC-DLA with cDMA",
+		Sections: []report.Section{{Table: t, Notes: []string{
+			fmt.Sprintf("cDMA rescues the CNNs (harmonic-mean residual gap %.2fx, paper: 2.3x)",
+				metrics.HarmonicMean(gaps["CNN"])),
+			fmt.Sprintf("but not the transformers (residual gap %.2fx): dense attention tensors",
+				metrics.HarmonicMean(gaps["Transformer"])),
+			"keep the full memory-centric advantage.",
+		}}},
+	}
+}
+
 // RenderAttentionCompress prints the headline table with per-family
 // harmonic-mean gaps.
 func RenderAttentionCompress(rows []AttnCompressRow) string {
-	t := metrics.NewTable("workload", "family", "cDMA ratio", "gap (plain)", "gap (cDMA)")
-	gaps := map[string][]float64{}
-	for _, r := range rows {
-		t.AddRow(r.Workload, r.Family, fmt.Sprintf("%.2fx", r.Ratio),
-			fmt.Sprintf("%.2fx", r.GapPlain), fmt.Sprintf("%.2fx", r.GapCDMA))
-		gaps[r.Family] = append(gaps[r.Family], r.GapCDMA)
-	}
-	return "Headline: attention doesn't compress — MC-DLA(B) gap over DC-DLA with cDMA\n" + t.String() +
-		fmt.Sprintf("cDMA rescues the CNNs (harmonic-mean residual gap %.2fx, paper: 2.3x)\n",
-			metrics.HarmonicMean(gaps["CNN"])) +
-		fmt.Sprintf("but not the transformers (residual gap %.2fx): dense attention tensors\nkeep the full memory-centric advantage.\n",
-			metrics.HarmonicMean(gaps["Transformer"]))
+	return report.Text(AttentionCompressReport(rows))
 }

@@ -13,6 +13,7 @@
 package runner
 
 import (
+	"container/list"
 	"fmt"
 	"runtime"
 	"sync"
@@ -72,6 +73,13 @@ type Options struct {
 	// Parallelism bounds the worker goroutines; values ≤ 0 mean
 	// runtime.GOMAXPROCS(0).
 	Parallelism int
+	// CacheEntries bounds the memo cache: once more than CacheEntries
+	// distinct simulations are resident, the least-recently-used completed
+	// entries are evicted. Values ≤ 0 keep the cache unbounded (the CLI
+	// default — one process, one bounded grid). Long-running callers such
+	// as `mcdla serve` set a bound so the cross-request cache behaves as an
+	// LRU rather than a leak.
+	CacheEntries int
 }
 
 // CacheStats reports the memo cache's hit accounting.
@@ -100,8 +108,8 @@ func New(opts Options) *Engine {
 	}
 	return &Engine{
 		parallelism: p,
-		results:     memo[core.Result]{entries: map[string]*entry[core.Result]{}},
-		scheds:      memo[*train.Schedule]{entries: map[string]*entry[*train.Schedule]{}},
+		results:     newMemo[core.Result](opts.CacheEntries),
+		scheds:      newMemo[*train.Schedule](opts.CacheEntries),
 	}
 }
 
@@ -175,14 +183,23 @@ func (e *Engine) Run(jobs []Job, progress func(Update)) ([]core.Result, error) {
 // computed once.
 func (e *Engine) simulate(j Job) (core.Result, bool, error) {
 	return e.results.do(j.key(), func() (core.Result, error) {
-		s, _, err := e.scheds.do(j.scheduleKey(), func() (*train.Schedule, error) {
-			return train.BuildSeq(j.Workload, j.Batch, j.Workers, j.Strategy, j.SeqLen, j.Precision)
-		})
+		s, err := e.Schedule(j)
 		if err != nil {
 			return core.Result{}, err
 		}
 		return core.Simulate(j.Design, s)
 	})
+}
+
+// Schedule returns the memoized training schedule for j's workload point
+// (design-independent), building it on first use. Callers that need
+// schedule-level data alongside a simulation — the run report's resident
+// weight footprint — share the graph build instead of repeating it.
+func (e *Engine) Schedule(j Job) (*train.Schedule, error) {
+	s, _, err := e.scheds.do(j.scheduleKey(), func() (*train.Schedule, error) {
+		return train.BuildSeq(j.Workload, j.Batch, j.Workers, j.Strategy, j.SeqLen, j.Precision)
+	})
+	return s, err
 }
 
 // Grid declares a full cross product of simulation inputs. It is the
@@ -285,14 +302,28 @@ type entry[V any] struct {
 	done chan struct{}
 	val  V
 	err  error
+	// key and elem tie the slot to its recency-list position so eviction
+	// can unlink both sides; complete guards in-flight slots from eviction.
+	key      string
+	elem     *list.Element
+	complete bool
 }
 
 // memo is a concurrency-safe, in-flight-deduplicating memoization table.
+// With a positive cap it is an LRU: every hit refreshes the entry's recency
+// and completed entries beyond the cap are evicted oldest-first; in-flight
+// computations are never evicted.
 type memo[V any] struct {
 	mu      sync.Mutex
 	entries map[string]*entry[V]
+	order   *list.List // most-recent first; element values are *entry[V]
+	cap     int        // ≤ 0: unbounded
 
 	hits, misses atomic.Int64
+}
+
+func newMemo[V any](cap int) memo[V] {
+	return memo[V]{entries: map[string]*entry[V]{}, order: list.New(), cap: cap}
 }
 
 // do returns the memoized value for key, computing it with f exactly once
@@ -301,17 +332,41 @@ type memo[V any] struct {
 func (c *memo[V]) do(key string, f func() (V, error)) (V, bool, error) {
 	c.mu.Lock()
 	if en, ok := c.entries[key]; ok {
+		c.order.MoveToFront(en.elem)
 		c.mu.Unlock()
 		c.hits.Add(1)
 		<-en.done
 		return en.val, true, en.err
 	}
-	en := &entry[V]{done: make(chan struct{})}
+	en := &entry[V]{done: make(chan struct{}), key: key}
 	c.entries[key] = en
+	en.elem = c.order.PushFront(en)
 	c.mu.Unlock()
 
 	c.misses.Add(1)
 	en.val, en.err = f()
+	c.mu.Lock()
+	en.complete = true
+	c.evictLocked()
+	c.mu.Unlock()
 	close(en.done)
 	return en.val, false, en.err
+}
+
+// evictLocked drops least-recently-used completed entries until the table
+// fits the cap. Incomplete (in-flight) entries are skipped: their creators
+// still need the slot, and waiters hold the entry pointer regardless.
+func (c *memo[V]) evictLocked() {
+	if c.cap <= 0 {
+		return
+	}
+	for e := c.order.Back(); e != nil && len(c.entries) > c.cap; {
+		prev := e.Prev()
+		en := e.Value.(*entry[V])
+		if en.complete {
+			c.order.Remove(e)
+			delete(c.entries, en.key)
+		}
+		e = prev
+	}
 }

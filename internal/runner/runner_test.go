@@ -221,3 +221,105 @@ func TestFanOrderAndErrors(t *testing.T) {
 		t.Fatalf("empty fan: %v %v", out, err)
 	}
 }
+
+// TestLRUCacheEviction pins the bounded-cache contract behind `mcdla serve`:
+// with CacheEntries set, completed entries beyond the bound are evicted
+// oldest-first, a hit refreshes recency, and an evicted key re-simulates.
+func TestLRUCacheEviction(t *testing.T) {
+	var calls atomic.Int64
+	m := newMemo[int](2)
+	get := func(key string) int {
+		v, _, err := m.do(key, func() (int, error) {
+			calls.Add(1)
+			return int(calls.Load()), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	get("a")
+	get("b")
+	get("a") // refresh a: LRU order is now b, a
+	get("c") // evicts b
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("after a,b,a,c: %d computations, want 3", n)
+	}
+	get("a") // still resident
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("a was evicted despite being recent (calls=%d)", n)
+	}
+	get("b") // evicted above: recomputes, evicting c
+	if n := calls.Load(); n != 4 {
+		t.Fatalf("b served stale entry (calls=%d)", n)
+	}
+	if len(m.entries) != 2 || m.order.Len() != 2 {
+		t.Fatalf("cache size = %d entries / %d list, want 2/2", len(m.entries), m.order.Len())
+	}
+	if m.hits.Load() != 2 {
+		t.Fatalf("hits = %d, want 2", m.hits.Load())
+	}
+}
+
+// TestLRUSkipsInFlightEntries makes sure eviction never drops a slot whose
+// computation is still running.
+func TestLRUSkipsInFlightEntries(t *testing.T) {
+	m := newMemo[int](1)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		m.do("slow", func() (int, error) {
+			close(started)
+			<-release
+			return 1, nil
+		})
+	}()
+	<-started
+	// A second key completes while "slow" is in flight; the cap of 1 must
+	// evict the completed newcomer's predecessor only when complete — the
+	// in-flight slot survives.
+	m.do("fast", func() (int, error) { return 2, nil })
+	m.mu.Lock()
+	_, slowAlive := m.entries["slow"]
+	m.mu.Unlock()
+	if !slowAlive {
+		t.Fatal("in-flight entry was evicted")
+	}
+	close(release)
+	<-done
+	// slow's completion triggers eviction down to the cap.
+	m.mu.Lock()
+	size := len(m.entries)
+	m.mu.Unlock()
+	if size != 1 {
+		t.Fatalf("cache size after completion = %d, want 1", size)
+	}
+}
+
+// TestEngineCacheBound exercises the bound end-to-end through Engine.Run.
+func TestEngineCacheBound(t *testing.T) {
+	e := New(Options{Parallelism: 2, CacheEntries: 4})
+	jobs := testGrid()
+	if _, err := e.Run(jobs, nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(e.results.entries); n > 4 {
+		t.Fatalf("results cache holds %d entries, bound is 4", n)
+	}
+	// Re-running the full grid cannot be fully cached any more, but must
+	// still return correct results.
+	unbounded := New(Options{Parallelism: 2})
+	want, err := unbounded.Run(jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Run(jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("bounded engine returned different results after eviction")
+	}
+}

@@ -1,0 +1,506 @@
+// Package server exposes the simulator as a long-running HTTP service:
+// every experiment family of the CLI becomes a /v1 endpoint whose query
+// parameters map onto the runner's job axes (workload, design, strategy,
+// batch, seqlen, precision, node counts, link technology), with results
+// rendered through the typed report layer as JSON by default or any other
+// report format on request (?format=text|csv|md).
+//
+// Requests fan out through the shared experiments engine — the same bounded
+// worker pool the CLI uses — and its memo cache is promoted to a
+// cross-request LRU, so repeated design points are served without
+// re-simulation; /healthz exposes the hit/miss accounting and /v1/networks
+// the workload inventory for discovery.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"github.com/memcentric/mcdla/internal/dnn"
+	"github.com/memcentric/mcdla/internal/experiments"
+	"github.com/memcentric/mcdla/internal/report"
+	"github.com/memcentric/mcdla/internal/runner"
+	"github.com/memcentric/mcdla/internal/train"
+	"github.com/memcentric/mcdla/internal/units"
+)
+
+// DefaultCacheEntries is the serve default for the cross-request LRU bound:
+// generous enough to hold the full paper evaluation plane many times over,
+// small enough that a long-lived service cannot grow without bound.
+const DefaultCacheEntries = 4096
+
+// Options configures the service.
+type Options struct {
+	// Parallelism bounds the shared engine's workers (≤ 0: GOMAXPROCS).
+	Parallelism int
+	// CacheEntries bounds the cross-request simulation cache (0: unbounded).
+	CacheEntries int
+}
+
+// Server is the HTTP façade over the experiment suite. Build one with New.
+type Server struct {
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// New configures the shared experiments engine for cross-request use (LRU
+// cache bound, no stderr progress stream) and builds the route table.
+//
+// The engine is process-global state owned by the experiments package —
+// there is exactly one simulation pool and one cache per process, shared
+// with any CLI-style callers. Constructing a second Server (or calling
+// experiments.SetParallelism/SetOptions afterwards) reconfigures that
+// shared engine for everyone and resets its cache accounting; run one
+// Server per process.
+func New(opts Options) *Server {
+	experiments.SetOptions(runner.Options{Parallelism: opts.Parallelism, CacheEntries: opts.CacheEntries})
+	experiments.SetProgress(nil)
+	s := &Server{mux: http.NewServeMux(), start: time.Now()}
+	s.routes()
+	return s
+}
+
+// Handler returns the service's root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe blocks serving the API on addr.
+func (s *Server) ListenAndServe(addr string) error {
+	srv := &http.Server{Addr: addr, Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	return srv.ListenAndServe()
+}
+
+// endpoints lists every route for /v1 discovery.
+var endpoints = []struct{ Path, Doc string }{
+	{"/healthz", "liveness, uptime, engine parallelism and cache hit/miss accounting"},
+	{"/v1", "this index"},
+	{"/v1/networks", "workload inventory (Table III + transformers); ?format=text for the CLI shape"},
+	{"/v1/config", "Table II device/memory-node/design-point inventory"},
+	{"/v1/run", "one simulation: ?net=&design=&strategy=dp|mp&batch=&seqlen=&precision="},
+	{"/v1/transformer", "seqlen × precision × design study: ?workload=&seqlens=&precisions="},
+	{"/v1/plane", "§VI scale-out plane: ?workload=&nodes=1,2,4&analytic=&compare="},
+	{"/v1/explore", "§III-B link-technology sweep: ?links=4,8&gbps=25,100"},
+	{"/v1/fig2", "Figure 2 generational study"},
+	{"/v1/fig9", "Figure 9 collective latency"},
+	{"/v1/fig11", "Figure 11 latency breakdown: ?strategy=dp|mp"},
+	{"/v1/fig12", "Figure 12 CPU socket bandwidth"},
+	{"/v1/fig13", "Figure 13 normalized performance: ?strategy=dp|mp"},
+	{"/v1/fig14", "Figure 14 batch sensitivity"},
+	{"/v1/tab4", "Table IV memory-node power"},
+	{"/v1/headline", "§V-B aggregate speedups"},
+	{"/v1/sens", "§V-B sensitivity sweep"},
+	{"/v1/scale", "§V-D scalability"},
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("/healthz", s.healthz)
+	s.mux.HandleFunc("/v1", s.index)
+	s.mux.HandleFunc("/v1/networks", s.networks)
+	s.mux.HandleFunc("/v1/config", fixedReportHandler(func(url.Values) (*report.Report, error) {
+		return experiments.ConfigReport(), nil
+	}))
+	s.mux.HandleFunc("/v1/run", reportHandler(buildRun))
+	s.mux.HandleFunc("/v1/transformer", reportHandler(buildTransformer))
+	s.mux.HandleFunc("/v1/plane", reportHandler(buildPlane))
+	s.mux.HandleFunc("/v1/explore", reportHandler(buildExplore))
+	s.mux.HandleFunc("/v1/fig2", fixedReportHandler(func(url.Values) (*report.Report, error) {
+		rows, err := experiments.Fig2()
+		if err != nil {
+			return nil, err
+		}
+		return experiments.Fig2Report(rows), nil
+	}))
+	s.mux.HandleFunc("/v1/fig9", fixedReportHandler(func(url.Values) (*report.Report, error) {
+		return experiments.Fig9Report(experiments.Fig9()), nil
+	}))
+	s.mux.HandleFunc("/v1/fig11", reportHandler(func(q url.Values) (*report.Report, error) {
+		strategy, err := strategyParam(q)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := experiments.Fig11(strategy)
+		if err != nil {
+			return nil, err
+		}
+		return experiments.Fig11Report(rows, strategy), nil
+	}))
+	s.mux.HandleFunc("/v1/fig12", fixedReportHandler(func(url.Values) (*report.Report, error) {
+		rows, err := experiments.Fig12()
+		if err != nil {
+			return nil, err
+		}
+		return experiments.Fig12Report(rows), nil
+	}))
+	s.mux.HandleFunc("/v1/fig13", reportHandler(func(q url.Values) (*report.Report, error) {
+		strategy, err := strategyParam(q)
+		if err != nil {
+			return nil, err
+		}
+		rows, speedups, err := experiments.Fig13(strategy)
+		if err != nil {
+			return nil, err
+		}
+		return experiments.Fig13Report(rows, speedups, strategy), nil
+	}))
+	s.mux.HandleFunc("/v1/fig14", fixedReportHandler(func(url.Values) (*report.Report, error) {
+		rows, err := experiments.Fig14()
+		if err != nil {
+			return nil, err
+		}
+		return experiments.Fig14Report(rows), nil
+	}))
+	s.mux.HandleFunc("/v1/tab4", fixedReportHandler(func(url.Values) (*report.Report, error) {
+		return experiments.Table4Report(), nil
+	}))
+	s.mux.HandleFunc("/v1/headline", fixedReportHandler(func(url.Values) (*report.Report, error) {
+		h, err := experiments.RunHeadline()
+		if err != nil {
+			return nil, err
+		}
+		return experiments.HeadlineReport(h), nil
+	}))
+	s.mux.HandleFunc("/v1/sens", fixedReportHandler(func(url.Values) (*report.Report, error) {
+		rows, err := experiments.Sensitivity()
+		if err != nil {
+			return nil, err
+		}
+		return experiments.SensitivityReport(rows), nil
+	}))
+	s.mux.HandleFunc("/v1/scale", fixedReportHandler(func(url.Values) (*report.Report, error) {
+		rows, err := experiments.Scalability()
+		if err != nil {
+			return nil, err
+		}
+		return experiments.ScalabilityReport(rows), nil
+	}))
+}
+
+// ------------------------------------------------------- report endpoints
+
+// reportHandler adapts a query→report builder into an HTTP handler with
+// format negotiation. Builder failures map to errStatus: parameterized
+// endpoints use 400 (their fallible inputs — workload, design, axis lists —
+// arrive in the query string), while fixedReportHandler's parameterless
+// endpoints report builder failures as the server faults they are.
+func reportHandler(build func(url.Values) (*report.Report, error)) http.HandlerFunc {
+	return reportHandlerStatus(build, http.StatusBadRequest)
+}
+
+// fixedReportHandler serves endpoints with no data-bearing parameters; a
+// generator failure there cannot be the client's fault.
+func fixedReportHandler(build func(url.Values) (*report.Report, error)) http.HandlerFunc {
+	return reportHandlerStatus(build, http.StatusInternalServerError)
+}
+
+func reportHandlerStatus(build func(url.Values) (*report.Report, error), errStatus int) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+			return
+		}
+		format, err := formatParam(r.URL.Query())
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		rep, err := build(r.URL.Query())
+		if err != nil {
+			writeError(w, errStatus, err)
+			return
+		}
+		out, err := report.Render(rep, format)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", contentType(format))
+		fmt.Fprint(w, out)
+	}
+}
+
+func buildRun(q url.Values) (*report.Report, error) {
+	workload := firstNonEmpty(q.Get("net"), q.Get("workload"), "VGG-E")
+	design := firstNonEmpty(q.Get("design"), "MC-DLA(B)")
+	strategy, err := strategyParam(q)
+	if err != nil {
+		return nil, err
+	}
+	batch, err := intParam(q, "batch", experiments.Batch)
+	if err != nil {
+		return nil, err
+	}
+	seqlen, err := intParam(q, "seqlen", 0)
+	if err != nil {
+		return nil, err
+	}
+	prec := train.FP16
+	if v := q.Get("precision"); v != "" {
+		if prec, err = train.ParsePrecision(v); err != nil {
+			return nil, fmt.Errorf("invalid precision parameter: %v", err)
+		}
+	}
+	return experiments.RunReport(design, workload, strategy, batch, seqlen, prec)
+}
+
+func buildTransformer(q url.Values) (*report.Report, error) {
+	var workloads []string
+	if v := q.Get("workload"); v != "" {
+		workloads = []string{v}
+	}
+	seqlens, err := intsCSVParam(q, "seqlens", nil)
+	if err != nil {
+		return nil, err
+	}
+	var precs []train.Precision
+	if v := q.Get("precisions"); v != "" {
+		var err error
+		if precs, err = train.ParsePrecisionList(v); err != nil {
+			return nil, fmt.Errorf("invalid precisions list %q: %v", v, err)
+		}
+	}
+	rows, err := experiments.TransformerSweep(workloads, seqlens, precs)
+	if err != nil {
+		return nil, err
+	}
+	cRows, err := experiments.AttentionCompress()
+	if err != nil {
+		return nil, err
+	}
+	return experiments.TransformerStudyReport(rows, cRows), nil
+}
+
+func buildPlane(q url.Values) (*report.Report, error) {
+	workload := firstNonEmpty(q.Get("net"), q.Get("workload"), "VGG-E")
+	counts, err := intsCSVParam(q, "nodes", []int{1, 2, 4, 8, 16})
+	if err != nil {
+		return nil, err
+	}
+	analytic, err := boolParam(q, "analytic")
+	if err != nil {
+		return nil, err
+	}
+	compare, err := boolParam(q, "compare")
+	if err != nil {
+		return nil, err
+	}
+	pts, err := experiments.ScaleOutRows(workload, counts, analytic)
+	if err != nil {
+		return nil, err
+	}
+	rep := experiments.ScaleOutReport(workload, pts, analytic)
+	if compare {
+		event := pts
+		if analytic {
+			event = nil
+		}
+		rows, err := experiments.ScaleOutCompare(workload, counts, event)
+		if err != nil {
+			return nil, err
+		}
+		rep = report.Merge("plane", rep, experiments.ScaleOutCompareReport(workload, rows))
+	}
+	return rep, nil
+}
+
+func buildExplore(q url.Values) (*report.Report, error) {
+	links, err := intsCSVParam(q, "links", []int{4, 6, 8, 12})
+	if err != nil {
+		return nil, err
+	}
+	gbps, err := floatsCSVParam(q, "gbps", []float64{25, 50, 100})
+	if err != nil {
+		return nil, err
+	}
+	rows, err := experiments.Explore(links, gbps)
+	if err != nil {
+		return nil, err
+	}
+	return experiments.ExploreReport(rows), nil
+}
+
+// --------------------------------------------------------- fixed endpoints
+
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	stats := experiments.EngineStats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"parallelism":    experiments.Parallelism(),
+		"cache": map[string]int64{
+			"hits":   stats.Hits,
+			"misses": stats.Misses,
+		},
+	})
+}
+
+func (s *Server) index(w http.ResponseWriter, r *http.Request) {
+	type ep struct {
+		Path string `json:"path"`
+		Doc  string `json:"doc"`
+	}
+	out := struct {
+		Service   string `json:"service"`
+		Endpoints []ep   `json:"endpoints"`
+	}{Service: "mcdla"}
+	for _, e := range endpoints {
+		out.Endpoints = append(out.Endpoints, ep(e))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// networkInfo is one workload of the /v1/networks discovery inventory.
+type networkInfo struct {
+	Name        string `json:"name"`
+	Family      string `json:"family"`
+	Layers      int    `json:"layers"`
+	PaperLayers int    `json:"paper_layers"`
+	SeqLen      int    `json:"seqlen,omitempty"`
+	WeightBytes int64  `json:"weight_bytes"`
+	StashBytes  int64  `json:"stash_bytes"`
+	ScoreBytes  int64  `json:"score_bytes,omitempty"`
+	Summary     string `json:"summary"`
+}
+
+func (s *Server) networks(w http.ResponseWriter, r *http.Request) {
+	// ?format= renders the CLI inventory shape; the default (and an
+	// explicit json in any casing) is the typed discovery document.
+	if v := r.URL.Query().Get("format"); v != "" {
+		f, err := report.ParseFormat(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid format parameter: %v", err))
+			return
+		}
+		if f != report.FormatJSON {
+			reportHandler(func(url.Values) (*report.Report, error) {
+				return experiments.NetworksReport(), nil
+			})(w, r)
+			return
+		}
+	}
+	inventory := func(name, family string) networkInfo {
+		g := dnn.MustBuild(name, 64)
+		return networkInfo{
+			Name:        name,
+			Family:      family,
+			Layers:      len(g.Layers),
+			PaperLayers: dnn.PaperLayerCount(name),
+			SeqLen:      g.SeqLen,
+			WeightBytes: g.TotalWeightBytes(),
+			StashBytes:  g.StashBytes(),
+			ScoreBytes:  g.ScoreBytes(),
+			Summary:     g.Summary(),
+		}
+	}
+	var nets []networkInfo
+	for _, name := range dnn.BenchmarkNames() {
+		nets = append(nets, inventory(name, "table3"))
+	}
+	for _, name := range dnn.TransformerNames() {
+		nets = append(nets, inventory(name, "transformer"))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"networks": nets})
+}
+
+// ----------------------------------------------------------------- helpers
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func contentType(f report.Format) string {
+	switch f {
+	case report.FormatJSON:
+		return "application/json"
+	case report.FormatCSV:
+		return "text/csv; charset=utf-8"
+	case report.FormatMarkdown:
+		return "text/markdown; charset=utf-8"
+	}
+	return "text/plain; charset=utf-8"
+}
+
+func firstNonEmpty(vals ...string) string {
+	for _, v := range vals {
+		if v != "" {
+			return v
+		}
+	}
+	return ""
+}
+
+// formatParam resolves ?format=, defaulting to JSON — the service shape —
+// rather than the CLI's text default.
+func formatParam(q url.Values) (report.Format, error) {
+	v := q.Get("format")
+	if v == "" {
+		return report.FormatJSON, nil
+	}
+	f, err := report.ParseFormat(v)
+	if err != nil {
+		return "", fmt.Errorf("invalid format parameter: %v", err)
+	}
+	return f, nil
+}
+
+func strategyParam(q url.Values) (train.Strategy, error) {
+	v := q.Get("strategy")
+	if v == "" {
+		return train.DataParallel, nil
+	}
+	strategy, err := train.ParseStrategy(v)
+	if err != nil {
+		return 0, fmt.Errorf("invalid strategy parameter: %v", err)
+	}
+	return strategy, nil
+}
+
+func intParam(q url.Values, key string, def int) (int, error) {
+	v := q.Get(key)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid %s parameter %q (want a nonnegative integer)", key, v)
+	}
+	return n, nil
+}
+
+func boolParam(q url.Values, key string) (bool, error) {
+	v := q.Get(key)
+	if v == "" {
+		return false, nil
+	}
+	b, err := strconv.ParseBool(v)
+	if err != nil {
+		return false, fmt.Errorf("invalid %s parameter %q (want true or false)", key, v)
+	}
+	return b, nil
+}
+
+func intsCSVParam(q url.Values, key string, def []int) ([]int, error) {
+	v := q.Get(key)
+	if v == "" {
+		return def, nil
+	}
+	return units.ParsePositiveInts(key, v)
+}
+
+func floatsCSVParam(q url.Values, key string, def []float64) ([]float64, error) {
+	v := q.Get(key)
+	if v == "" {
+		return def, nil
+	}
+	return units.ParsePositiveFloats(key, v)
+}

@@ -1,0 +1,272 @@
+package server
+
+import (
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/memcentric/mcdla/internal/report"
+)
+
+// update rewrites the golden JSON fixture the CI serve-smoke job diffs the
+// live server against:
+//
+//	go test ./internal/server -run TestRunEndpointGoldenJSON -update
+var update = flag.Bool("update", false, "rewrite testdata/run_vgge_mcdlab.golden.json")
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(Options{Parallelism: 4, CacheEntries: 64}).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// cliGolden reads a golden fixture of the CLI test harness; the server must
+// agree with the CLI byte-for-byte through the shared report layer.
+func cliGolden(t *testing.T, name string) string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("..", "..", "cmd", "mcdla", "testdata", name+".golden"))
+	if err != nil {
+		t.Fatalf("missing CLI fixture: %v", err)
+	}
+	return string(b)
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t)
+	status, body := get(t, ts.URL+"/healthz")
+	if status != http.StatusOK {
+		t.Fatalf("healthz status = %d", status)
+	}
+	var h struct {
+		Status      string  `json:"status"`
+		Uptime      float64 `json:"uptime_seconds"`
+		Parallelism int     `json:"parallelism"`
+	}
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Parallelism != 4 {
+		t.Fatalf("healthz = %+v", h)
+	}
+}
+
+// TestRunEndpointMatchesCLIGolden pins the acceptance criterion: the JSON
+// answer for /v1/run?net=VGG-E&design=MC-DLA(B) carries exactly the numbers
+// of the CLI's golden table — reconstructing the text rendering from the
+// decoded JSON reproduces the fixture byte-for-byte.
+func TestRunEndpointMatchesCLIGolden(t *testing.T) {
+	ts := newTestServer(t)
+	status, body := get(t, ts.URL+"/v1/run?net=VGG-E&design=MC-DLA(B)")
+	if status != http.StatusOK {
+		t.Fatalf("run status = %d: %s", status, body)
+	}
+	var rep report.Report
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := report.Text(&rep), cliGolden(t, "run_default"); got != want {
+		t.Fatalf("JSON-reconstructed text diverged from run_default.golden:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	// And the typed values are real numbers, not re-parsed strings.
+	kvs := rep.Sections[0].KVs
+	if kvs[0].Key != "iteration_time" {
+		t.Fatalf("first kv = %+v", kvs[0])
+	}
+	sec, ok := kvs[0].Value.(float64)
+	if !ok || sec < 0.0511 || sec > 0.0512 {
+		t.Fatalf("iteration_time value = %#v, want ~0.051141 s", kvs[0].Value)
+	}
+}
+
+// TestRunEndpointTextFormat serves the CLI's exact text bytes on request.
+func TestRunEndpointTextFormat(t *testing.T) {
+	ts := newTestServer(t)
+	status, body := get(t, ts.URL+"/v1/run?format=text")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	if got, want := string(body), cliGolden(t, "run_default"); got != want {
+		t.Fatalf("text format diverged from run_default.golden:\ngot:\n%s", got)
+	}
+}
+
+// TestRunEndpointGoldenJSON pins the raw response bytes for the CI smoke
+// job, which curls the live server and diffs against this fixture.
+func TestRunEndpointGoldenJSON(t *testing.T) {
+	ts := newTestServer(t)
+	status, body := get(t, ts.URL+"/v1/run?net=VGG-E&design=MC-DLA(B)")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	path := filepath.Join("testdata", "run_vgge_mcdlab.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing fixture (run with -update to create): %v", err)
+	}
+	if string(body) != string(want) {
+		t.Fatalf("response diverged from %s:\ngot:\n%s\nwant:\n%s", path, body, want)
+	}
+}
+
+// TestRunCacheHit covers the cross-request LRU: a repeated design point is
+// served from the memo cache instead of re-simulating.
+func TestRunCacheHit(t *testing.T) {
+	ts := newTestServer(t)
+	stats := func() (hits, misses int64) {
+		_, body := get(t, ts.URL+"/healthz")
+		var h struct {
+			Cache struct{ Hits, Misses int64 } `json:"cache"`
+		}
+		if err := json.Unmarshal(body, &h); err != nil {
+			t.Fatal(err)
+		}
+		return h.Cache.Hits, h.Cache.Misses
+	}
+	if status, body := get(t, ts.URL+"/v1/run?net=AlexNet&design=DC-DLA"); status != http.StatusOK {
+		t.Fatalf("first run = %d: %s", status, body)
+	}
+	hits0, misses0 := stats()
+	if status, _ := get(t, ts.URL+"/v1/run?net=AlexNet&design=DC-DLA"); status != http.StatusOK {
+		t.Fatal("second run failed")
+	}
+	hits1, misses1 := stats()
+	if misses1 != misses0 {
+		t.Fatalf("repeat request re-simulated: misses %d -> %d", misses0, misses1)
+	}
+	if hits1 != hits0+1 {
+		t.Fatalf("repeat request missed the cache: hits %d -> %d", hits0, hits1)
+	}
+}
+
+func TestNetworksDiscovery(t *testing.T) {
+	ts := newTestServer(t)
+	status, body := get(t, ts.URL+"/v1/networks")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	var inv struct {
+		Networks []struct {
+			Name   string `json:"name"`
+			Family string `json:"family"`
+			SeqLen int    `json:"seqlen"`
+		} `json:"networks"`
+	}
+	if err := json.Unmarshal(body, &inv); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]string{}
+	for _, n := range inv.Networks {
+		byName[n.Name] = n.Family
+	}
+	if byName["VGG-E"] != "table3" || byName["BERT-Large"] != "transformer" {
+		t.Fatalf("inventory = %v", byName)
+	}
+	// The text shape mirrors the CLI inventory.
+	status, text := get(t, ts.URL+"/v1/networks?format=text")
+	if status != http.StatusOK || string(text) != cliGolden(t, "networks") {
+		t.Fatalf("networks text diverged (status %d):\n%s", status, text)
+	}
+}
+
+func TestBadParamsNameTheParameter(t *testing.T) {
+	ts := newTestServer(t)
+	for url, wantSub := range map[string]string{
+		"/v1/run?design=NOPE-DLA":  "NOPE-DLA",
+		"/v1/run?batch=x":          "batch",
+		"/v1/run?precision=fp8":    "precision",
+		"/v1/run?strategy=zp":      "strategy",
+		"/v1/plane?nodes=1,x":      "nodes",
+		"/v1/explore?gbps=0":       "gbps",
+		"/v1/transformer?seqlens=": "",
+		"/v1/run?format=yaml":      "format",
+	} {
+		status, body := get(t, ts.URL+url)
+		if url == "/v1/transformer?seqlens=" {
+			// An empty list parameter falls back to the default axis.
+			if status != http.StatusOK {
+				t.Fatalf("%s status = %d", url, status)
+			}
+			continue
+		}
+		if status != http.StatusBadRequest {
+			t.Fatalf("%s status = %d, want 400 (%s)", url, status, body)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &e); err != nil {
+			t.Fatalf("%s: non-JSON error body %s", url, body)
+		}
+		if !strings.Contains(e.Error, wantSub) {
+			t.Fatalf("%s error %q does not name %q", url, e.Error, wantSub)
+		}
+	}
+}
+
+func TestIndexListsEndpoints(t *testing.T) {
+	ts := newTestServer(t)
+	status, body := get(t, ts.URL+"/v1")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	for _, want := range []string{"/v1/run", "/v1/transformer", "/v1/plane", "/v1/explore", "/healthz"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("index missing %s:\n%s", want, body)
+		}
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/run = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestPlaneEndpointMatchesCLIGolden drives a full multi-section report
+// (plane -compare shape) through HTTP text rendering.
+func TestPlaneEndpointMatchesCLIGolden(t *testing.T) {
+	ts := newTestServer(t)
+	status, body := get(t, ts.URL+"/v1/plane?nodes=1,2&compare=true&format=text")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	if got, want := string(body), cliGolden(t, "plane_compare"); got != want {
+		t.Fatalf("plane compare text diverged:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -1,0 +1,33 @@
+package train
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseStrategy resolves the user-facing strategy spellings shared by the
+// CLI's -strategy flag and the HTTP API's strategy parameter, so the two
+// surfaces accept exactly the same inputs.
+func ParseStrategy(s string) (Strategy, error) {
+	switch strings.ToLower(s) {
+	case "dp", "data", "data-parallel":
+		return DataParallel, nil
+	case "mp", "model", "model-parallel":
+		return ModelParallel, nil
+	}
+	return 0, fmt.Errorf("unknown strategy %q (want dp or mp)", s)
+}
+
+// ParsePrecisionList parses a comma-separated precision list, shared by the
+// CLI's -precisions flag and the HTTP API's precisions parameter.
+func ParsePrecisionList(csv string) ([]Precision, error) {
+	var out []Precision
+	for _, part := range strings.Split(csv, ",") {
+		p, err := ParsePrecision(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
