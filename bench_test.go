@@ -12,6 +12,8 @@
 package mcdla_test
 
 import (
+	"context"
+	"math/rand"
 	"testing"
 
 	"github.com/memcentric/mcdla/internal/accel"
@@ -19,6 +21,7 @@ import (
 	"github.com/memcentric/mcdla/internal/core"
 	"github.com/memcentric/mcdla/internal/cudart"
 	"github.com/memcentric/mcdla/internal/dnn"
+	"github.com/memcentric/mcdla/internal/dse"
 	"github.com/memcentric/mcdla/internal/experiments"
 	"github.com/memcentric/mcdla/internal/metrics"
 	"github.com/memcentric/mcdla/internal/overlay"
@@ -241,7 +244,7 @@ func benchRunner(b *testing.B, parallelism int) {
 		// A fresh engine per iteration measures simulation throughput, not
 		// memoization.
 		e := runner.New(runner.Options{Parallelism: parallelism})
-		if _, err := e.Run(jobs, nil); err != nil {
+		if _, err := e.Run(context.Background(), jobs, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -260,12 +263,12 @@ func BenchmarkRunnerFanout(b *testing.B) { benchRunner(b, 0) }
 func BenchmarkRunnerCached(b *testing.B) {
 	jobs := fanoutGrid()
 	e := runner.New(runner.Options{})
-	if _, err := e.Run(jobs, nil); err != nil {
+	if _, err := e.Run(context.Background(), jobs, nil); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.Run(jobs, nil); err != nil {
+		if _, err := e.Run(context.Background(), jobs, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -544,4 +547,59 @@ func BenchmarkOverlayRuntime(b *testing.B) {
 		iter = t.Milliseconds()
 	}
 	b.ReportMetric(iter, "iter-ms")
+}
+
+// ---- Design-space optimizer benchmarks -------------------------------------
+
+// BenchmarkOptimizeGrid regenerates the optimizer's default study end to end
+// on a fresh engine each iteration (no memo carry-over), the cost of a cold
+// `mcdla optimize`. Metric: the frontier's best perf-per-dollar.
+func BenchmarkOptimizeGrid(b *testing.B) {
+	var best float64
+	for i := 0; i < b.N; i++ {
+		eng := runner.New(runner.Options{})
+		res, err := dse.Search(context.Background(), eng, experiments.DefaultOptimizeSpace(),
+			dse.Options{Search: dse.Grid, Objective: dse.PerfPerDollar})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Frontier) == 0 {
+			b.Fatal("empty frontier")
+		}
+		best = res.Frontier[0].Metrics.PerfPerDollar()
+	}
+	b.ReportMetric(best, "best-perf-per-k$")
+}
+
+// BenchmarkOptimizeGreedy is the same study under Pareto local search;
+// its metric is the fraction of the grid it simulated.
+func BenchmarkOptimizeGreedy(b *testing.B) {
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		eng := runner.New(runner.Options{})
+		res, err := dse.Search(context.Background(), eng, experiments.DefaultOptimizeSpace(),
+			dse.Options{Search: dse.Greedy, Objective: dse.PerfPerDollar})
+		if err != nil {
+			b.Fatal(err)
+		}
+		frac = float64(res.Simulated) / float64(res.GridSize)
+	}
+	b.ReportMetric(100*frac, "simulated-%")
+}
+
+// BenchmarkParetoExtract measures the frontier extraction alone over a
+// seeded 4-objective cloud the size of a large study.
+func BenchmarkParetoExtract(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	vecs := make([][]float64, 2048)
+	for i := range vecs {
+		vecs[i] = []float64{r.Float64(), r.Float64(), r.Float64(), r.Float64()}
+	}
+	b.ResetTimer()
+	var size int
+	for i := 0; i < b.N; i++ {
+		frontier, _ := dse.Frontier(vecs)
+		size = len(frontier)
+	}
+	b.ReportMetric(float64(size), "frontier-points")
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/memcentric/mcdla/internal/dse"
 	"github.com/memcentric/mcdla/internal/experiments"
 )
 
@@ -46,7 +48,10 @@ var goldenCases = []struct {
 	{"plane_analytic", []string{"plane", "-nodes", "1,2", "-analytic"}},
 	{"plane_bert", []string{"plane", "-workload", "BERT-Large", "-nodes", "1,2"}},
 	{"transformer", []string{"transformer", "-seqlens", "128,256"}},
+	{"optimize", []string{"optimize"}},
+	{"optimize_greedy", []string{"optimize", "-search", "greedy", "-objective", "perf-per-watt", "-max-power", "4300"}},
 	{"run_default", []string{"run"}},
+	{"run_recipe", []string{"run", "-design", "MC-DLA(B)", "-workload", "VGG-E", "-batch", "512", "-gbps", "50", "-memnodes", "4", "-dimm", "32GB-LRDIMM"}},
 	{"run_rnn_mp", []string{"run", "-workload", "RNN-GRU", "-strategy", "mp", "-design", "DC-DLA"}},
 	{"run_gpt2_mixed", []string{"run", "-workload", "GPT-2", "-precision", "mixed", "-seqlen", "256"}},
 	{"run_bert_fp32", []string{"run", "-workload", "BERT-Large", "-precision", "fp32", "-design", "DC-DLA"}},
@@ -145,5 +150,32 @@ func TestUnknownSubcommandErrors(t *testing.T) {
 	}
 	if err := run(nil); err == nil {
 		t.Fatal("missing subcommand did not error")
+	}
+}
+
+// TestOptimizeRecipesReproduce closes the acceptance loop on the optimizer:
+// every frontier row of the default study prints a `mcdla run` recipe, and
+// feeding that exact command line back through the run dispatcher must
+// reproduce the iteration time the frontier tabulated.
+func TestOptimizeRecipesReproduce(t *testing.T) {
+	experiments.SetParallelism(4)
+	defer experiments.SetParallelism(0)
+	res, err := experiments.Optimize(context.Background(), experiments.DefaultOptimizeSpace(), dse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Frontier) == 0 {
+		t.Fatal("empty frontier")
+	}
+	for _, e := range res.Frontier {
+		recipe := e.Point.Recipe()
+		args := strings.Fields(strings.TrimPrefix(recipe, "mcdla "))
+		for i, a := range args {
+			args[i] = strings.Trim(a, "'")
+		}
+		out := captureRun(t, args)
+		if want := e.Iter.String(); !strings.Contains(out, want) {
+			t.Fatalf("recipe %q reported a different iteration time (want %s):\n%s", recipe, want, out)
+		}
 	}
 }

@@ -7,8 +7,8 @@
 //	mcdla [-parallel N] [-quiet] [-format text|json|csv|md] <subcommand> [flags]
 //
 // The grid-based experiment subcommands (fig2, fig11-fig14, headline, sens,
-// scale, explore, plane, and their aggregation in all) fan their simulations
-// across the internal/runner worker pool; -parallel bounds the workers
+// scale, explore, plane, optimize, and their aggregation in all) fan their
+// simulations across the internal/runner worker pool; -parallel bounds the workers
 // (default GOMAXPROCS) and a progress line streams to stderr unless -quiet
 // is set (plane fans out through runner.Fan, which reports no progress —
 // its sweeps finish in well under a second). Output on stdout is
@@ -46,21 +46,30 @@
 //	networks   Table III and transformer benchmark inventory
 //	config     Table II device and memory-node configuration
 //	run        one simulation (flags: -design, -workload, -strategy, -batch,
-//	           -seqlen, -precision)
+//	           -seqlen, -precision, plus the dse axes -links, -gbps,
+//	           -memnodes, -dimm, -compress)
+//	optimize   cost/TCO design-space optimizer: grid or greedy Pareto search
+//	           over the candidate axes under -max-cost/-max-power/
+//	           -min-throughput constraints; every frontier row prints the
+//	           `mcdla run` recipe that reproduces it
 //	serve      long-running HTTP API over the experiment suite
-//	           (flags: -addr, -cache)
+//	           (flags: -addr, -cache; SIGINT/SIGTERM drain gracefully)
 //	all        everything above, in paper order
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"github.com/memcentric/mcdla/internal/core"
+	"github.com/memcentric/mcdla/internal/dse"
 	"github.com/memcentric/mcdla/internal/experiments"
 	"github.com/memcentric/mcdla/internal/report"
 	"github.com/memcentric/mcdla/internal/runner"
@@ -273,10 +282,12 @@ func run(args []string) error {
 		return emit(experiments.ConfigReport())
 	case "run":
 		return runOne(rest)
+	case "optimize":
+		return runOptimize(rest)
 	case "serve":
 		return runServe(rest)
 	case "all":
-		for _, sub := range []string{"config", "networks", "fig2", "fig9", "fig11", "fig12", "fig13", "fig14", "tab4", "headline", "sens", "scale", "explore", "transformer", "plane"} {
+		for _, sub := range []string{"config", "networks", "fig2", "fig9", "fig11", "fig12", "fig13", "fig14", "tab4", "headline", "sens", "scale", "explore", "transformer", "plane", "optimize"} {
 			// The banner keeps the text stream navigable; structured
 			// formats concatenate clean documents instead.
 			if outputFormat == report.FormatText {
@@ -347,6 +358,12 @@ func runOne(args []string) error {
 	batch := fs.Int("batch", experiments.Batch, "global batch size")
 	seqlen := fs.Int("seqlen", 0, "sequence-length override (0: workload default)")
 	precS := fs.String("precision", "fp16", "training precision: fp16, mixed or fp32")
+	links := fs.Int("links", 0, "device link count override (0: Table II N=6)")
+	gbps := fs.Float64("gbps", 0, "per-link bandwidth override in GB/s (0: Table II B=25)")
+	memnodes := fs.Int("memnodes", 0, "memory-node board count (0: one per device; MC designs)")
+	dimm := fs.String("dimm", "", "memory-node DIMM module (default: Table II 128GB-LRDIMM; MC designs)")
+	compressF := fs.Bool("compress", false, "add a cDMA compressing DMA engine on the host virtualization path")
+	workers := fs.Int("workers", 0, "device count (0: the paper's 8)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -358,14 +375,139 @@ func runOne(args []string) error {
 	if err != nil {
 		return fmt.Errorf("invalid -precision value: %v", err)
 	}
-	rep, err := experiments.RunReport(*design, *workload, strategy, *batch, *seqlen, prec)
+	// The dse point is the single source of derived designs: `run` accepts
+	// exactly the axes an optimizer recipe prints, so every frontier row
+	// reproduces through this path.
+	p := dse.Point{
+		Design: *design, Workload: *workload, Strategy: strategy,
+		Batch: *batch, SeqLen: *seqlen, Precision: prec,
+		Links: *links, LinkGBps: *gbps, MemNodes: *memnodes,
+		DIMM: *dimm, Compress: *compressF, Workers: *workers,
+	}
+	d, err := p.DesignPoint()
+	if err != nil {
+		return err
+	}
+	rep, err := experiments.RunReportFor(d, *workload, strategy, *batch, *seqlen, prec, *workers)
 	if err != nil {
 		return err
 	}
 	return emit(rep)
 }
 
+// runOptimize drives the design-space optimizer: a grid or greedy Pareto
+// search over the candidate axes, pruned by the cost/power/throughput
+// constraints and rendered as the frontier table. Ctrl-C aborts the search
+// cleanly: queued simulations stop being scheduled.
+func runOptimize(args []string) error {
+	fs := flag.NewFlagSet("optimize", flag.ContinueOnError)
+	objectiveS := fs.String("objective", "perf-per-dollar", "frontier ordering: perf-per-dollar, perf-per-watt, throughput, cost or energy")
+	searchS := fs.String("search", "grid", "search driver: grid (exhaustive) or greedy (Pareto local search)")
+	maxCost := fs.Float64("max-cost", 0, "bill-of-materials ceiling in USD (0: unbounded)")
+	maxPower := fs.Float64("max-power", 0, "wall-power ceiling in watts (0: unbounded)")
+	minThroughput := fs.Float64("min-throughput", 0, "training-throughput floor in samples/s (0: unbounded)")
+	workloadsCSV := fs.String("workloads", "", "comma-separated workloads (default: VGG-E)")
+	designsCSV := fs.String("designs", "", "comma-separated design points (default: DC-DLA,MC-DLA(B))")
+	strategiesCSV := fs.String("strategies", "", "comma-separated strategies (default: dp)")
+	batchesCSV := fs.String("batches", "", "comma-separated global batch sizes (default: 512)")
+	seqlensCSV := fs.String("seqlens", "", "comma-separated sequence lengths (default: workload default)")
+	precsCSV := fs.String("precisions", "", "comma-separated precisions (default: fp16,mixed,fp32)")
+	linksCSV := fs.String("links", "", "comma-separated device link counts (default: Table II N)")
+	gbpsCSV := fs.String("gbps", "", "comma-separated per-link GB/s (default: 25,50)")
+	memnodesCSV := fs.String("memnodes", "", "comma-separated memory-node populations (default: 4,8)")
+	dimmsCSV := fs.String("dimms", "", "comma-separated DIMM modules (default: 32GB-LRDIMM,128GB-LRDIMM)")
+	compressS := fs.String("compress", "both", "cDMA axis on the host designs: off, on or both")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	objective, err := dse.ParseObjective(*objectiveS)
+	if err != nil {
+		return fmt.Errorf("invalid -objective value: %v", err)
+	}
+	search, err := dse.ParseSearch(*searchS)
+	if err != nil {
+		return fmt.Errorf("invalid -search value: %v", err)
+	}
+	space := experiments.DefaultOptimizeSpace()
+	if *workloadsCSV != "" {
+		space.Workloads = strings.Split(*workloadsCSV, ",")
+	}
+	if *designsCSV != "" {
+		space.Designs = strings.Split(*designsCSV, ",")
+	}
+	if *strategiesCSV != "" {
+		space.Strategies = nil
+		for _, s := range strings.Split(*strategiesCSV, ",") {
+			strategy, err := parseStrategy(s)
+			if err != nil {
+				return err
+			}
+			space.Strategies = append(space.Strategies, strategy)
+		}
+	}
+	if *batchesCSV != "" {
+		if space.Batches, err = parseIntsCSV("-batches", *batchesCSV); err != nil {
+			return err
+		}
+	}
+	if *seqlensCSV != "" {
+		if space.SeqLens, err = parseIntsCSV("-seqlens", *seqlensCSV); err != nil {
+			return err
+		}
+	}
+	if *precsCSV != "" {
+		if space.Precisions, err = parsePrecisionsCSV("-precisions", *precsCSV); err != nil {
+			return err
+		}
+	}
+	if *linksCSV != "" {
+		if space.LinkCounts, err = parseIntsCSV("-links", *linksCSV); err != nil {
+			return err
+		}
+	}
+	if *gbpsCSV != "" {
+		if space.LinkGBps, err = units.ParsePositiveFloats("-gbps", *gbpsCSV); err != nil {
+			return err
+		}
+	}
+	if *memnodesCSV != "" {
+		if space.MemNodes, err = parseIntsCSV("-memnodes", *memnodesCSV); err != nil {
+			return err
+		}
+	}
+	if *dimmsCSV != "" {
+		space.DIMMs = strings.Split(*dimmsCSV, ",")
+	}
+	switch *compressS {
+	case "both":
+		space.Compress = []bool{false, true}
+	case "on":
+		space.Compress = []bool{true}
+	case "off":
+		space.Compress = []bool{false}
+	default:
+		return fmt.Errorf("invalid -compress value %q (want off, on or both)", *compressS)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := experiments.Optimize(ctx, space, dse.Options{
+		Search:    search,
+		Objective: objective,
+		Constraints: dse.Constraints{
+			MaxCostUSD:    *maxCost,
+			MaxPowerW:     *maxPower,
+			MinThroughput: *minThroughput,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	return emit(experiments.OptimizeReport(res))
+}
+
 // runServe starts the long-running HTTP API over the experiment suite.
+// SIGINT/SIGTERM stop accepting connections and drain in-flight requests
+// through the server's graceful shutdown instead of killing them mid-reply.
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
@@ -374,8 +516,14 @@ func runServe(args []string) error {
 		return err
 	}
 	srv := server.New(server.Options{Parallelism: experiments.Parallelism(), CacheEntries: *cache})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	fmt.Fprintf(os.Stderr, "mcdla serve: listening on %s (cache bound %d entries)\n", *addr, *cache)
-	return srv.ListenAndServe(*addr)
+	err := srv.Serve(ctx, *addr)
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "mcdla serve: signal received, drained in-flight requests")
+	}
+	return err
 }
 
 // runTransformer drives the seqlen × precision × design study plus the
@@ -488,6 +636,13 @@ subcommands:
   networks | config                            inventories
   run -design D -workload W -strategy dp|mp    one simulation
     [-seqlen N] [-precision fp16|mixed|fp32]
+    [-links N] [-gbps B] [-memnodes M] [-dimm D] [-compress] [-workers K]
+  optimize [-objective perf-per-dollar] [-search grid|greedy]
+    [-max-cost USD] [-max-power W] [-min-throughput S/s]
+    [-workloads ...] [-designs ...] [-gbps 25,50] [-memnodes 4,8]
+    [-dimms ...] [-precisions ...] [-compress off|on|both]
+                                               cost/TCO design-space optimizer:
+                                               Pareto frontier + run recipes
   trace -design D -workload W -o out.json      chrome://tracing timeline
   serve [-addr :8080] [-cache N]               HTTP API over the experiment suite
   all                                          everything`)

@@ -27,6 +27,18 @@
 // cmd/mcdla/testdata pin at full-command granularity, alongside the dnn
 // fuzz target and the vmem/precision property tests.
 //
+// The cost and dse packages close the paper's economic argument: cost is a
+// component-level TCO model that prices any design point (HBM vs commodity
+// DIMM $/GB, boards, high-bandwidth links, the host and its DRAM) and
+// composes with power's design-generic wall model into perf-per-dollar and
+// perf-per-watt; dse searches the candidate space over the runner's job
+// axes — grid or greedy Pareto local search under -max-cost/-max-power/
+// -min-throughput constraints, with analytic bounds pruned before any
+// simulation — and extracts the Pareto frontier over throughput, cost,
+// energy per iteration and pool capacity. The frontier surfaces as `mcdla
+// optimize` and GET /v1/optimize, every row carrying the `mcdla run` recipe
+// that reproduces it.
+//
 // Results leave the simulator through the report package, the typed layer
 // between generators and consumers: experiments build report.Report values
 // (tables of cells carrying both the paper's presentation string and the
@@ -40,8 +52,9 @@
 //
 // The root-level benchmarks in bench_test.go expose one benchmark per
 // table and figure, each reporting its headline number as a custom metric,
-// plus BenchmarkRunnerFanout, BenchmarkPlaneSimulate and
-// BenchmarkTransformerSimulate for the engines themselves.
+// plus BenchmarkRunnerFanout, BenchmarkPlaneSimulate,
+// BenchmarkTransformerSimulate and BenchmarkOptimizeGrid for the engines
+// themselves.
 //
 // See README.md for a tour, CLI cookbook and serve quickstart,
 // ARCHITECTURE.md for the package map and layer invariants, and

@@ -74,6 +74,12 @@ type Design struct {
 	// Oracle disables virtualization (infinite devicelocal memory).
 	Oracle bool
 
+	// Compressed marks a cDMA compressing DMA engine on the virtualization
+	// path: the §V-B sensitivity and the dse studies model cDMA by widening
+	// VirtBW with the workload's compression factor, and the cost model
+	// prices the per-device compressor from this flag.
+	Compressed bool
+
 	// SharedLinks is true when virtualization DMAs and collectives contend
 	// for the same physical link complex (the MC-DLA designs); DC-DLA and
 	// HC-DLA carry them on disjoint fabrics (PCIe/CPU-links vs device
@@ -108,6 +114,11 @@ type Design struct {
 
 	// MemNode describes the memory-node boards (MC-DLA designs only).
 	MemNode memnode.Config
+	// MemNodes is the memory-node board count (MC-DLA designs only; the
+	// paper's ring interleaves one board per device). The cost and power
+	// models price the boards from it; the dse package scales VirtBW when
+	// it sweeps a partially populated ring.
+	MemNodes int
 	// Placement is the deviceremote page policy (MC-DLA designs only).
 	Placement vmem.Placement
 }
@@ -194,6 +205,7 @@ func mcdla(kind DesignKind, name string, dev accel.Config, workers, ringNodes in
 		Sync:          syncConfig(ringNodes, float64(dev.Links)/2, dev.LinkBW),
 		Workers:       workers,
 		MemNode:       memnode.Default(),
+		MemNodes:      workers,
 		Placement:     placement,
 	}
 }
@@ -250,13 +262,30 @@ func StandardDesigns() []Design {
 
 // DesignByName resolves a design constructor by its paper name.
 func DesignByName(name string) (Design, error) {
-	for _, d := range StandardDesigns() {
-		if d.Name == name {
-			return d, nil
-		}
-	}
-	if name == "DC-DLA(gen4)" {
-		return NewDCDLAGen4(accel.Default(), 8), nil
+	return DesignFor(name, accel.Default(), 8)
+}
+
+// DesignFor resolves a design constructor by its paper name and builds the
+// design point from the given device configuration and worker count — the
+// parameterized form behind the dse package's link-technology axes (a custom
+// dev reshapes the link complex, the rings, and the derived virtualization
+// bandwidth exactly as the constructors do for the Table II device).
+func DesignFor(name string, dev accel.Config, workers int) (Design, error) {
+	switch name {
+	case "DC-DLA":
+		return NewDCDLA(dev, workers), nil
+	case "DC-DLA(gen4)":
+		return NewDCDLAGen4(dev, workers), nil
+	case "HC-DLA":
+		return NewHCDLA(dev, workers), nil
+	case "MC-DLA(S)":
+		return NewMCDLAS(dev, workers), nil
+	case "MC-DLA(L)":
+		return NewMCDLAL(dev, workers), nil
+	case "MC-DLA(B)":
+		return NewMCDLAB(dev, workers), nil
+	case "DC-DLA(O)":
+		return NewDCDLAO(dev, workers), nil
 	}
 	return Design{}, fmt.Errorf("core: unknown design %q", name)
 }

@@ -1,0 +1,127 @@
+package cost
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/memcentric/mcdla/internal/accel"
+	"github.com/memcentric/mcdla/internal/core"
+	"github.com/memcentric/mcdla/internal/power"
+	"github.com/memcentric/mcdla/internal/units"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Default()
+	bad.HBMPerGB = -1
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "HBMPerGB") {
+		t.Fatalf("negative price must fail naming the field, got %v", err)
+	}
+}
+
+// TestPriceComposition checks the bill against a hand computation for the
+// paper's proposed design point.
+func TestPriceComposition(t *testing.T) {
+	m := Default()
+	d, err := core.DesignByName("MC-DLA(B)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := m.Price(d)
+	devices := 8 * (m.DeviceBase + m.DeviceHBMGB*m.HBMPerGB + 6*25*m.LinkPerGBps)
+	host := m.HostBase + m.HostDRAMGB*m.HostDRAMPerGB
+	nodeDIMMs := 10 * 128 * m.LRDIMMPerGB
+	nodes := 8 * (m.MemNodeBoard + nodeDIMMs + 6*25*m.LinkPerGBps)
+	want := devices + host + nodes
+	if got := b.Total(); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("MC-DLA(B) total = %.2f, hand computation %.2f\nitems: %+v", got, want, b.Items)
+	}
+}
+
+// TestPriceOrdering pins the qualitative economics: the host-centric design
+// pays for its overprovisioned socket, the memory-centric designs pay for
+// their DIMM pool, and a cDMA compressor costs more than none.
+func TestPriceOrdering(t *testing.T) {
+	m := Default()
+	total := func(name string) float64 {
+		d, err := core.DesignByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Price(d).Total()
+	}
+	dc, hc, mc := total("DC-DLA"), total("HC-DLA"), total("MC-DLA(B)")
+	if !(dc < hc) {
+		t.Fatalf("DC-DLA ($%.0f) should be cheaper than HC-DLA ($%.0f): the 300 GB/s socket is charged", dc, hc)
+	}
+	if !(dc < mc) {
+		t.Fatalf("DC-DLA ($%.0f) should be cheaper than MC-DLA(B) ($%.0f): the DIMM pool is charged", dc, mc)
+	}
+	d, _ := core.DesignByName("DC-DLA")
+	d.Compressed = true
+	if got := m.Price(d).Total(); got <= dc {
+		t.Fatalf("cDMA-equipped DC-DLA ($%.0f) must cost more than plain ($%.0f)", got, dc)
+	}
+}
+
+// TestPoolCapacity checks the pool accounting per design family.
+func TestPoolCapacity(t *testing.T) {
+	m := Default()
+	mc, _ := core.DesignByName("MC-DLA(B)")
+	if got, want := m.PoolCapacity(mc), units.Bytes(8*10*128*int64(units.GB)); got != want {
+		t.Fatalf("MC-DLA(B) pool = %v, want %v", got, want)
+	}
+	dc, _ := core.DesignByName("DC-DLA")
+	if got := m.PoolCapacity(dc); float64(got) != m.HostVirtDRAMGB*float64(units.GB) {
+		t.Fatalf("DC-DLA pool = %v, want the host virtualization DRAM", got)
+	}
+	oracle, _ := core.DesignByName("DC-DLA(O)")
+	if got := m.PoolCapacity(oracle); got != 0 {
+		t.Fatalf("the oracle's infinite pool must price as zero, got %v", got)
+	}
+}
+
+// TestDesignPowerMatchesTableIV ties the design-generic wall model to the
+// §V-C accounting: DC-DLA draws the DGX envelope, MC-DLA(B) adds exactly
+// the eight boards' DIMM power that power.Analyze reports.
+func TestDesignPowerMatchesTableIV(t *testing.T) {
+	dc, _ := core.DesignByName("DC-DLA")
+	if got := power.DesignPower(dc); got != power.DGXSystemTDPWatts {
+		t.Fatalf("DC-DLA power = %.0f W, want the %0.f W DGX envelope", got, power.DGXSystemTDPWatts)
+	}
+	mc, _ := core.DesignByName("MC-DLA(B)")
+	rep := power.Analyze(mc.MemNode.DIMM)
+	if got, want := power.DesignPower(mc), power.DGXSystemTDPWatts+rep.AddedPower; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("MC-DLA(B) power = %.0f W, want %.0f W (DGX + Table IV added power)", got, want)
+	}
+}
+
+// TestPerfRatios checks the figure-of-merit helpers' degenerate guards.
+func TestPerfRatios(t *testing.T) {
+	if got := PerfPerDollar(1000, 100000); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("PerfPerDollar(1000, 100k$) = %g, want 10 samples/s/k$", got)
+	}
+	if PerfPerDollar(1, 0) != 0 || PerfPerWatt(1, 0) != 0 {
+		t.Fatal("zero denominators must yield 0, not Inf")
+	}
+	if got := PerfPerWatt(640, 3200); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("PerfPerWatt = %g, want 0.2", got)
+	}
+}
+
+// TestWorkerScaling: a 4-device node prices and powers below the 8-device
+// node of the same family.
+func TestWorkerScaling(t *testing.T) {
+	m := Default()
+	d8 := core.NewMCDLAB(accel.Default(), 8)
+	d4 := core.NewMCDLAB(accel.Default(), 4)
+	if !(m.Price(d4).Total() < m.Price(d8).Total()) {
+		t.Fatal("a 4-device node must price below the 8-device node")
+	}
+	if !(power.DesignPower(d4) < power.DesignPower(d8)) {
+		t.Fatal("a 4-device node must draw less than the 8-device node")
+	}
+}

@@ -1,0 +1,163 @@
+package dse
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/memcentric/mcdla/internal/core"
+	"github.com/memcentric/mcdla/internal/cost"
+	"github.com/memcentric/mcdla/internal/power"
+	"github.com/memcentric/mcdla/internal/units"
+)
+
+// Metrics are the figures of merit of one evaluated candidate. Cost, power
+// and capacity are analytic (they depend only on the configuration, which
+// is what lets the search prune constraint-violating candidates without
+// simulating them); throughput and energy need the simulated iteration.
+type Metrics struct {
+	// Throughput is the node's training throughput in samples/s.
+	Throughput float64 `json:"throughput"`
+	// CostUSD is the bill-of-materials total of the node.
+	CostUSD float64 `json:"cost_usd"`
+	// PowerW is the node's wall power.
+	PowerW float64 `json:"power_w"`
+	// EnergyJ is the energy of one training iteration.
+	EnergyJ float64 `json:"energy_j"`
+	// CapacityTB is the backing-store pool the node exposes.
+	CapacityTB float64 `json:"capacity_tb"`
+}
+
+// PerfPerDollar reports samples/s per thousand dollars.
+func (m Metrics) PerfPerDollar() float64 { return cost.PerfPerDollar(m.Throughput, m.CostUSD) }
+
+// PerfPerWatt reports samples/s per watt.
+func (m Metrics) PerfPerWatt() float64 { return cost.PerfPerWatt(m.Throughput, m.PowerW) }
+
+// Vector orients the Pareto objectives so larger is better in every
+// coordinate: {throughput, −cost, −energy, capacity}.
+func (m Metrics) Vector() []float64 {
+	return []float64{m.Throughput, -m.CostUSD, -m.EnergyJ, m.CapacityTB}
+}
+
+// statics prices the analytic metric components of a derived design.
+func statics(d core.Design, model cost.Model) (costUSD, powerW, capacityTB float64) {
+	return model.Price(d).Total(), power.DesignPower(d), float64(model.PoolCapacity(d)) / 1e12
+}
+
+// Evaluated is one simulated candidate with its metrics.
+type Evaluated struct {
+	Point   Point      `json:"point"`
+	Iter    units.Time `json:"iteration_seconds"`
+	Metrics Metrics    `json:"metrics"`
+}
+
+// Objective ranks candidates for the greedy seeds, the frontier table
+// order, and the "best point" summary. The frontier itself is always the
+// full four-dimensional Pareto set; the objective only orders it.
+type Objective int
+
+const (
+	// PerfPerDollar maximizes throughput per dollar — the paper's
+	// DIMM-versus-HBM argument.
+	PerfPerDollar Objective = iota
+	// PerfPerWatt maximizes throughput per watt (§V-C).
+	PerfPerWatt
+	// Throughput maximizes raw samples/s.
+	Throughput
+	// Cost minimizes the bill of materials.
+	Cost
+	// Energy minimizes joules per iteration.
+	Energy
+)
+
+func (o Objective) String() string {
+	switch o {
+	case PerfPerDollar:
+		return "perf-per-dollar"
+	case PerfPerWatt:
+		return "perf-per-watt"
+	case Throughput:
+		return "throughput"
+	case Cost:
+		return "cost"
+	case Energy:
+		return "energy"
+	}
+	return fmt.Sprintf("Objective(%d)", int(o))
+}
+
+// ParseObjective resolves a CLI/HTTP spelling.
+func ParseObjective(s string) (Objective, error) {
+	switch strings.ToLower(s) {
+	case "perf-per-dollar", "perf/$", "ppd":
+		return PerfPerDollar, nil
+	case "perf-per-watt", "perf/w", "ppw":
+		return PerfPerWatt, nil
+	case "throughput", "perf":
+		return Throughput, nil
+	case "cost":
+		return Cost, nil
+	case "energy":
+		return Energy, nil
+	}
+	return 0, fmt.Errorf("dse: unknown objective %q (want perf-per-dollar, perf-per-watt, throughput, cost or energy)", s)
+}
+
+// Score reports the objective value of a candidate, oriented so higher is
+// better (cost and energy negate).
+func (o Objective) Score(m Metrics) float64 {
+	switch o {
+	case PerfPerWatt:
+		return m.PerfPerWatt()
+	case Throughput:
+		return m.Throughput
+	case Cost:
+		return -m.CostUSD
+	case Energy:
+		return -m.EnergyJ
+	}
+	return m.PerfPerDollar()
+}
+
+// Constraints bound the feasible region; zero values leave a bound open.
+type Constraints struct {
+	// MaxCostUSD caps the bill of materials.
+	MaxCostUSD float64 `json:"max_cost_usd,omitempty"`
+	// MaxPowerW caps the wall power.
+	MaxPowerW float64 `json:"max_power_w,omitempty"`
+	// MinThroughput floors the training throughput (samples/s).
+	MinThroughput float64 `json:"min_throughput,omitempty"`
+}
+
+// admitStatic checks the analytic bounds — the pre-simulation prune.
+func (c Constraints) admitStatic(costUSD, powerW float64) bool {
+	if c.MaxCostUSD > 0 && costUSD > c.MaxCostUSD {
+		return false
+	}
+	if c.MaxPowerW > 0 && powerW > c.MaxPowerW {
+		return false
+	}
+	return true
+}
+
+// Admit checks the full constraint set against evaluated metrics.
+func (c Constraints) Admit(m Metrics) bool {
+	return c.admitStatic(m.CostUSD, m.PowerW) && !(c.MinThroughput > 0 && m.Throughput < c.MinThroughput)
+}
+
+func (c Constraints) String() string {
+	var parts []string
+	if c.MaxCostUSD > 0 {
+		parts = append(parts, fmt.Sprintf("cost <= $%.0f", c.MaxCostUSD))
+	}
+	if c.MaxPowerW > 0 {
+		parts = append(parts, fmt.Sprintf("power <= %.0f W", c.MaxPowerW))
+	}
+	if c.MinThroughput > 0 {
+		parts = append(parts, fmt.Sprintf("throughput >= %.0f samples/s", c.MinThroughput))
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,58 @@
+package dse
+
+// Dominates reports whether a Pareto-dominates b: both vectors are
+// maximize-oriented, and a must be at least b in every coordinate and
+// strictly better in at least one. Vectors of unequal length never
+// dominate each other.
+func Dominates(a, b []float64) bool {
+	if len(a) != len(b) || len(a) == 0 {
+		return false
+	}
+	strict := false
+	for i := range a {
+		if a[i] < b[i] {
+			return false
+		}
+		if a[i] > b[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// Frontier partitions maximize-oriented objective vectors into the Pareto
+// frontier and the dominated set: it returns the indices of the
+// non-dominated vectors in input order, and a witness slice where
+// dominatedBy[i] is the input index of a frontier member dominating vector
+// i (or -1 for frontier members). The witness is always a frontier member:
+// dominance is a finite strict partial order, so every dominated vector is
+// dominated by some maximal element.
+func Frontier(vecs [][]float64) (frontier []int, dominatedBy []int) {
+	dominatedBy = make([]int, len(vecs))
+	onFrontier := make([]bool, len(vecs))
+	for i := range vecs {
+		dominatedBy[i] = -1
+		onFrontier[i] = true
+		for j := range vecs {
+			if j != i && Dominates(vecs[j], vecs[i]) {
+				onFrontier[i] = false
+				break
+			}
+		}
+		if onFrontier[i] {
+			frontier = append(frontier, i)
+		}
+	}
+	for i := range vecs {
+		if onFrontier[i] {
+			continue
+		}
+		for _, j := range frontier {
+			if Dominates(vecs[j], vecs[i]) {
+				dominatedBy[i] = j
+				break
+			}
+		}
+	}
+	return frontier, dominatedBy
+}

@@ -1,0 +1,143 @@
+package dse
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randVectors draws n objective vectors of the frontier's dimensionality
+// from a seeded source; coordinates are quantized so exact ties (the
+// coordinate-equality edge of dominance) actually occur.
+func randVectors(r *rand.Rand, n, dim int) [][]float64 {
+	vecs := make([][]float64, n)
+	for i := range vecs {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = float64(r.Intn(10))
+		}
+		vecs[i] = v
+	}
+	return vecs
+}
+
+// checkFrontier asserts the two defining properties over any vector set:
+// no frontier member is dominated, and every dominated vector has a
+// frontier witness that dominates it.
+func checkFrontier(t *testing.T, vecs [][]float64) {
+	t.Helper()
+	frontier, dominatedBy := Frontier(vecs)
+	onFrontier := make(map[int]bool, len(frontier))
+	for _, i := range frontier {
+		onFrontier[i] = true
+	}
+	for _, i := range frontier {
+		if dominatedBy[i] != -1 {
+			t.Fatalf("frontier member %d carries witness %d", i, dominatedBy[i])
+		}
+		for j := range vecs {
+			if Dominates(vecs[j], vecs[i]) {
+				t.Fatalf("frontier member %d (%v) is dominated by %d (%v)", i, vecs[i], j, vecs[j])
+			}
+		}
+	}
+	for i := range vecs {
+		if onFrontier[i] {
+			continue
+		}
+		w := dominatedBy[i]
+		if w < 0 {
+			t.Fatalf("dominated vector %d (%v) has no witness", i, vecs[i])
+		}
+		if !onFrontier[w] {
+			t.Fatalf("witness %d of vector %d is not a frontier member", w, i)
+		}
+		if !Dominates(vecs[w], vecs[i]) {
+			t.Fatalf("witness %d (%v) does not dominate %d (%v)", w, vecs[w], i, vecs[i])
+		}
+	}
+}
+
+// TestFrontierProperties fuzzes the invariants over many seeded draws.
+func TestFrontierProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		checkFrontier(t, randVectors(r, 1+r.Intn(40), 1+r.Intn(5)))
+	}
+}
+
+// TestDominates pins the strictness edge cases.
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want bool
+	}{
+		{[]float64{1, 1}, []float64{1, 1}, false}, // equal: no strict coordinate
+		{[]float64{2, 1}, []float64{1, 1}, true},
+		{[]float64{2, 0}, []float64{1, 1}, false}, // trade
+		{[]float64{1, 1, 1}, []float64{1, 1}, false},
+		{nil, nil, false},
+	}
+	for _, c := range cases {
+		if got := Dominates(c.a, c.b); got != c.want {
+			t.Fatalf("Dominates(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestFrontierOrderInsensitive: the frontier is the same point set under
+// any permutation of the input (the determinism behind byte-identical
+// optimizer output at every parallelism: evaluation order never changes
+// which candidates are non-dominated).
+func TestFrontierOrderInsensitive(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		vecs := randVectors(r, 2+r.Intn(30), 4)
+		frontier, _ := Frontier(vecs)
+		want := make(map[string]bool)
+		key := func(v []float64) string {
+			b := make([]byte, 8*len(v))
+			for i, x := range v {
+				binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(x))
+			}
+			return string(b)
+		}
+		for _, i := range frontier {
+			want[key(vecs[i])] = true
+		}
+		perm := r.Perm(len(vecs))
+		shuffled := make([][]float64, len(vecs))
+		for i, p := range perm {
+			shuffled[i] = vecs[p]
+		}
+		pfrontier, _ := Frontier(shuffled)
+		got := make(map[string]bool)
+		for _, i := range pfrontier {
+			got[key(shuffled[i])] = true
+		}
+		if len(got) != len(want) {
+			t.Fatalf("frontier size changed under permutation: %d vs %d", len(got), len(want))
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatal("frontier membership changed under permutation")
+			}
+		}
+	}
+}
+
+// FuzzFrontier feeds randomized objective vectors into the extraction and
+// checks the two frontier properties on whatever the fuzzer invents.
+func FuzzFrontier(f *testing.F) {
+	f.Add(int64(42), uint8(12), uint8(4))
+	f.Add(int64(0), uint8(1), uint8(1))
+	f.Add(int64(-9), uint8(33), uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, n, dim uint8) {
+		if n == 0 || dim == 0 || n > 64 || dim > 6 {
+			t.Skip()
+		}
+		r := rand.New(rand.NewSource(seed))
+		checkFrontier(t, randVectors(r, int(n), int(dim)))
+	})
+}

@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -78,12 +79,20 @@ func EngineStats() runner.CacheStats {
 	return engine.Stats()
 }
 
-// submit runs a job grid on the package engine.
+// submit runs a job grid on the package engine. The paper generators are
+// bounded sweeps, so they run uncancellable; the optimizer's open-ended
+// searches go through submitCtx.
 func submit(jobs []runner.Job) ([]core.Result, error) {
+	return submitCtx(context.Background(), jobs)
+}
+
+// submitCtx runs a job grid on the package engine under a cancellation
+// context: queued jobs stop being scheduled once ctx is cancelled.
+func submitCtx(ctx context.Context, jobs []runner.Job) ([]core.Result, error) {
 	engineMu.Lock()
 	e, p := engine, progress
 	engineMu.Unlock()
-	return e.Run(jobs, p)
+	return e.Run(ctx, jobs, p)
 }
 
 // schedule returns the engine's memoized training schedule for a job's

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/memcentric/mcdla/internal/accel"
@@ -106,7 +107,7 @@ func ScaleOutBatch(nodeCounts []int) int {
 // The plane sizes fan out across the runner's worker bound.
 func ScaleOutRows(workload string, nodeCounts []int, analytic bool) ([]scaleout.ScalingPoint, error) {
 	batch := ScaleOutBatch(nodeCounts)
-	pts, err := runner.Fan(parallelism(), len(nodeCounts), func(i int) (scaleout.ScalingPoint, error) {
+	pts, err := runner.Fan(context.Background(), parallelism(), len(nodeCounts), func(i int) (scaleout.ScalingPoint, error) {
 		return scaleout.Default(nodeCounts[i]).EvalPoint(workload, batch, analytic)
 	})
 	if err != nil {
@@ -161,7 +162,7 @@ type ScaleOutCompareRow struct {
 // simulations are not repeated; pass nil to simulate here.
 func ScaleOutCompare(workload string, nodeCounts []int, event []scaleout.ScalingPoint) ([]ScaleOutCompareRow, error) {
 	batch := ScaleOutBatch(nodeCounts)
-	return runner.Fan(parallelism(), len(nodeCounts), func(i int) (ScaleOutCompareRow, error) {
+	return runner.Fan(context.Background(), parallelism(), len(nodeCounts), func(i int) (ScaleOutCompareRow, error) {
 		p := scaleout.Default(nodeCounts[i])
 		est, err := p.Estimate(workload, batch, true)
 		if err != nil {

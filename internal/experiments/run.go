@@ -22,9 +22,20 @@ func RunReport(design, workload string, strategy train.Strategy, batch, seqlen i
 	if err != nil {
 		return nil, err
 	}
+	return RunReportFor(d, workload, strategy, batch, seqlen, prec, Workers)
+}
+
+// RunReportFor is RunReport over an already-built design point — the path
+// behind the dse axis flags (-links, -gbps, -memnodes, -dimm, -compress,
+// -workers), whose derived designs have no catalog name to resolve. workers
+// must match the design's device count (≤ 0 selects the paper's 8).
+func RunReportFor(d core.Design, workload string, strategy train.Strategy, batch, seqlen int, prec train.Precision, workers int) (*report.Report, error) {
+	if workers <= 0 {
+		workers = Workers
+	}
 	job := runner.Job{
 		Design: d, Workload: workload, Strategy: strategy,
-		Batch: batch, Workers: Workers, SeqLen: seqlen, Precision: prec, Tag: "run",
+		Batch: batch, Workers: workers, SeqLen: seqlen, Precision: prec, Tag: "run",
 	}
 	rs, err := submit([]runner.Job{job})
 	if err != nil {
@@ -43,7 +54,7 @@ func RunReport(design, workload string, strategy train.Strategy, batch, seqlen i
 	// devices hold a 1/workers slice.
 	resident := units.Bytes(s.Graph.TotalWeightBytes() * prec.MasterScale())
 	if strategy == train.ModelParallel {
-		resident = units.Bytes(int64(resident) / int64(Workers))
+		resident = units.Bytes(int64(resident) / int64(workers))
 	}
 	kvs := []report.KV{
 		{Key: "iteration_time", Label: "  iteration time:        ", Text: r.IterationTime.String(), Value: r.IterationTime.Seconds()},
@@ -69,7 +80,7 @@ func RunReport(design, workload string, strategy train.Strategy, batch, seqlen i
 	return &report.Report{
 		Name: "run",
 		Title: fmt.Sprintf("%s × %s (%v, %v, batch %d, %d devices)",
-			r.Design, r.Workload, r.Strategy, r.Precision, batch, Workers),
+			r.Design, r.Workload, r.Strategy, r.Precision, batch, workers),
 		Sections: []report.Section{{KVs: kvs}},
 	}, nil
 }

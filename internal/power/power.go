@@ -6,6 +6,7 @@ package power
 import (
 	"fmt"
 
+	"github.com/memcentric/mcdla/internal/core"
 	"github.com/memcentric/mcdla/internal/memnode"
 )
 
@@ -66,6 +67,23 @@ func AnalyzeAll() []SystemReport {
 		out = append(out, Analyze(d))
 	}
 	return out
+}
+
+// HostTDPWatts is the non-accelerator share of the DGX-1V envelope (CPUs,
+// DRAM, fans, NICs): the 3200 W system minus eight 300 W devices.
+const HostTDPWatts = DGXSystemTDPWatts - GPUCount*GPUTDPWatts
+
+// DesignPower reports the wall power of one node built as design d: the
+// accelerator TDPs, the host share of the DGX envelope, and — for the
+// memory-centric designs — the memory-node boards' DIMM power on top. It is
+// the denominator of the dse package's perf/W metric, consistent with the
+// Table IV accounting (Analyze) at the paper's 8-device, 8-board point.
+func DesignPower(d core.Design) float64 {
+	w := GPUTDPWatts*float64(d.Workers) + HostTDPWatts
+	if d.MemNodes > 0 {
+		w += d.MemNode.TDPWatts() * float64(d.MemNodes)
+	}
+	return w
 }
 
 // PerfPerWatt converts a speedup into performance-per-watt gain given the

@@ -14,6 +14,7 @@ package runner
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -125,7 +126,13 @@ func (e *Engine) Stats() CacheStats {
 // jobs run to completion even when some fail; the first error in job order is
 // returned alongside the full result slice, and per-job failures are visible
 // through the progress stream. progress may be nil.
-func (e *Engine) Run(jobs []Job, progress func(Update)) ([]core.Result, error) {
+//
+// Cancelling ctx stops the scheduling of queued jobs: simulations already
+// dispatched to a worker run to completion (they are pure CPU work), the
+// rest are never started, and Run returns ctx.Err() with the partial result
+// slice — the abort path behind Ctrl-C on a long `mcdla optimize` search and
+// client disconnects on the HTTP service.
+func (e *Engine) Run(ctx context.Context, jobs []Job, progress func(Update)) ([]core.Result, error) {
 	results := make([]core.Result, len(jobs))
 	errs := make([]error, len(jobs))
 
@@ -164,12 +171,20 @@ func (e *Engine) Run(jobs []Job, progress func(Update)) ([]core.Result, error) {
 			}
 		}()
 	}
+feeding:
 	for i := range jobs {
-		feed <- i
+		select {
+		case feed <- i:
+		case <-ctx.Done():
+			break feeding
+		}
 	}
 	close(feed)
 	wg.Wait()
 
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return results, err
@@ -256,7 +271,9 @@ func (g Grid) Jobs() []Job {
 // — e.g. the scale-out plane study, where each index is a plane size driven
 // through the event engine. All jobs run to completion even when some fail;
 // the first error in index order is returned alongside the full slice.
-func Fan[T any](parallelism, n int, fn func(int) (T, error)) ([]T, error) {
+// Cancelling ctx stops the scheduling of queued indices (in-flight calls
+// finish) and Fan returns ctx.Err().
+func Fan[T any](ctx context.Context, parallelism, n int, fn func(int) (T, error)) ([]T, error) {
 	results := make([]T, n)
 	errs := make([]error, n)
 	workers := parallelism
@@ -280,11 +297,19 @@ func Fan[T any](parallelism, n int, fn func(int) (T, error)) ([]T, error) {
 			}
 		}()
 	}
+feeding:
 	for i := 0; i < n; i++ {
-		feed <- i
+		select {
+		case feed <- i:
+		case <-ctx.Done():
+			break feeding
+		}
 	}
 	close(feed)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return results, err

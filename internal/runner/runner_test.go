@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"strings"
@@ -42,11 +43,11 @@ func TestGridJobsOrder(t *testing.T) {
 
 func TestParallelMatchesSequential(t *testing.T) {
 	jobs := testGrid()
-	seq, err := New(Options{Parallelism: 1}).Run(jobs, nil)
+	seq, err := New(Options{Parallelism: 1}).Run(context.Background(), jobs, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := New(Options{Parallelism: 8}).Run(jobs, nil)
+	par, err := New(Options{Parallelism: 8}).Run(context.Background(), jobs, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 func TestCacheServesRepeatedGrids(t *testing.T) {
 	e := New(Options{Parallelism: 4})
 	jobs := testGrid()
-	first, err := e.Run(jobs, nil)
+	first, err := e.Run(context.Background(), jobs, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestCacheServesRepeatedGrids(t *testing.T) {
 	if st.Misses != int64(len(jobs)) || st.Hits != 0 {
 		t.Fatalf("first run stats = %+v, want %d misses", st, len(jobs))
 	}
-	second, err := e.Run(jobs, nil)
+	second, err := e.Run(context.Background(), jobs, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestInFlightDeduplication(t *testing.T) {
 		jobs[i] = job
 	}
 	e := New(Options{Parallelism: 8})
-	rs, err := e.Run(jobs, nil)
+	rs, err := e.Run(context.Background(), jobs, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestErrorPropagation(t *testing.T) {
 	}
 	jobs := []Job{good, bad("no-such-net-1"), bad("no-such-net-2"), good}
 	var seen []error
-	rs, err := New(Options{Parallelism: 1}).Run(jobs, func(u Update) {
+	rs, err := New(Options{Parallelism: 1}).Run(context.Background(), jobs, func(u Update) {
 		seen = append(seen, u.Err)
 	})
 	if err == nil {
@@ -161,7 +162,7 @@ func TestErrorPropagation(t *testing.T) {
 func TestProgressStream(t *testing.T) {
 	jobs := testGrid()
 	var updates []Update
-	if _, err := New(Options{Parallelism: 6}).Run(jobs, func(u Update) {
+	if _, err := New(Options{Parallelism: 6}).Run(context.Background(), jobs, func(u Update) {
 		updates = append(updates, u)
 	}); err != nil {
 		t.Fatal(err)
@@ -190,7 +191,7 @@ func TestParallelismDefaultsToGOMAXPROCS(t *testing.T) {
 
 func TestFanOrderAndErrors(t *testing.T) {
 	for _, par := range []int{1, 0, 4} {
-		got, err := Fan(par, 20, func(i int) (int, error) { return i * i, nil })
+		got, err := Fan(context.Background(), par, 20, func(i int) (int, error) { return i * i, nil })
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -202,7 +203,7 @@ func TestFanOrderAndErrors(t *testing.T) {
 	}
 	// All jobs run to completion; the first error in index order surfaces.
 	ran := make([]atomic.Bool, 6)
-	_, err := Fan(3, 6, func(i int) (int, error) {
+	_, err := Fan(context.Background(), 3, 6, func(i int) (int, error) {
 		ran[i].Store(true)
 		if i == 2 || i == 4 {
 			return 0, fmt.Errorf("job %d failed", i)
@@ -217,7 +218,7 @@ func TestFanOrderAndErrors(t *testing.T) {
 			t.Fatalf("job %d never ran", i)
 		}
 	}
-	if out, err := Fan(2, 0, func(int) (int, error) { return 0, nil }); err != nil || len(out) != 0 {
+	if out, err := Fan(context.Background(), 2, 0, func(int) (int, error) { return 0, nil }); err != nil || len(out) != 0 {
 		t.Fatalf("empty fan: %v %v", out, err)
 	}
 }
@@ -302,7 +303,7 @@ func TestLRUSkipsInFlightEntries(t *testing.T) {
 func TestEngineCacheBound(t *testing.T) {
 	e := New(Options{Parallelism: 2, CacheEntries: 4})
 	jobs := testGrid()
-	if _, err := e.Run(jobs, nil); err != nil {
+	if _, err := e.Run(context.Background(), jobs, nil); err != nil {
 		t.Fatal(err)
 	}
 	if n := len(e.results.entries); n > 4 {
@@ -311,15 +312,66 @@ func TestEngineCacheBound(t *testing.T) {
 	// Re-running the full grid cannot be fully cached any more, but must
 	// still return correct results.
 	unbounded := New(Options{Parallelism: 2})
-	want, err := unbounded.Run(jobs, nil)
+	want, err := unbounded.Run(context.Background(), jobs, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := e.Run(jobs, nil)
+	got, err := e.Run(context.Background(), jobs, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatal("bounded engine returned different results after eviction")
+	}
+}
+
+// TestRunCancelled: cancelling the context mid-grid stops the scheduling of
+// queued jobs — the cache sees strictly fewer simulations than the grid —
+// and Run reports the context error.
+func TestRunCancelled(t *testing.T) {
+	e := New(Options{Parallelism: 1})
+	jobs := testGrid()
+	ctx, cancel := context.WithCancel(context.Background())
+	var done atomic.Int64
+	_, err := e.Run(ctx, jobs, func(u Update) {
+		done.Add(1)
+		cancel() // cancel after the first finished job
+	})
+	if err != context.Canceled {
+		t.Fatalf("cancelled Run returned %v, want context.Canceled", err)
+	}
+	stats := e.Stats()
+	if ran := stats.Hits + stats.Misses; ran >= int64(len(jobs)) {
+		t.Fatalf("all %d jobs ran despite cancellation after %d completions", len(jobs), done.Load())
+	}
+}
+
+// TestRunCancelledBeforeStart: a dead context schedules nothing.
+func TestRunCancelledBeforeStart(t *testing.T) {
+	e := New(Options{Parallelism: 4})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Run(ctx, testGrid(), nil); err != context.Canceled {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if stats := e.Stats(); stats.Misses != 0 && stats.Misses >= int64(len(testGrid())) {
+		t.Fatalf("dead context still simulated the whole grid: %+v", stats)
+	}
+}
+
+// TestFanCancelled mirrors the grid behaviour for the generic fan-out.
+func TestFanCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	_, err := Fan(ctx, 1, 100, func(i int) (int, error) {
+		calls.Add(1)
+		cancel()
+		return i, nil
+	})
+	if err != context.Canceled {
+		t.Fatalf("cancelled Fan returned %v, want context.Canceled", err)
+	}
+	if n := calls.Load(); n >= 100 {
+		t.Fatalf("all %d indices ran despite cancellation", n)
 	}
 }

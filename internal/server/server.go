@@ -13,14 +13,18 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"net"
 	"net/http"
 	"net/url"
 	"strconv"
+	"strings"
 	"time"
 
 	"github.com/memcentric/mcdla/internal/dnn"
+	"github.com/memcentric/mcdla/internal/dse"
 	"github.com/memcentric/mcdla/internal/experiments"
 	"github.com/memcentric/mcdla/internal/report"
 	"github.com/memcentric/mcdla/internal/runner"
@@ -67,10 +71,48 @@ func New(opts Options) *Server {
 // Handler returns the service's root handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// ListenAndServe blocks serving the API on addr.
+// ShutdownGrace bounds how long Serve waits for in-flight requests to
+// drain after its context is cancelled. A full optimizer search can run
+// longer; its queued simulations stop being scheduled the moment the
+// request context dies, so the grace period only needs to cover rendering.
+const ShutdownGrace = 10 * time.Second
+
+// ListenAndServe blocks serving the API on addr with no shutdown path;
+// Serve is the graceful form the CLI uses.
 func (s *Server) ListenAndServe(addr string) error {
-	srv := &http.Server{Addr: addr, Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
-	return srv.ListenAndServe()
+	return s.Serve(context.Background(), addr)
+}
+
+// Serve blocks serving the API on addr until ctx is cancelled (the CLI
+// wires SIGINT/SIGTERM into it), then stops accepting connections and
+// drains in-flight requests through http.Server.Shutdown under the
+// ShutdownGrace timeout — previously the process just died mid-request.
+func (s *Server) Serve(ctx context.Context, addr string) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		// Hand every request the serve context so long-running handlers
+		// (the optimizer) abort their queued simulations on shutdown too,
+		// not only on client disconnect.
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe() }()
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		grace, cancel := context.WithTimeout(context.Background(), ShutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(grace); err != nil {
+			return err
+		}
+		// ListenAndServe has returned http.ErrServerClosed by now; a clean
+		// drain is not an error.
+		<-done
+		return nil
+	}
 }
 
 // endpoints lists every route for /v1 discovery.
@@ -79,7 +121,8 @@ var endpoints = []struct{ Path, Doc string }{
 	{"/v1", "this index"},
 	{"/v1/networks", "workload inventory (Table III + transformers); ?format=text for the CLI shape"},
 	{"/v1/config", "Table II device/memory-node/design-point inventory"},
-	{"/v1/run", "one simulation: ?net=&design=&strategy=dp|mp&batch=&seqlen=&precision="},
+	{"/v1/run", "one simulation: ?net=&design=&strategy=dp|mp&batch=&seqlen=&precision=&links=&gbps=&memnodes=&dimm=&compress=&workers="},
+	{"/v1/optimize", "cost/TCO design-space optimizer: ?objective=&search=grid|greedy&max-cost=&max-power=&min-throughput= plus candidate axes (workloads, designs, gbps, memnodes, dimms, precisions, compress)"},
 	{"/v1/transformer", "seqlen × precision × design study: ?workload=&seqlens=&precisions="},
 	{"/v1/plane", "§VI scale-out plane: ?workload=&nodes=1,2,4&analytic=&compare="},
 	{"/v1/explore", "§III-B link-technology sweep: ?links=4,8&gbps=25,100"},
@@ -99,24 +142,25 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/healthz", s.healthz)
 	s.mux.HandleFunc("/v1", s.index)
 	s.mux.HandleFunc("/v1/networks", s.networks)
-	s.mux.HandleFunc("/v1/config", fixedReportHandler(func(url.Values) (*report.Report, error) {
+	s.mux.HandleFunc("/v1/config", fixedReportHandler(func(context.Context, url.Values) (*report.Report, error) {
 		return experiments.ConfigReport(), nil
 	}))
 	s.mux.HandleFunc("/v1/run", reportHandler(buildRun))
+	s.mux.HandleFunc("/v1/optimize", reportHandler(buildOptimize))
 	s.mux.HandleFunc("/v1/transformer", reportHandler(buildTransformer))
 	s.mux.HandleFunc("/v1/plane", reportHandler(buildPlane))
 	s.mux.HandleFunc("/v1/explore", reportHandler(buildExplore))
-	s.mux.HandleFunc("/v1/fig2", fixedReportHandler(func(url.Values) (*report.Report, error) {
+	s.mux.HandleFunc("/v1/fig2", fixedReportHandler(func(context.Context, url.Values) (*report.Report, error) {
 		rows, err := experiments.Fig2()
 		if err != nil {
 			return nil, err
 		}
 		return experiments.Fig2Report(rows), nil
 	}))
-	s.mux.HandleFunc("/v1/fig9", fixedReportHandler(func(url.Values) (*report.Report, error) {
+	s.mux.HandleFunc("/v1/fig9", fixedReportHandler(func(context.Context, url.Values) (*report.Report, error) {
 		return experiments.Fig9Report(experiments.Fig9()), nil
 	}))
-	s.mux.HandleFunc("/v1/fig11", reportHandler(func(q url.Values) (*report.Report, error) {
+	s.mux.HandleFunc("/v1/fig11", reportHandler(func(ctx context.Context, q url.Values) (*report.Report, error) {
 		strategy, err := strategyParam(q)
 		if err != nil {
 			return nil, err
@@ -127,14 +171,14 @@ func (s *Server) routes() {
 		}
 		return experiments.Fig11Report(rows, strategy), nil
 	}))
-	s.mux.HandleFunc("/v1/fig12", fixedReportHandler(func(url.Values) (*report.Report, error) {
+	s.mux.HandleFunc("/v1/fig12", fixedReportHandler(func(context.Context, url.Values) (*report.Report, error) {
 		rows, err := experiments.Fig12()
 		if err != nil {
 			return nil, err
 		}
 		return experiments.Fig12Report(rows), nil
 	}))
-	s.mux.HandleFunc("/v1/fig13", reportHandler(func(q url.Values) (*report.Report, error) {
+	s.mux.HandleFunc("/v1/fig13", reportHandler(func(ctx context.Context, q url.Values) (*report.Report, error) {
 		strategy, err := strategyParam(q)
 		if err != nil {
 			return nil, err
@@ -145,31 +189,31 @@ func (s *Server) routes() {
 		}
 		return experiments.Fig13Report(rows, speedups, strategy), nil
 	}))
-	s.mux.HandleFunc("/v1/fig14", fixedReportHandler(func(url.Values) (*report.Report, error) {
+	s.mux.HandleFunc("/v1/fig14", fixedReportHandler(func(context.Context, url.Values) (*report.Report, error) {
 		rows, err := experiments.Fig14()
 		if err != nil {
 			return nil, err
 		}
 		return experiments.Fig14Report(rows), nil
 	}))
-	s.mux.HandleFunc("/v1/tab4", fixedReportHandler(func(url.Values) (*report.Report, error) {
+	s.mux.HandleFunc("/v1/tab4", fixedReportHandler(func(context.Context, url.Values) (*report.Report, error) {
 		return experiments.Table4Report(), nil
 	}))
-	s.mux.HandleFunc("/v1/headline", fixedReportHandler(func(url.Values) (*report.Report, error) {
+	s.mux.HandleFunc("/v1/headline", fixedReportHandler(func(context.Context, url.Values) (*report.Report, error) {
 		h, err := experiments.RunHeadline()
 		if err != nil {
 			return nil, err
 		}
 		return experiments.HeadlineReport(h), nil
 	}))
-	s.mux.HandleFunc("/v1/sens", fixedReportHandler(func(url.Values) (*report.Report, error) {
+	s.mux.HandleFunc("/v1/sens", fixedReportHandler(func(context.Context, url.Values) (*report.Report, error) {
 		rows, err := experiments.Sensitivity()
 		if err != nil {
 			return nil, err
 		}
 		return experiments.SensitivityReport(rows), nil
 	}))
-	s.mux.HandleFunc("/v1/scale", fixedReportHandler(func(url.Values) (*report.Report, error) {
+	s.mux.HandleFunc("/v1/scale", fixedReportHandler(func(context.Context, url.Values) (*report.Report, error) {
 		rows, err := experiments.Scalability()
 		if err != nil {
 			return nil, err
@@ -185,17 +229,17 @@ func (s *Server) routes() {
 // endpoints use 400 (their fallible inputs — workload, design, axis lists —
 // arrive in the query string), while fixedReportHandler's parameterless
 // endpoints report builder failures as the server faults they are.
-func reportHandler(build func(url.Values) (*report.Report, error)) http.HandlerFunc {
+func reportHandler(build func(context.Context, url.Values) (*report.Report, error)) http.HandlerFunc {
 	return reportHandlerStatus(build, http.StatusBadRequest)
 }
 
 // fixedReportHandler serves endpoints with no data-bearing parameters; a
 // generator failure there cannot be the client's fault.
-func fixedReportHandler(build func(url.Values) (*report.Report, error)) http.HandlerFunc {
+func fixedReportHandler(build func(context.Context, url.Values) (*report.Report, error)) http.HandlerFunc {
 	return reportHandlerStatus(build, http.StatusInternalServerError)
 }
 
-func reportHandlerStatus(build func(url.Values) (*report.Report, error), errStatus int) http.HandlerFunc {
+func reportHandlerStatus(build func(context.Context, url.Values) (*report.Report, error), errStatus int) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet && r.Method != http.MethodHead {
 			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
@@ -206,7 +250,7 @@ func reportHandlerStatus(build func(url.Values) (*report.Report, error), errStat
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		rep, err := build(r.URL.Query())
+		rep, err := build(r.Context(), r.URL.Query())
 		if err != nil {
 			writeError(w, errStatus, err)
 			return
@@ -221,7 +265,7 @@ func reportHandlerStatus(build func(url.Values) (*report.Report, error), errStat
 	}
 }
 
-func buildRun(q url.Values) (*report.Report, error) {
+func buildRun(_ context.Context, q url.Values) (*report.Report, error) {
 	workload := firstNonEmpty(q.Get("net"), q.Get("workload"), "VGG-E")
 	design := firstNonEmpty(q.Get("design"), "MC-DLA(B)")
 	strategy, err := strategyParam(q)
@@ -242,10 +286,139 @@ func buildRun(q url.Values) (*report.Report, error) {
 			return nil, fmt.Errorf("invalid precision parameter: %v", err)
 		}
 	}
-	return experiments.RunReport(design, workload, strategy, batch, seqlen, prec)
+	links, err := intParam(q, "links", 0)
+	if err != nil {
+		return nil, err
+	}
+	gbps, err := floatParam(q, "gbps", 0)
+	if err != nil {
+		return nil, err
+	}
+	memNodes, err := intParam(q, "memnodes", 0)
+	if err != nil {
+		return nil, err
+	}
+	compressed, err := boolParam(q, "compress")
+	if err != nil {
+		return nil, err
+	}
+	workers, err := intParam(q, "workers", 0)
+	if err != nil {
+		return nil, err
+	}
+	// The dse point derives the design exactly as the CLI `run` flags do,
+	// so an optimizer recipe translates 1:1 into query parameters.
+	p := dse.Point{
+		Design: design, Workload: workload, Strategy: strategy,
+		Batch: batch, SeqLen: seqlen, Precision: prec,
+		Links: links, LinkGBps: gbps, MemNodes: memNodes,
+		DIMM: q.Get("dimm"), Compress: compressed, Workers: workers,
+	}
+	d, err := p.DesignPoint()
+	if err != nil {
+		return nil, err
+	}
+	return experiments.RunReportFor(d, workload, strategy, batch, seqlen, prec, workers)
 }
 
-func buildTransformer(q url.Values) (*report.Report, error) {
+// buildOptimize maps the optimizer's query parameters — the same axes and
+// constraint spellings as `mcdla optimize` — onto a design-space search on
+// the shared engine. The request context rides into the search, so a
+// disconnecting client stops the queued simulations.
+func buildOptimize(ctx context.Context, q url.Values) (*report.Report, error) {
+	objective := dse.PerfPerDollar
+	if v := q.Get("objective"); v != "" {
+		var err error
+		if objective, err = dse.ParseObjective(v); err != nil {
+			return nil, fmt.Errorf("invalid objective parameter: %v", err)
+		}
+	}
+	search := dse.Grid
+	if v := q.Get("search"); v != "" {
+		var err error
+		if search, err = dse.ParseSearch(v); err != nil {
+			return nil, fmt.Errorf("invalid search parameter: %v", err)
+		}
+	}
+	space := experiments.DefaultOptimizeSpace()
+	if v := q.Get("workloads"); v != "" {
+		space.Workloads = strings.Split(v, ",")
+	}
+	if v := q.Get("designs"); v != "" {
+		space.Designs = strings.Split(v, ",")
+	}
+	if v := q.Get("strategies"); v != "" {
+		space.Strategies = nil
+		for _, s := range strings.Split(v, ",") {
+			strategy, err := train.ParseStrategy(s)
+			if err != nil {
+				return nil, fmt.Errorf("invalid strategies parameter: %v", err)
+			}
+			space.Strategies = append(space.Strategies, strategy)
+		}
+	}
+	var err error
+	if space.Batches, err = intsCSVParam(q, "batches", space.Batches); err != nil {
+		return nil, err
+	}
+	if space.SeqLens, err = intsCSVParam(q, "seqlens", space.SeqLens); err != nil {
+		return nil, err
+	}
+	if v := q.Get("precisions"); v != "" {
+		if space.Precisions, err = train.ParsePrecisionList(v); err != nil {
+			return nil, fmt.Errorf("invalid precisions list %q: %v", v, err)
+		}
+	}
+	if space.LinkCounts, err = intsCSVParam(q, "links", space.LinkCounts); err != nil {
+		return nil, err
+	}
+	if space.LinkGBps, err = floatsCSVParam(q, "gbps", space.LinkGBps); err != nil {
+		return nil, err
+	}
+	if space.MemNodes, err = intsCSVParam(q, "memnodes", space.MemNodes); err != nil {
+		return nil, err
+	}
+	if v := q.Get("dimms"); v != "" {
+		space.DIMMs = strings.Split(v, ",")
+	}
+	switch q.Get("compress") {
+	case "", "both":
+		space.Compress = []bool{false, true}
+	case "on":
+		space.Compress = []bool{true}
+	case "off":
+		space.Compress = []bool{false}
+	default:
+		return nil, fmt.Errorf("invalid compress parameter %q (want off, on or both)", q.Get("compress"))
+	}
+	maxCost, err := floatParam(q, "max-cost", 0)
+	if err != nil {
+		return nil, err
+	}
+	maxPower, err := floatParam(q, "max-power", 0)
+	if err != nil {
+		return nil, err
+	}
+	minThroughput, err := floatParam(q, "min-throughput", 0)
+	if err != nil {
+		return nil, err
+	}
+	res, err := experiments.Optimize(ctx, space, dse.Options{
+		Search:    search,
+		Objective: objective,
+		Constraints: dse.Constraints{
+			MaxCostUSD:    maxCost,
+			MaxPowerW:     maxPower,
+			MinThroughput: minThroughput,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return experiments.OptimizeReport(res), nil
+}
+
+func buildTransformer(_ context.Context, q url.Values) (*report.Report, error) {
 	var workloads []string
 	if v := q.Get("workload"); v != "" {
 		workloads = []string{v}
@@ -272,7 +445,7 @@ func buildTransformer(q url.Values) (*report.Report, error) {
 	return experiments.TransformerStudyReport(rows, cRows), nil
 }
 
-func buildPlane(q url.Values) (*report.Report, error) {
+func buildPlane(_ context.Context, q url.Values) (*report.Report, error) {
 	workload := firstNonEmpty(q.Get("net"), q.Get("workload"), "VGG-E")
 	counts, err := intsCSVParam(q, "nodes", []int{1, 2, 4, 8, 16})
 	if err != nil {
@@ -305,7 +478,7 @@ func buildPlane(q url.Values) (*report.Report, error) {
 	return rep, nil
 }
 
-func buildExplore(q url.Values) (*report.Report, error) {
+func buildExplore(_ context.Context, q url.Values) (*report.Report, error) {
 	links, err := intsCSVParam(q, "links", []int{4, 6, 8, 12})
 	if err != nil {
 		return nil, err
@@ -374,7 +547,7 @@ func (s *Server) networks(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if f != report.FormatJSON {
-			reportHandler(func(url.Values) (*report.Report, error) {
+			reportHandler(func(context.Context, url.Values) (*report.Report, error) {
 				return experiments.NetworksReport(), nil
 			})(w, r)
 			return
@@ -475,6 +648,18 @@ func intParam(q url.Values, key string, def int) (int, error) {
 		return 0, fmt.Errorf("invalid %s parameter %q (want a nonnegative integer)", key, v)
 	}
 	return n, nil
+}
+
+func floatParam(q url.Values, key string, def float64) (float64, error) {
+	v := q.Get(key)
+	if v == "" {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil || f < 0 {
+		return 0, fmt.Errorf("invalid %s parameter %q (want a nonnegative number)", key, v)
+	}
+	return f, nil
 }
 
 func boolParam(q url.Values, key string) (bool, error) {

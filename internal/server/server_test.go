@@ -1,15 +1,19 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
+	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/memcentric/mcdla/internal/report"
 )
@@ -268,5 +272,159 @@ func TestPlaneEndpointMatchesCLIGolden(t *testing.T) {
 	}
 	if got, want := string(body), cliGolden(t, "plane_compare"); got != want {
 		t.Fatalf("plane compare text diverged:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// optimizeSmokeQuery is the reduced study the CI serve-smoke job curls: one
+// design family, two populations, fp16 only — four simulations.
+const optimizeSmokeQuery = "/v1/optimize?designs=MC-DLA(B)&precisions=fp16&gbps=25&memnodes=4,8&dimms=32GB-LRDIMM,128GB-LRDIMM"
+
+// TestOptimizeEndpointGoldenJSON pins the optimizer's raw response bytes
+// for the CI smoke job, run_vgge_mcdlab-style.
+func TestOptimizeEndpointGoldenJSON(t *testing.T) {
+	ts := newTestServer(t)
+	status, body := get(t, ts.URL+optimizeSmokeQuery)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d: %s", status, body)
+	}
+	path := filepath.Join("testdata", "optimize_mcdlab.golden.json")
+	if *update {
+		if err := os.WriteFile(path, body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing fixture (run with -update to create): %v", err)
+	}
+	if string(body) != string(want) {
+		t.Fatalf("response diverged from %s:\ngot:\n%s\nwant:\n%s", path, body, want)
+	}
+}
+
+// TestOptimizeEndpointShape decodes the frontier table and checks every row
+// carries a reproducible run recipe whose parameters the /v1/run endpoint
+// accepts.
+func TestOptimizeEndpointShape(t *testing.T) {
+	ts := newTestServer(t)
+	status, body := get(t, ts.URL+optimizeSmokeQuery+"&objective=perf-per-watt&search=greedy")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d: %s", status, body)
+	}
+	var rep report.Report
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatalf("response is not a report: %v", err)
+	}
+	tbl := rep.Sections[0].Table
+	if tbl == nil || len(tbl.Rows) == 0 {
+		t.Fatal("optimizer returned no frontier rows")
+	}
+	if got := tbl.Columns[len(tbl.Columns)-1]; got != "recipe" {
+		t.Fatalf("last column = %q, want recipe", got)
+	}
+	for _, row := range tbl.Rows {
+		if !strings.HasPrefix(row[len(row)-1].Text, "mcdla run ") {
+			t.Fatalf("recipe cell %q is not a run invocation", row[len(row)-1].Text)
+		}
+	}
+}
+
+// TestOptimizeBadParams: parameter failures are 400s naming the parameter.
+func TestOptimizeBadParams(t *testing.T) {
+	ts := newTestServer(t)
+	for _, c := range []struct{ query, wantIn string }{
+		{"/v1/optimize?objective=latency", "objective"},
+		{"/v1/optimize?search=annealing", "search"},
+		{"/v1/optimize?max-cost=cheap", "max-cost"},
+		{"/v1/optimize?compress=maybe", "compress"},
+		{"/v1/optimize?memnodes=0", "memnodes"},
+		{"/v1/optimize?designs=NV-DLA", "NV-DLA"},
+	} {
+		status, body := get(t, ts.URL+c.query)
+		if status != http.StatusBadRequest {
+			t.Fatalf("%s: status = %d, want 400", c.query, status)
+		}
+		if !strings.Contains(string(body), c.wantIn) {
+			t.Fatalf("%s: error %s does not name %q", c.query, body, c.wantIn)
+		}
+	}
+}
+
+// TestRunEndpointDSEAxes: /v1/run accepts the optimizer's recipe axes and
+// derives the same design the search simulated.
+func TestRunEndpointDSEAxes(t *testing.T) {
+	ts := newTestServer(t)
+	status, body := get(t, ts.URL+"/v1/run?net=VGG-E&design=MC-DLA(B)&memnodes=4&dimm=32GB-LRDIMM&gbps=50")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d: %s", status, body)
+	}
+	if !strings.Contains(string(body), "iteration_time") {
+		t.Fatalf("run response missing iteration time: %s", body)
+	}
+	status, body = get(t, ts.URL+"/v1/run?net=VGG-E&design=MC-DLA(B)&compress=true")
+	if status != http.StatusBadRequest {
+		t.Fatalf("cDMA on a shared-link design: status = %d (%s), want 400", status, body)
+	}
+}
+
+// TestServeGracefulShutdown boots the real listener, parks a request on a
+// slow endpoint, cancels the serve context, and expects the in-flight
+// response to complete while the listener refuses new work.
+func TestServeGracefulShutdown(t *testing.T) {
+	s := New(Options{Parallelism: 2, CacheEntries: 16})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ctx, addr) }()
+	// Wait for the listener.
+	var up bool
+	for i := 0; i < 100 && !up; i++ {
+		if resp, err := http.Get("http://" + addr + "/healthz"); err == nil {
+			resp.Body.Close()
+			up = true
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if !up {
+		t.Fatal("server never came up")
+	}
+
+	// Park an in-flight request: the optimizer study is small but real.
+	inflight := make(chan error, 1)
+	go func() {
+		resp, err := http.Get("http://" + addr + optimizeSmokeQuery)
+		if err == nil {
+			defer resp.Body.Close()
+			if _, rerr := io.ReadAll(resp.Body); rerr != nil {
+				err = rerr
+			} else if resp.StatusCode != http.StatusOK {
+				err = fmt.Errorf("status %d", resp.StatusCode)
+			}
+		}
+		inflight <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	if err := <-inflight; err != nil {
+		t.Fatalf("in-flight request was not drained: %v", err)
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("Serve returned %v after graceful shutdown", err)
+		}
+	case <-time.After(ShutdownGrace + 5*time.Second):
+		t.Fatal("Serve did not return after shutdown")
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("listener still accepting after shutdown")
 	}
 }
