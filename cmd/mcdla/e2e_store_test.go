@@ -1,0 +1,218 @@
+// Crash-recovery end-to-end test for the durable result store: a real
+// `mcdla serve -store DIR` process is killed with SIGKILL mid-life and
+// restarted on the same directory, and the repeated request must be served
+// byte-identically from the store without re-simulating. This is the one
+// contract in-process tests cannot pin — it needs a process to actually die.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildBinary compiles the mcdla binary once into a test temp dir.
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "mcdla")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// freePort asks the kernel for an unused TCP port. The tiny race between
+// closing the probe listener and the server binding is acceptable in tests.
+func freePort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("probe listen: %v", err)
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port
+}
+
+// startServe launches `mcdla -store storeDir serve -addr addr [extra...]`
+// and waits for /healthz to answer. The returned process is running; callers
+// kill it.
+func startServe(t *testing.T, bin, storeDir, addr string, extra ...string) *exec.Cmd {
+	t.Helper()
+	args := append([]string{"-store", storeDir, "-quiet", "serve", "-addr", addr}, extra...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start serve: %v", err)
+	}
+	base := "http://" + addr
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return cmd
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	cmd.Process.Kill()
+	cmd.Wait()
+	t.Fatalf("server at %s never became healthy", addr)
+	return nil
+}
+
+func getBody(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d\n%s", url, resp.StatusCode, body)
+	}
+	return body
+}
+
+// cacheStats pulls the engine counters out of /healthz.
+func cacheStats(t *testing.T, base string) (storeHits, simulated int) {
+	t.Helper()
+	var health struct {
+		Cache map[string]int `json:"cache"`
+	}
+	if err := json.Unmarshal(getBody(t, base+"/healthz"), &health); err != nil {
+		t.Fatalf("healthz decode: %v", err)
+	}
+	return health.Cache["store_hits"], health.Cache["simulated"]
+}
+
+// TestServeStoreSurvivesKill is the crash-recovery contract: simulate once,
+// SIGKILL the server (no graceful shutdown, no flush), restart on the same
+// store directory, and the same request must come back byte-identical as a
+// store hit with zero fresh simulations.
+func TestServeStoreSurvivesKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real server processes")
+	}
+	bin := buildBinary(t)
+	storeDir := t.TempDir()
+	addr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	base := "http://" + addr
+	runURL := base + "/v1/run?net=VGG-E&design=MC-DLA(B)"
+
+	srv := startServe(t, bin, storeDir, addr)
+	first := getBody(t, runURL)
+	if _, simulated := cacheStats(t, base); simulated < 1 {
+		t.Fatalf("first run should have simulated at least once")
+	}
+
+	// SIGKILL: the process gets no chance to flush or drain. Durability must
+	// come from the store's atomic writes alone.
+	if err := srv.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	srv.Wait()
+
+	srv2 := startServe(t, bin, storeDir, addr)
+	defer func() {
+		srv2.Process.Kill()
+		srv2.Wait()
+	}()
+
+	second := getBody(t, runURL)
+	if string(first) != string(second) {
+		t.Fatalf("response changed across crash+restart:\nfirst:  %s\nsecond: %s", first, second)
+	}
+	storeHits, simulated := cacheStats(t, base)
+	if simulated != 0 {
+		t.Fatalf("restarted server re-simulated %d times; want pure store hits", simulated)
+	}
+	if storeHits < 1 {
+		t.Fatalf("restarted server reported %d store hits; want ≥ 1", storeHits)
+	}
+}
+
+// TestWorkerProcessDrainsQueue smoke-tests the multi-process split: an API
+// server with -exec=false only accepts jobs, and a separate -worker process
+// sharing the store directory executes them.
+func TestWorkerProcessDrainsQueue(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real server processes")
+	}
+	bin := buildBinary(t)
+	storeDir := t.TempDir()
+	addr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	base := "http://" + addr
+
+	// -exec=false: the API process accepts jobs but never executes them, so
+	// a completed job proves the separate worker process did the work.
+	api := startServe(t, bin, storeDir, addr, "-exec=false")
+	defer func() {
+		api.Process.Kill()
+		api.Wait()
+	}()
+
+	worker := exec.Command(bin, "-store", storeDir, "-quiet", "serve", "-worker")
+	worker.Stdout = os.Stderr
+	worker.Stderr = os.Stderr
+	if err := worker.Start(); err != nil {
+		t.Fatalf("start worker: %v", err)
+	}
+	defer func() {
+		worker.Process.Signal(syscall.SIGTERM)
+		worker.Wait()
+	}()
+
+	resp, err := http.Post(base+"/v1/jobs?path=/v1/run&net=VGG-E&design=MC-DLA(B)", "", nil)
+	if err != nil {
+		t.Fatalf("submit job: %v", err)
+	}
+	var rec struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		t.Fatalf("decode submit: %v", err)
+	}
+	resp.Body.Close()
+	if rec.ID == "" {
+		t.Fatalf("submit returned no job id")
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := json.Unmarshal(getBody(t, base+"/v1/jobs/"+rec.ID), &rec); err != nil {
+			t.Fatalf("poll decode: %v", err)
+		}
+		if rec.State == "done" || rec.State == "failed" {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if rec.State != "done" {
+		t.Fatalf("job never completed via worker process: state %q", rec.State)
+	}
+
+	// The job result must match the synchronous endpoint byte-for-byte even
+	// though a different process rendered it.
+	jobResult := getBody(t, base+"/v1/jobs/"+rec.ID+"/result")
+	syncResult := getBody(t, base+"/v1/run?net=VGG-E&design=MC-DLA(B)")
+	if string(jobResult) != string(syncResult) {
+		t.Fatalf("worker-rendered result differs from sync endpoint")
+	}
+}

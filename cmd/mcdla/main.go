@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	mcdla [-parallel N] [-quiet] [-format text|json|csv|md] <subcommand> [flags]
+//	mcdla [-parallel N] [-quiet] [-format text|json|csv|md] [-store DIR] <subcommand> [flags]
 //
 // The grid-based experiment subcommands (fig2, fig11-fig14, headline, sens,
 // scale, explore, plane, optimize, and their aggregation in all) fan their
@@ -22,6 +22,18 @@
 // numbers for scripts and documents. `mcdla serve` exposes the same reports
 // as a long-running HTTP API (internal/server) with a bounded cross-request
 // simulation cache.
+//
+// The global -store DIR flag opens a durable, content-addressed result
+// store (internal/store) under DIR: every simulation keyed by the canonical
+// hash of its job lands on disk, so repeat runs — in this process or any
+// later one sharing the directory — are read-through hits instead of
+// recomputation. With -store, `mcdla serve` additionally exposes the async
+// jobs API (POST /v1/jobs → id, poll /v1/jobs/{id}, stream
+// /v1/jobs/{id}/events, fetch /v1/jobs/{id}/result); jobs are durable
+// records in the store and survive client disconnects and server restarts.
+// `mcdla serve -worker` runs a headless executor that drains the shared job
+// queue, and `serve -exec=false` serves the API while leaving execution to
+// such workers.
 //
 // Subcommands:
 //
@@ -53,7 +65,9 @@
 //	           -min-throughput constraints; every frontier row prints the
 //	           `mcdla run` recipe that reproduces it
 //	serve      long-running HTTP API over the experiment suite
-//	           (flags: -addr, -cache; SIGINT/SIGTERM drain gracefully)
+//	           (flags: -addr, -cache, -worker, -exec; SIGINT/SIGTERM drain
+//	           gracefully; with the global -store DIR the async /v1/jobs
+//	           API and the shared job queue come online)
 //	all        everything above, in paper order
 package main
 
@@ -74,6 +88,7 @@ import (
 	"github.com/memcentric/mcdla/internal/report"
 	"github.com/memcentric/mcdla/internal/runner"
 	"github.com/memcentric/mcdla/internal/server"
+	"github.com/memcentric/mcdla/internal/store"
 	"github.com/memcentric/mcdla/internal/trace"
 	"github.com/memcentric/mcdla/internal/train"
 	"github.com/memcentric/mcdla/internal/units"
@@ -83,15 +98,33 @@ import (
 // paper-style text.
 var outputFormat = report.FormatText
 
+// storeDir / resultStore hold the global -store selection: a durable,
+// content-addressed result store shared by every subcommand in the process
+// (and, through the directory, by other processes). `mcdla -store DIR all`
+// pre-warms the store the HTTP service later reads through.
+var (
+	storeDir    string
+	resultStore *store.Store
+)
+
 func main() {
-	args, parallel, quiet, format, err := globalFlags(os.Args[1:])
+	args, parallel, quiet, format, dir, err := globalFlags(os.Args[1:])
 	if err == nil {
 		outputFormat = format
-		experiments.SetParallelism(parallel)
-		if !quiet {
-			experiments.SetProgress(progressLine)
+		storeDir = dir
+		ro := runner.Options{Parallelism: parallel}
+		if dir != "" {
+			if resultStore, err = store.Open(dir); err == nil {
+				ro.Store = resultStore
+			}
 		}
-		err = run(args)
+		if err == nil {
+			experiments.SetOptions(ro)
+			if !quiet {
+				experiments.SetProgress(progressLine)
+			}
+			err = run(args)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcdla:", err)
@@ -102,7 +135,7 @@ func main() {
 // globalFlags extracts -parallel/-quiet/-format from anywhere in the
 // argument list so both `mcdla -parallel 8 all` and `mcdla all -parallel 8`
 // work; everything else passes through to the subcommand dispatch.
-func globalFlags(args []string) (rest []string, parallel int, quiet bool, format report.Format, err error) {
+func globalFlags(args []string) (rest []string, parallel int, quiet bool, format report.Format, storeDir string, err error) {
 	parallel = runtime.GOMAXPROCS(0)
 	format = report.FormatText
 	for i := 0; i < len(args); i++ {
@@ -111,36 +144,44 @@ func globalFlags(args []string) (rest []string, parallel int, quiet bool, format
 		case a == "-parallel" || a == "--parallel":
 			i++
 			if i >= len(args) {
-				return nil, 0, false, "", fmt.Errorf("-parallel needs a worker count")
+				return nil, 0, false, "", "", fmt.Errorf("-parallel needs a worker count")
 			}
 			if parallel, err = strconv.Atoi(args[i]); err != nil || parallel < 1 {
-				return nil, 0, false, "", fmt.Errorf("bad -parallel value %q (want a count ≥ 1)", args[i])
+				return nil, 0, false, "", "", fmt.Errorf("bad -parallel value %q (want a count ≥ 1)", args[i])
 			}
 		case strings.HasPrefix(a, "-parallel=") || strings.HasPrefix(a, "--parallel="):
 			v := a[strings.Index(a, "=")+1:]
 			if parallel, err = strconv.Atoi(v); err != nil || parallel < 1 {
-				return nil, 0, false, "", fmt.Errorf("bad -parallel value %q (want a count ≥ 1)", v)
+				return nil, 0, false, "", "", fmt.Errorf("bad -parallel value %q (want a count ≥ 1)", v)
 			}
 		case a == "-format" || a == "--format":
 			i++
 			if i >= len(args) {
-				return nil, 0, false, "", fmt.Errorf("-format needs a value (text, json, csv or md)")
+				return nil, 0, false, "", "", fmt.Errorf("-format needs a value (text, json, csv or md)")
 			}
 			if format, err = report.ParseFormat(args[i]); err != nil {
-				return nil, 0, false, "", fmt.Errorf("bad -format value: %v", err)
+				return nil, 0, false, "", "", fmt.Errorf("bad -format value: %v", err)
 			}
 		case strings.HasPrefix(a, "-format=") || strings.HasPrefix(a, "--format="):
 			v := a[strings.Index(a, "=")+1:]
 			if format, err = report.ParseFormat(v); err != nil {
-				return nil, 0, false, "", fmt.Errorf("bad -format value: %v", err)
+				return nil, 0, false, "", "", fmt.Errorf("bad -format value: %v", err)
 			}
+		case a == "-store" || a == "--store":
+			i++
+			if i >= len(args) {
+				return nil, 0, false, "", "", fmt.Errorf("-store needs a directory")
+			}
+			storeDir = args[i]
+		case strings.HasPrefix(a, "-store=") || strings.HasPrefix(a, "--store="):
+			storeDir = a[strings.Index(a, "=")+1:]
 		case a == "-quiet" || a == "--quiet":
 			quiet = true
 		default:
 			rest = append(rest, a)
 		}
 	}
-	return rest, parallel, quiet, format, nil
+	return rest, parallel, quiet, format, storeDir, nil
 }
 
 // emit renders a report in the globally selected format onto stdout.
@@ -508,17 +549,46 @@ func runOptimize(args []string) error {
 // runServe starts the long-running HTTP API over the experiment suite.
 // SIGINT/SIGTERM stop accepting connections and drain in-flight requests
 // through the server's graceful shutdown instead of killing them mid-reply.
+//
+// With the global -store flag the server reads and writes the durable
+// result store and exposes the async jobs API (/v1/jobs). -worker turns the
+// process into a headless executor that only drains the shared job queue;
+// -exec=false serves the API without executing jobs locally, leaving the
+// queue to dedicated workers.
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	cache := fs.Int("cache", server.DefaultCacheEntries, "cross-request simulation cache bound (LRU entries, 0 = unbounded)")
+	worker := fs.Bool("worker", false, "run as a headless job executor on the shared -store queue (no HTTP listener)")
+	exec := fs.Bool("exec", true, "execute queued jobs in this process (set -exec=false to leave the queue to -worker processes)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	srv := server.New(server.Options{Parallelism: experiments.Parallelism(), CacheEntries: *cache})
+	opts := server.Options{
+		Parallelism:     experiments.Parallelism(),
+		CacheEntries:    *cache,
+		Store:           resultStore,
+		DisableExecutor: !*exec,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	fmt.Fprintf(os.Stderr, "mcdla serve: listening on %s (cache bound %d entries)\n", *addr, *cache)
+	if *worker {
+		if resultStore == nil {
+			return fmt.Errorf("serve -worker requires the global -store DIR flag")
+		}
+		fmt.Fprintf(os.Stderr, "mcdla serve: worker draining job queue in %s\n", storeDir)
+		err := server.RunWorker(ctx, opts)
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "mcdla serve: signal received, worker stopped")
+		}
+		return err
+	}
+	srv := server.New(opts)
+	if resultStore != nil {
+		fmt.Fprintf(os.Stderr, "mcdla serve: listening on %s (cache bound %d entries, store %s)\n", *addr, *cache, storeDir)
+	} else {
+		fmt.Fprintf(os.Stderr, "mcdla serve: listening on %s (cache bound %d entries)\n", *addr, *cache)
+	}
 	err := srv.Serve(ctx, *addr)
 	if ctx.Err() != nil {
 		fmt.Fprintln(os.Stderr, "mcdla serve: signal received, drained in-flight requests")
@@ -618,12 +688,15 @@ func runTrace(args []string) error {
 func usage() {
 	fmt.Fprintln(os.Stderr, `mcdla — memory-centric deep-learning system simulator (MICRO-51 reproduction)
 
-usage: mcdla [-parallel N] [-quiet] [-format F] <subcommand> [flags]
+usage: mcdla [-parallel N] [-quiet] [-format F] [-store DIR] <subcommand> [flags]
 
 global flags:
   -parallel N   worker goroutines for experiment grids (default GOMAXPROCS)
   -quiet        suppress the stderr progress line
   -format F     output format: text (default), json, csv, md
+  -store DIR    durable content-addressed result store; repeat runs on the
+                same store are disk hits, and serve gains the async
+                /v1/jobs API backed by the same directory
 
 subcommands:
   fig2 | fig9 | fig11 | fig12 | fig13 | fig14   regenerate a figure
@@ -645,5 +718,9 @@ subcommands:
                                                Pareto frontier + run recipes
   trace -design D -workload W -o out.json      chrome://tracing timeline
   serve [-addr :8080] [-cache N]               HTTP API over the experiment suite
+    [-worker] [-exec=false]                    (with -store: async /v1/jobs API;
+                                               -worker drains the shared queue
+                                               headlessly, -exec=false serves
+                                               without executing locally)
   all                                          everything`)
 }

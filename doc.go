@@ -50,6 +50,16 @@
 // the engine's worker pool, and the memo cache acts as a bounded
 // cross-request LRU with hit/miss accounting on /healthz.
 //
+// The store package makes that cache durable and shared: a
+// content-addressed, disk-backed result store (global -store DIR flag)
+// keyed by the canonical hash of a runner job, read through by the memo
+// with singleflight dedupe, so the same job hash yields a byte-identical
+// report across restarts and processes. On top of it the server exposes
+// the async jobs API — POST /v1/jobs returns a content-addressed job id
+// to poll, stream (SSE progress) or fetch — with durable job records that
+// survive crashes, and `mcdla serve -worker` processes drain the shared
+// queue under exclusive per-job claims.
+//
 // The root-level benchmarks in bench_test.go expose one benchmark per
 // table and figure, each reporting its headline number as a custom metric,
 // plus BenchmarkRunnerFanout, BenchmarkPlaneSimulate,

@@ -69,6 +69,19 @@ type Update struct {
 	Cached bool
 }
 
+// ResultStore is a pluggable durable cache backend behind the in-memory
+// memo: the engine reads through it before simulating and writes completed
+// results back. Both calls are best-effort by contract — Load failures are
+// misses and Save failures just cost a future re-simulation — so an
+// implementation backed by disk or network must swallow its own errors.
+// Implementations must be safe for concurrent use; the singleflight memo
+// guarantees at most one Load/Save per key is in flight per engine, but
+// multiple engines (processes) may touch the same backing store at once.
+type ResultStore interface {
+	Load(Job) (core.Result, bool)
+	Save(Job, core.Result)
+}
+
 // Options configures an Engine.
 type Options struct {
 	// Parallelism bounds the worker goroutines; values ≤ 0 mean
@@ -76,19 +89,33 @@ type Options struct {
 	Parallelism int
 	// CacheEntries bounds the memo cache: once more than CacheEntries
 	// distinct simulations are resident, the least-recently-used completed
-	// entries are evicted. Values ≤ 0 keep the cache unbounded (the CLI
-	// default — one process, one bounded grid). Long-running callers such
-	// as `mcdla serve` set a bound so the cross-request cache behaves as an
-	// LRU rather than a leak.
+	// entries are evicted. In-flight simulations are never evicted, even
+	// when a burst of concurrent distinct jobs pushes the resident count
+	// past the bound — eviction only reclaims completed entries, so the
+	// cache can transiently exceed CacheEntries by the number of in-flight
+	// simulations (at most the worker bound). Values ≤ 0 keep the cache
+	// unbounded (the CLI default — one process, one bounded grid).
+	// Long-running callers such as `mcdla serve` set a bound so the
+	// cross-request cache behaves as an LRU rather than a leak.
 	CacheEntries int
+	// Store, when non-nil, is a durable second cache level: memo misses
+	// read through it before simulating, and freshly simulated results are
+	// written back. `mcdla serve -store` plugs the disk-backed
+	// internal/store here so memoized results survive restarts and are
+	// shared across worker processes.
+	Store ResultStore
 }
 
 // CacheStats reports the memo cache's hit accounting.
 type CacheStats struct {
-	// Hits counts jobs served from the cache (including jobs that waited on
-	// an identical in-flight simulation); Misses counts simulations actually
-	// executed.
+	// Hits counts jobs served from the in-memory cache (including jobs that
+	// waited on an identical in-flight simulation); Misses counts jobs that
+	// fell through it (and either hit the durable store or simulated).
 	Hits, Misses int64
+	// StoreHits counts memo misses answered by the durable store instead
+	// of a simulation; Simulated counts simulations actually executed.
+	// Without a store, Simulated equals Misses.
+	StoreHits, Simulated int64
 }
 
 // Engine is a reusable simulation pool. The zero value is not usable; build
@@ -96,9 +123,12 @@ type CacheStats struct {
 // across Run calls so that successive grids share work.
 type Engine struct {
 	parallelism int
+	store       ResultStore
 
 	results memo[core.Result]
 	scheds  memo[*train.Schedule]
+
+	storeHits, simulated atomic.Int64
 }
 
 // New builds an Engine.
@@ -109,6 +139,7 @@ func New(opts Options) *Engine {
 	}
 	return &Engine{
 		parallelism: p,
+		store:       opts.Store,
 		results:     newMemo[core.Result](opts.CacheEntries),
 		scheds:      newMemo[*train.Schedule](opts.CacheEntries),
 	}
@@ -119,7 +150,12 @@ func (e *Engine) Parallelism() int { return e.parallelism }
 
 // Stats reports the simulation cache's hit accounting.
 func (e *Engine) Stats() CacheStats {
-	return CacheStats{Hits: e.results.hits.Load(), Misses: e.results.misses.Load()}
+	return CacheStats{
+		Hits:      e.results.hits.Load(),
+		Misses:    e.results.misses.Load(),
+		StoreHits: e.storeHits.Load(),
+		Simulated: e.simulated.Load(),
+	}
 }
 
 // Run executes the grid and returns one result per job, in job order. All
@@ -193,17 +229,38 @@ feeding:
 	return results, nil
 }
 
-// simulate runs one job through the two-level cache: the schedule for the
-// workload point is built once, and the (design, schedule) simulation is
-// computed once.
+// simulate runs one job through the cache hierarchy: the in-memory memo
+// (which also singleflights concurrent identical jobs), then the durable
+// store if one is plugged in, then the simulator — whose result is written
+// back to the store so other engines (and future processes) skip the work.
+// The singleflight means a stampede of N identical jobs costs at most one
+// store read and one simulation, and the store is consulted inside the memo
+// slot, so concurrent callers never race duplicate disk reads either.
 func (e *Engine) simulate(j Job) (core.Result, bool, error) {
-	return e.results.do(j.key(), func() (core.Result, error) {
+	fromStore := false
+	r, cached, err := e.results.do(j.key(), func() (core.Result, error) {
+		if e.store != nil {
+			if r, ok := e.store.Load(j); ok {
+				e.storeHits.Add(1)
+				fromStore = true
+				return r, nil
+			}
+		}
 		s, err := e.Schedule(j)
 		if err != nil {
 			return core.Result{}, err
 		}
-		return core.Simulate(j.Design, s)
+		e.simulated.Add(1)
+		r, err := core.Simulate(j.Design, s)
+		if err == nil && e.store != nil {
+			e.store.Save(j, r)
+		}
+		return r, err
 	})
+	// A store hit is a cache hit from the caller's point of view (the
+	// progress stream's Cached flag), even though this goroutine was the
+	// one that created the memo slot.
+	return r, cached || fromStore, err
 }
 
 // Schedule returns the memoized training schedule for j's workload point

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"reflect"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -373,5 +374,171 @@ func TestFanCancelled(t *testing.T) {
 	}
 	if n := calls.Load(); n >= 100 {
 		t.Fatalf("all %d indices ran despite cancellation", n)
+	}
+}
+
+// fakeStore is an in-memory ResultStore for exercising the read-through
+// path without the disk-backed implementation (which lives downstream in
+// internal/store and cannot be imported here).
+type fakeStore struct {
+	mu    sync.Mutex
+	m     map[string]core.Result
+	loads atomic.Int64
+	saves atomic.Int64
+}
+
+func newFakeStore() *fakeStore { return &fakeStore{m: map[string]core.Result{}} }
+
+func (f *fakeStore) Load(j Job) (core.Result, bool) {
+	f.loads.Add(1)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	r, ok := f.m[j.key()]
+	return r, ok
+}
+
+func (f *fakeStore) Save(j Job, r core.Result) {
+	f.saves.Add(1)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.m[j.key()] = r
+}
+
+// TestStoreReadThrough: memo misses consult the store before simulating, and
+// fresh simulations are written back — so a second engine on the same store
+// never simulates.
+func TestStoreReadThrough(t *testing.T) {
+	jobs := testGrid()
+	fs := newFakeStore()
+	first := New(Options{Parallelism: 4, Store: fs})
+	want, err := first.Run(context.Background(), jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := first.Stats()
+	if st.Simulated != int64(len(jobs)) || st.StoreHits != 0 {
+		t.Fatalf("cold engine stats = %+v, want %d simulated", st, len(jobs))
+	}
+	if fs.saves.Load() != int64(len(jobs)) {
+		t.Fatalf("store received %d saves, want one per simulation", fs.saves.Load())
+	}
+
+	second := New(Options{Parallelism: 4, Store: fs})
+	got, err := second.Run(context.Background(), jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = second.Stats()
+	if st.Simulated != 0 || st.StoreHits != int64(len(jobs)) {
+		t.Fatalf("warm engine stats = %+v, want all store hits", st)
+	}
+	if fs.saves.Load() != int64(len(jobs)) {
+		t.Fatal("store-served jobs were written back redundantly")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("store-served results differ from simulated ones")
+	}
+}
+
+// TestStoreSingleflight: a stampede of identical jobs through a store-backed
+// engine costs at most one store read and one simulation — the store lookup
+// happens inside the memo slot, not per caller.
+func TestStoreSingleflight(t *testing.T) {
+	job := Job{
+		Design: core.StandardDesigns()[4], Workload: "VGG-E",
+		Strategy: train.DataParallel, Batch: 512, Workers: 8,
+	}
+	jobs := make([]Job, 64)
+	for i := range jobs {
+		jobs[i] = job
+	}
+	fs := newFakeStore()
+	e := New(Options{Parallelism: 8, Store: fs})
+	if _, err := e.Run(context.Background(), jobs, nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := fs.loads.Load(); n != 1 {
+		t.Fatalf("stampede issued %d store loads, want 1", n)
+	}
+	if st := e.Stats(); st.Simulated != 1 {
+		t.Fatalf("stampede simulated %d times, want 1", st.Simulated)
+	}
+}
+
+// TestStoreHitCountsAsCached: results served by the durable store surface as
+// cache hits in the progress stream (the caller's question is "was work
+// skipped", not which tier answered).
+func TestStoreHitCountsAsCached(t *testing.T) {
+	job := testGrid()[0]
+	fs := newFakeStore()
+	warm := New(Options{Parallelism: 1, Store: fs})
+	if _, err := warm.Run(context.Background(), []Job{job}, nil); err != nil {
+		t.Fatal(err)
+	}
+	var cached bool
+	fresh := New(Options{Parallelism: 1, Store: fs})
+	if _, err := fresh.Run(context.Background(), []Job{job}, func(u Update) { cached = u.Cached }); err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Fatal("store-served job reported Cached=false")
+	}
+}
+
+// TestInFlightSurvivesBurstBeyondBound pins the CacheEntries contract the
+// docs promise: when a burst of concurrent distinct computations pushes the
+// resident count past the bound, none of the in-flight slots is evicted —
+// every waiter observes its own computation's value, computed exactly once,
+// and the table shrinks back to the cap only as entries complete.
+func TestInFlightSurvivesBurstBeyondBound(t *testing.T) {
+	const cap, burst = 2, 8
+	m := newMemo[int](cap)
+	var computes atomic.Int64
+	started := make(chan int, burst)
+	release := make(chan struct{})
+	results := make([]int, burst)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _, err := m.do(fmt.Sprintf("k%d", i), func() (int, error) {
+				computes.Add(1)
+				started <- i
+				<-release
+				return i * 10, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}()
+	}
+	for i := 0; i < burst; i++ {
+		<-started
+	}
+	// All burst entries are resident and in flight, 4x past the bound.
+	m.mu.Lock()
+	resident := len(m.entries)
+	m.mu.Unlock()
+	if resident != burst {
+		t.Fatalf("%d entries resident mid-burst, want all %d in-flight slots pinned", resident, burst)
+	}
+	close(release)
+	wg.Wait()
+	for i, v := range results {
+		if v != i*10 {
+			t.Fatalf("waiter %d observed %d — an in-flight slot was dropped or crossed", i, v)
+		}
+	}
+	if n := computes.Load(); n != burst {
+		t.Fatalf("%d computations for %d distinct keys", n, burst)
+	}
+	// Completion reclaims down to the bound.
+	m.mu.Lock()
+	final := len(m.entries)
+	m.mu.Unlock()
+	if final > cap {
+		t.Fatalf("cache holds %d entries after the burst completed, bound is %d", final, cap)
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"github.com/memcentric/mcdla/internal/experiments"
 	"github.com/memcentric/mcdla/internal/report"
 	"github.com/memcentric/mcdla/internal/runner"
+	"github.com/memcentric/mcdla/internal/store"
 	"github.com/memcentric/mcdla/internal/train"
 	"github.com/memcentric/mcdla/internal/units"
 )
@@ -43,12 +44,24 @@ type Options struct {
 	Parallelism int
 	// CacheEntries bounds the cross-request simulation cache (0: unbounded).
 	CacheEntries int
+	// Store, when non-nil, plugs a durable result plane under the memo
+	// cache (simulations survive restarts and are shared across processes)
+	// and enables the async jobs API on /v1/jobs.
+	Store *store.Store
+	// DisableExecutor keeps the background job executor from starting; jobs
+	// can still be submitted and are run by -worker processes (or, in
+	// tests, by stepping the queue directly).
+	DisableExecutor bool
+	// PollInterval overrides how often the executor and SSE streams rescan
+	// the store (≤ 0: DefaultPollInterval).
+	PollInterval time.Duration
 }
 
 // Server is the HTTP façade over the experiment suite. Build one with New.
 type Server struct {
 	mux   *http.ServeMux
 	start time.Time
+	jobs  *jobsManager
 }
 
 // New configures the shared experiments engine for cross-request use (LRU
@@ -61,15 +74,39 @@ type Server struct {
 // shared engine for everyone and resets its cache accounting; run one
 // Server per process.
 func New(opts Options) *Server {
-	experiments.SetOptions(runner.Options{Parallelism: opts.Parallelism, CacheEntries: opts.CacheEntries})
+	ro := runner.Options{Parallelism: opts.Parallelism, CacheEntries: opts.CacheEntries}
+	if opts.Store != nil {
+		// Guarded assignment: a plain `ro.Store = opts.Store` would wrap a
+		// nil *store.Store into a non-nil interface and the engine would
+		// call through it.
+		ro.Store = opts.Store
+	}
+	experiments.SetOptions(ro)
 	experiments.SetProgress(nil)
 	s := &Server{mux: http.NewServeMux(), start: time.Now()}
+	if opts.Store != nil {
+		s.jobs = newJobsManager(opts.Store, opts.PollInterval)
+		experiments.SetProgress(s.jobs.dispatch)
+		if !opts.DisableExecutor {
+			s.jobs.start()
+		}
+	}
 	s.routes()
 	return s
 }
 
 // Handler returns the service's root handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the background job executor, waiting for an in-flight job to
+// reach a terminal state and release its claim. The HTTP side is shut down
+// by Serve itself; Close exists so tests and embedders reclaim the executor
+// goroutine. It is a no-op without a store.
+func (s *Server) Close() {
+	if s.jobs != nil {
+		s.jobs.close()
+	}
+}
 
 // ShutdownGrace bounds how long Serve waits for in-flight requests to
 // drain after its context is cancelled. A full optimizer search can run
@@ -88,6 +125,7 @@ func (s *Server) ListenAndServe(addr string) error {
 // drains in-flight requests through http.Server.Shutdown under the
 // ShutdownGrace timeout — previously the process just died mid-request.
 func (s *Server) Serve(ctx context.Context, addr string) error {
+	defer s.Close()
 	srv := &http.Server{
 		Addr:              addr,
 		Handler:           s.mux,
@@ -122,6 +160,7 @@ var endpoints = []struct{ Path, Doc string }{
 	{"/v1/networks", "workload inventory (Table III + transformers); ?format=text for the CLI shape"},
 	{"/v1/config", "Table II device/memory-node/design-point inventory"},
 	{"/v1/run", "one simulation: ?net=&design=&strategy=dp|mp&batch=&seqlen=&precision=&links=&gbps=&memnodes=&dimm=&compress=&workers="},
+	{"/v1/jobs", "async job API over every report endpoint (requires -store): POST ?path=&format= plus the endpoint's params submits (content-addressed id), GET lists; /v1/jobs/{id} polls, …/{id}/events streams SSE progress, …/{id}/result serves the rendered report"},
 	{"/v1/optimize", "cost/TCO design-space optimizer: ?objective=&search=grid|greedy&max-cost=&max-power=&min-throughput= plus candidate axes (workloads, designs, gbps, memnodes, dimms, precisions, compress)"},
 	{"/v1/transformer", "seqlen × precision × design study: ?workload=&seqlens=&precisions="},
 	{"/v1/plane", "§VI scale-out plane: ?workload=&nodes=1,2,4&analytic=&compare="},
@@ -138,88 +177,48 @@ var endpoints = []struct{ Path, Doc string }{
 	{"/v1/scale", "§V-D scalability"},
 }
 
+// reportRoute is one registered report endpoint: the query→report builder
+// plus whether the endpoint is parameterless (fixed), which decides how
+// builder failures map to status codes. The registry drives both the
+// synchronous routes and the async jobs API — a job names its endpoint by
+// path and executes the same builder, so the two paths cannot drift.
+type reportRoute struct {
+	build func(context.Context, url.Values) (*report.Report, error)
+	fixed bool
+}
+
+var reportRoutes = map[string]reportRoute{
+	"/v1/config":      {buildConfig, true},
+	"/v1/run":         {buildRun, false},
+	"/v1/optimize":    {buildOptimize, false},
+	"/v1/transformer": {buildTransformer, false},
+	"/v1/plane":       {buildPlane, false},
+	"/v1/explore":     {buildExplore, false},
+	"/v1/fig2":        {buildFig2, true},
+	"/v1/fig9":        {buildFig9, true},
+	"/v1/fig11":       {buildFig11, false},
+	"/v1/fig12":       {buildFig12, true},
+	"/v1/fig13":       {buildFig13, false},
+	"/v1/fig14":       {buildFig14, true},
+	"/v1/tab4":        {buildTab4, true},
+	"/v1/headline":    {buildHeadline, true},
+	"/v1/sens":        {buildSens, true},
+	"/v1/scale":       {buildScale, true},
+}
+
 func (s *Server) routes() {
 	s.mux.HandleFunc("/healthz", s.healthz)
 	s.mux.HandleFunc("/v1", s.index)
 	s.mux.HandleFunc("/v1/networks", s.networks)
-	s.mux.HandleFunc("/v1/config", fixedReportHandler(func(context.Context, url.Values) (*report.Report, error) {
-		return experiments.ConfigReport(), nil
-	}))
-	s.mux.HandleFunc("/v1/run", reportHandler(buildRun))
-	s.mux.HandleFunc("/v1/optimize", reportHandler(buildOptimize))
-	s.mux.HandleFunc("/v1/transformer", reportHandler(buildTransformer))
-	s.mux.HandleFunc("/v1/plane", reportHandler(buildPlane))
-	s.mux.HandleFunc("/v1/explore", reportHandler(buildExplore))
-	s.mux.HandleFunc("/v1/fig2", fixedReportHandler(func(context.Context, url.Values) (*report.Report, error) {
-		rows, err := experiments.Fig2()
-		if err != nil {
-			return nil, err
+	s.mux.HandleFunc("/v1/jobs", s.jobsRoot)
+	s.mux.HandleFunc("/v1/jobs/", s.jobByID)
+	for path, rt := range reportRoutes {
+		h := reportHandler(rt.build)
+		if rt.fixed {
+			h = fixedReportHandler(rt.build)
 		}
-		return experiments.Fig2Report(rows), nil
-	}))
-	s.mux.HandleFunc("/v1/fig9", fixedReportHandler(func(context.Context, url.Values) (*report.Report, error) {
-		return experiments.Fig9Report(experiments.Fig9()), nil
-	}))
-	s.mux.HandleFunc("/v1/fig11", reportHandler(func(ctx context.Context, q url.Values) (*report.Report, error) {
-		strategy, err := strategyParam(q)
-		if err != nil {
-			return nil, err
-		}
-		rows, err := experiments.Fig11(strategy)
-		if err != nil {
-			return nil, err
-		}
-		return experiments.Fig11Report(rows, strategy), nil
-	}))
-	s.mux.HandleFunc("/v1/fig12", fixedReportHandler(func(context.Context, url.Values) (*report.Report, error) {
-		rows, err := experiments.Fig12()
-		if err != nil {
-			return nil, err
-		}
-		return experiments.Fig12Report(rows), nil
-	}))
-	s.mux.HandleFunc("/v1/fig13", reportHandler(func(ctx context.Context, q url.Values) (*report.Report, error) {
-		strategy, err := strategyParam(q)
-		if err != nil {
-			return nil, err
-		}
-		rows, speedups, err := experiments.Fig13(strategy)
-		if err != nil {
-			return nil, err
-		}
-		return experiments.Fig13Report(rows, speedups, strategy), nil
-	}))
-	s.mux.HandleFunc("/v1/fig14", fixedReportHandler(func(context.Context, url.Values) (*report.Report, error) {
-		rows, err := experiments.Fig14()
-		if err != nil {
-			return nil, err
-		}
-		return experiments.Fig14Report(rows), nil
-	}))
-	s.mux.HandleFunc("/v1/tab4", fixedReportHandler(func(context.Context, url.Values) (*report.Report, error) {
-		return experiments.Table4Report(), nil
-	}))
-	s.mux.HandleFunc("/v1/headline", fixedReportHandler(func(context.Context, url.Values) (*report.Report, error) {
-		h, err := experiments.RunHeadline()
-		if err != nil {
-			return nil, err
-		}
-		return experiments.HeadlineReport(h), nil
-	}))
-	s.mux.HandleFunc("/v1/sens", fixedReportHandler(func(context.Context, url.Values) (*report.Report, error) {
-		rows, err := experiments.Sensitivity()
-		if err != nil {
-			return nil, err
-		}
-		return experiments.SensitivityReport(rows), nil
-	}))
-	s.mux.HandleFunc("/v1/scale", fixedReportHandler(func(context.Context, url.Values) (*report.Report, error) {
-		rows, err := experiments.Scalability()
-		if err != nil {
-			return nil, err
-		}
-		return experiments.ScalabilityReport(rows), nil
-	}))
+		s.mux.HandleFunc(path, h)
+	}
 }
 
 // ------------------------------------------------------- report endpoints
@@ -263,6 +262,90 @@ func reportHandlerStatus(build func(context.Context, url.Values) (*report.Report
 		w.Header().Set("Content-Type", contentType(format))
 		fmt.Fprint(w, out)
 	}
+}
+
+func buildConfig(context.Context, url.Values) (*report.Report, error) {
+	return experiments.ConfigReport(), nil
+}
+
+func buildFig2(context.Context, url.Values) (*report.Report, error) {
+	rows, err := experiments.Fig2()
+	if err != nil {
+		return nil, err
+	}
+	return experiments.Fig2Report(rows), nil
+}
+
+func buildFig9(context.Context, url.Values) (*report.Report, error) {
+	return experiments.Fig9Report(experiments.Fig9()), nil
+}
+
+func buildFig11(_ context.Context, q url.Values) (*report.Report, error) {
+	strategy, err := strategyParam(q)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := experiments.Fig11(strategy)
+	if err != nil {
+		return nil, err
+	}
+	return experiments.Fig11Report(rows, strategy), nil
+}
+
+func buildFig12(context.Context, url.Values) (*report.Report, error) {
+	rows, err := experiments.Fig12()
+	if err != nil {
+		return nil, err
+	}
+	return experiments.Fig12Report(rows), nil
+}
+
+func buildFig13(_ context.Context, q url.Values) (*report.Report, error) {
+	strategy, err := strategyParam(q)
+	if err != nil {
+		return nil, err
+	}
+	rows, speedups, err := experiments.Fig13(strategy)
+	if err != nil {
+		return nil, err
+	}
+	return experiments.Fig13Report(rows, speedups, strategy), nil
+}
+
+func buildFig14(context.Context, url.Values) (*report.Report, error) {
+	rows, err := experiments.Fig14()
+	if err != nil {
+		return nil, err
+	}
+	return experiments.Fig14Report(rows), nil
+}
+
+func buildTab4(context.Context, url.Values) (*report.Report, error) {
+	return experiments.Table4Report(), nil
+}
+
+func buildHeadline(context.Context, url.Values) (*report.Report, error) {
+	h, err := experiments.RunHeadline()
+	if err != nil {
+		return nil, err
+	}
+	return experiments.HeadlineReport(h), nil
+}
+
+func buildSens(context.Context, url.Values) (*report.Report, error) {
+	rows, err := experiments.Sensitivity()
+	if err != nil {
+		return nil, err
+	}
+	return experiments.SensitivityReport(rows), nil
+}
+
+func buildScale(context.Context, url.Values) (*report.Report, error) {
+	rows, err := experiments.Scalability()
+	if err != nil {
+		return nil, err
+	}
+	return experiments.ScalabilityReport(rows), nil
 }
 
 func buildRun(_ context.Context, q url.Values) (*report.Report, error) {
@@ -503,8 +586,10 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"parallelism":    experiments.Parallelism(),
 		"cache": map[string]int64{
-			"hits":   stats.Hits,
-			"misses": stats.Misses,
+			"hits":       stats.Hits,
+			"misses":     stats.Misses,
+			"store_hits": stats.StoreHits,
+			"simulated":  stats.Simulated,
 		},
 	})
 }

@@ -1,0 +1,199 @@
+// Job queue: the async jobs API's durable records and the claim protocol
+// that shards execution across `mcdla serve` and `mcdla serve -worker`
+// processes sharing one store directory.
+//
+// A job is content-addressed exactly like a result: its id is the hash of
+// (endpoint path, canonical query, format), so resubmitting the same work
+// returns the same id — and, once the record is done, the same stored
+// response. Records move pending → running → done|failed by atomic file
+// rewrite; execution is serialized by an O_EXCL claim file per job, so N
+// processes polling one directory run each job exactly once. A claim whose
+// process died mid-run goes stale (mtime-based) and is reclaimed, so a
+// crashed worker never wedges the queue.
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// JobState is the lifecycle of an async job record.
+type JobState string
+
+const (
+	JobPending JobState = "pending"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// Terminal reports whether the state is final: the record will never be
+// rewritten again and its result (or error) is durable.
+func (s JobState) Terminal() bool { return s == JobDone || s == JobFailed }
+
+// StaleClaim is how long a claim may sit before other executors treat its
+// owner as dead and re-claim the job (a SIGKILLed worker's jobs come back).
+const StaleClaim = 5 * time.Minute
+
+// JobRecord is one async job's durable state. It carries no wall-clock
+// fields: the record (and therefore the jobs API's responses) is a pure
+// function of the submission and the deterministic result, so golden
+// fixtures can pin it byte-for-byte.
+type JobRecord struct {
+	ID     string   `json:"id"`
+	Path   string   `json:"path"`
+	Query  string   `json:"query"` // canonical (key-sorted) encoding
+	Format string   `json:"format"`
+	State  JobState `json:"state"`
+	// ResultHash addresses the rendered response in the blob store once the
+	// job is done — the "result id" SSE streams terminate with.
+	ResultHash string `json:"result_hash,omitempty"`
+	Error      string `json:"error,omitempty"`
+}
+
+// JobID derives the content address for a submission and the canonical form
+// of its query string. Query keys are sorted, so parameter order (and URL
+// encoding variations) cannot fork identical work into distinct jobs.
+func JobID(path, rawQuery, format string) (id, canonicalQuery string, err error) {
+	q, err := url.ParseQuery(rawQuery)
+	if err != nil {
+		return "", "", fmt.Errorf("store: invalid query: %v", err)
+	}
+	canonicalQuery = q.Encode()
+	id = hashBytes([]byte(Version + "\njob\n" + path + "\n" + canonicalQuery + "\n" + format))
+	return id, canonicalQuery, nil
+}
+
+func (s *Store) jobPath(id string) string {
+	return filepath.Join(s.dir, "jobs", id+".json")
+}
+
+func (s *Store) claimPath(id string) string {
+	return filepath.Join(s.dir, "jobs", id+".claim")
+}
+
+// PutJob durably writes a job record (atomic rewrite).
+func (s *Store) PutJob(rec JobRecord) error {
+	if !validHash(rec.ID) {
+		return fmt.Errorf("store: invalid job id %q", rec.ID)
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	return atomicWrite(s.jobPath(rec.ID), data)
+}
+
+// GetJob reads a job record; unknown or unreadable records report ok=false.
+func (s *Store) GetJob(id string) (JobRecord, bool) {
+	if !validHash(id) {
+		return JobRecord{}, false
+	}
+	data, err := os.ReadFile(s.jobPath(id))
+	if err != nil {
+		return JobRecord{}, false
+	}
+	var rec JobRecord
+	if err := json.Unmarshal(data, &rec); err != nil || rec.ID != id {
+		return JobRecord{}, false
+	}
+	return rec, true
+}
+
+// ListJobs returns every readable job record, sorted by id for stable
+// output. Corrupted records are skipped, mirroring the result store's
+// miss-never-panic contract.
+func (s *Store) ListJobs() ([]JobRecord, error) {
+	entries, err := os.ReadDir(filepath.Join(s.dir, "jobs"))
+	if err != nil {
+		return nil, fmt.Errorf("store: %v", err)
+	}
+	var recs []JobRecord
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		if rec, ok := s.GetJob(strings.TrimSuffix(name, ".json")); ok {
+			recs = append(recs, rec)
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+	return recs, nil
+}
+
+// Claim tries to take exclusive execution rights for a job. Exactly one
+// concurrent caller (across all processes on the directory) wins a given
+// claim; a stale claim from a dead owner is broken and retaken once.
+func (s *Store) Claim(id, owner string) bool {
+	if !validHash(id) {
+		return false
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		f, err := os.OpenFile(s.claimPath(id), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err == nil {
+			f.WriteString(owner)
+			f.Close()
+			return true
+		}
+		if !os.IsExist(err) {
+			return false
+		}
+		info, statErr := os.Stat(s.claimPath(id))
+		if statErr != nil || time.Since(info.ModTime()) < StaleClaim {
+			return false
+		}
+		// The claim is stale: its owner died mid-run. Break it and retry
+		// the O_EXCL create, which still decides any race among breakers.
+		os.Remove(s.claimPath(id))
+	}
+	return false
+}
+
+// Unclaim releases a job's claim after execution completes (or fails).
+func (s *Store) Unclaim(id string) {
+	if validHash(id) {
+		os.Remove(s.claimPath(id))
+	}
+}
+
+// ClaimNextPending scans the queue for runnable work and claims the first
+// job it wins: pending records, plus running records whose claim has gone
+// stale or vanished (their executor crashed before writing a terminal
+// state). The double-check after the claim closes the submit/execute race —
+// a record finished by another process between scan and claim is skipped.
+func (s *Store) ClaimNextPending(owner string) (JobRecord, bool) {
+	recs, err := s.ListJobs()
+	if err != nil {
+		return JobRecord{}, false
+	}
+	for _, rec := range recs {
+		switch rec.State {
+		case JobPending:
+		case JobRunning:
+			// Only steal a running job from a provably dead owner.
+			info, err := os.Stat(s.claimPath(rec.ID))
+			if err == nil && time.Since(info.ModTime()) < StaleClaim {
+				continue
+			}
+		default:
+			continue
+		}
+		if !s.Claim(rec.ID, owner) {
+			continue
+		}
+		cur, ok := s.GetJob(rec.ID)
+		if !ok || (cur.State != JobPending && cur.State != JobRunning) {
+			s.Unclaim(rec.ID)
+			continue
+		}
+		return cur, true
+	}
+	return JobRecord{}, false
+}

@@ -1,0 +1,196 @@
+package store
+
+import (
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func pendingJob(t *testing.T, s *Store, query string) JobRecord {
+	t.Helper()
+	id, canonical, err := JobID("/v1/run", query, "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := JobRecord{ID: id, Path: "/v1/run", Query: canonical, Format: "json", State: JobPending}
+	if err := s.PutJob(rec); err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+// TestJobIDCanonicalQueryOrder: parameter order and encoding noise cannot
+// fork identical work into distinct jobs.
+func TestJobIDCanonicalQueryOrder(t *testing.T) {
+	a, qa, err := JobID("/v1/run", "net=VGG-E&design=MC-DLA(B)", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, qb, err := JobID("/v1/run", "design=MC-DLA%28B%29&net=VGG-E", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b || qa != qb {
+		t.Fatalf("reordered queries got distinct jobs: %s/%s vs %s/%s", a, qa, b, qb)
+	}
+	// Path and format are part of the identity.
+	c, _, _ := JobID("/v1/optimize", "net=VGG-E&design=MC-DLA(B)", "json")
+	d, _, _ := JobID("/v1/run", "net=VGG-E&design=MC-DLA(B)", "text")
+	if c == a || d == a || c == d {
+		t.Fatal("path/format did not separate job ids")
+	}
+}
+
+func TestJobRecordLifecycle(t *testing.T) {
+	s := open(t)
+	rec := pendingJob(t, s, "net=VGG-E")
+	got, ok := s.GetJob(rec.ID)
+	if !ok || got != rec {
+		t.Fatalf("GetJob = %+v, %v", got, ok)
+	}
+	rec.State = JobDone
+	rec.ResultHash = hashBytes([]byte("payload"))
+	if err := s.PutJob(rec); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = s.GetJob(rec.ID)
+	if got.State != JobDone || got.ResultHash != rec.ResultHash {
+		t.Fatalf("rewritten record = %+v", got)
+	}
+	second := pendingJob(t, s, "net=AlexNet")
+	recs, err := s.ListJobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("ListJobs = %d records, want 2", len(recs))
+	}
+	if recs[0].ID > recs[1].ID {
+		t.Fatal("ListJobs not sorted by id")
+	}
+	_ = second
+}
+
+func TestGetJobRejectsBadIDs(t *testing.T) {
+	s := open(t)
+	for _, bad := range []string{"", "..", "../escape", "short", "ZZ" + hashBytes([]byte("x"))[2:]} {
+		if _, ok := s.GetJob(bad); ok {
+			t.Fatalf("GetJob(%q) reported a record", bad)
+		}
+		if s.Claim(bad, "w") {
+			t.Fatalf("Claim(%q) succeeded", bad)
+		}
+	}
+	if err := s.PutJob(JobRecord{ID: "../escape", State: JobPending}); err == nil {
+		t.Fatal("PutJob accepted a path-traversal id")
+	}
+}
+
+// TestClaimExclusive: N concurrent claimers across two Store handles on the
+// same directory (two "processes") — exactly one wins.
+func TestClaimExclusive(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := pendingJob(t, s1, "net=VGG-E")
+	var wins atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		st := s1
+		if i%2 == 1 {
+			st = s2
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if st.Claim(rec.ID, "w") {
+				wins.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := wins.Load(); n != 1 {
+		t.Fatalf("%d claimers won, want exactly 1", n)
+	}
+	s1.Unclaim(rec.ID)
+	if !s2.Claim(rec.ID, "w2") {
+		t.Fatal("claim not reusable after Unclaim")
+	}
+}
+
+// TestStaleClaimReclaimed: a claim whose owner died (old mtime) is broken
+// and retaken, so a crashed worker never wedges the queue.
+func TestStaleClaimReclaimed(t *testing.T) {
+	s := open(t)
+	rec := pendingJob(t, s, "net=VGG-E")
+	if !s.Claim(rec.ID, "dead-worker") {
+		t.Fatal("initial claim failed")
+	}
+	if s.Claim(rec.ID, "live-worker") {
+		t.Fatal("fresh claim was stolen")
+	}
+	old := time.Now().Add(-2 * StaleClaim)
+	if err := os.Chtimes(s.claimPath(rec.ID), old, old); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Claim(rec.ID, "live-worker") {
+		t.Fatal("stale claim was not reclaimed")
+	}
+}
+
+func TestClaimNextPending(t *testing.T) {
+	s := open(t)
+	a := pendingJob(t, s, "net=VGG-E")
+	b := pendingJob(t, s, "net=AlexNet")
+
+	got1, ok := s.ClaimNextPending("w1")
+	if !ok {
+		t.Fatal("no pending job claimed")
+	}
+	got2, ok := s.ClaimNextPending("w1")
+	if !ok {
+		t.Fatal("second pending job not claimed")
+	}
+	if got1.ID == got2.ID {
+		t.Fatal("same job claimed twice")
+	}
+	if _, ok := s.ClaimNextPending("w1"); ok {
+		t.Fatal("claimed a job from an empty queue")
+	}
+	ids := map[string]bool{a.ID: true, b.ID: true}
+	if !ids[got1.ID] || !ids[got2.ID] {
+		t.Fatalf("claimed unknown jobs %s, %s", got1.ID, got2.ID)
+	}
+
+	// Terminal records are never claimable, even unclaimed.
+	s.Unclaim(a.ID)
+	done, _ := s.GetJob(a.ID)
+	done.State = JobDone
+	if err := s.PutJob(done); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.ClaimNextPending("w2"); ok {
+		t.Fatal("claimed a done job")
+	}
+
+	// A running record with a vanished claim (executor crashed between
+	// claiming and finishing) is runnable again.
+	s.Unclaim(b.ID)
+	run, _ := s.GetJob(b.ID)
+	run.State = JobRunning
+	if err := s.PutJob(run); err != nil {
+		t.Fatal(err)
+	}
+	reclaimed, ok := s.ClaimNextPending("w2")
+	if !ok || reclaimed.ID != b.ID {
+		t.Fatalf("orphaned running job not reclaimed (ok=%v)", ok)
+	}
+}
