@@ -40,7 +40,7 @@ import (
 func BenchmarkFig2(b *testing.B) {
 	var overhead float64
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Fig2()
+		rows, err := experiments.Fig2(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -76,7 +76,7 @@ func BenchmarkFig9(b *testing.B) {
 func benchFig11(b *testing.B, strategy train.Strategy) {
 	var virtShare float64
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Fig11(strategy)
+		rows, err := experiments.Fig11(context.Background(), strategy)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -105,7 +105,7 @@ func BenchmarkFig11MP(b *testing.B) { benchFig11(b, train.ModelParallel) }
 func BenchmarkFig12(b *testing.B) {
 	var worst float64
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Fig12()
+		rows, err := experiments.Fig12(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -122,7 +122,7 @@ func BenchmarkFig12(b *testing.B) {
 func benchFig13(b *testing.B, strategy train.Strategy) {
 	var headline float64
 	for i := 0; i < b.N; i++ {
-		_, speedups, err := experiments.Fig13(strategy)
+		_, speedups, err := experiments.Fig13(context.Background(), strategy)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -142,7 +142,7 @@ func BenchmarkFig13MP(b *testing.B) { benchFig13(b, train.ModelParallel) }
 func BenchmarkFig14(b *testing.B) {
 	var avg float64
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Fig14()
+		rows, err := experiments.Fig14(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -174,7 +174,7 @@ func BenchmarkTable4(b *testing.B) {
 func BenchmarkHeadline(b *testing.B) {
 	var avg float64
 	for i := 0; i < b.N; i++ {
-		h, err := experiments.RunHeadline()
+		h, err := experiments.RunHeadline(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -188,7 +188,7 @@ func BenchmarkHeadline(b *testing.B) {
 func BenchmarkSensitivity(b *testing.B) {
 	var gen4 float64
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Sensitivity()
+		rows, err := experiments.Sensitivity(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -206,7 +206,7 @@ func BenchmarkSensitivity(b *testing.B) {
 func BenchmarkScalability(b *testing.B) {
 	var sp float64
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Scalability()
+		rows, err := experiments.Scalability(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}

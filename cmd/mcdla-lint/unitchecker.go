@@ -1,0 +1,139 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"github.com/memcentric/mcdla/internal/analysis"
+)
+
+// vetConfig mirrors the JSON configuration `go vet` writes for a vettool
+// (golang.org/x/tools/go/analysis/unitchecker.Config): one type-checkable
+// unit plus the export data of everything it imports.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes the single package described by the *.cfg file,
+// printing diagnostics to stderr in the format go vet expects and
+// always writing the (empty — these analyzers export no facts) .vetx
+// output so dependent units can proceed.
+func unitcheck(configFile string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(configFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcdla-lint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "mcdla-lint: parsing %s: %v\n", configFile, err)
+		return 2
+	}
+	if cfg.ImportPath == "" {
+		fmt.Fprintf(os.Stderr, "mcdla-lint: %s: no ImportPath\n", configFile)
+		return 2
+	}
+
+	// The analyzers export no facts, but go vet requires the output file
+	// to exist before dependent packages run.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				fmt.Fprintln(os.Stderr, "mcdla-lint:", err)
+			}
+		}
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx()
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "mcdla-lint:", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerShim(func(importPath string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			importPath = mapped
+		}
+		return compilerImporter.Import(importPath)
+	})
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := &types.Config{Importer: imp}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "mcdla-lint:", err)
+		return 2
+	}
+
+	writeVetx()
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	pkg := &analysis.Package{Path: cfg.ImportPath, Fset: fset, Files: files, Types: tpkg, TypesInfo: info}
+	exit := 0
+	for _, a := range analyzers {
+		diags, err := analysis.RunAnalyzer(a, pkg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcdla-lint:", err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+			exit = 1
+		}
+	}
+	return exit
+}
+
+type importerShim func(string) (*types.Package, error)
+
+func (f importerShim) Import(path string) (*types.Package, error) { return f(path) }

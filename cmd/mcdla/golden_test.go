@@ -72,7 +72,7 @@ func captureRun(t *testing.T, args []string) string {
 		b, _ := io.ReadAll(r)
 		outCh <- string(b)
 	}()
-	runErr := run(args)
+	runErr := run(context.Background(), args)
 	w.Close()
 	os.Stdout = old
 	out := <-outCh
@@ -145,10 +145,10 @@ func TestGoldenTrace(t *testing.T) {
 
 // TestUnknownSubcommandErrors keeps the dispatcher's failure path honest.
 func TestUnknownSubcommandErrors(t *testing.T) {
-	if err := run([]string{"no-such-subcommand"}); err == nil {
+	if err := run(context.Background(), []string{"no-such-subcommand"}); err == nil {
 		t.Fatal("unknown subcommand did not error")
 	}
-	if err := run(nil); err == nil {
+	if err := run(context.Background(), nil); err == nil {
 		t.Fatal("missing subcommand did not error")
 	}
 }

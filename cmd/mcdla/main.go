@@ -123,7 +123,13 @@ func main() {
 			if !quiet {
 				experiments.SetProgress(progressLine)
 			}
-			err = run(args)
+			// The one place the process mints a root context: Ctrl-C or
+			// SIGTERM cancels every queued simulation beneath any
+			// subcommand. The ctxflow analyzer bans fresh contexts
+			// anywhere deeper.
+			ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+			err = run(ctx, args)
+			stop()
 		}
 	}
 	if err != nil {
@@ -208,7 +214,7 @@ func progressLine(u runner.Update) {
 	fmt.Fprintf(os.Stderr, "\r%-72s", fmt.Sprintf("[%d/%d] %s × %s", u.Done, u.Total, u.Job.Design.Name, u.Job.Workload))
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	if len(args) == 0 {
 		usage()
 		return fmt.Errorf("missing subcommand")
@@ -216,7 +222,7 @@ func run(args []string) error {
 	cmd, rest := args[0], args[1:]
 	switch cmd {
 	case "fig2":
-		rows, err := experiments.Fig2()
+		rows, err := experiments.Fig2(ctx)
 		if err != nil {
 			return err
 		}
@@ -228,13 +234,13 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		rows, err := experiments.Fig11(strategy)
+		rows, err := experiments.Fig11(ctx, strategy)
 		if err != nil {
 			return err
 		}
 		return emit(experiments.Fig11Report(rows, strategy))
 	case "fig12":
-		rows, err := experiments.Fig12()
+		rows, err := experiments.Fig12(ctx)
 		if err != nil {
 			return err
 		}
@@ -244,13 +250,13 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		rows, speedups, err := experiments.Fig13(strategy)
+		rows, speedups, err := experiments.Fig13(ctx, strategy)
 		if err != nil {
 			return err
 		}
 		return emit(experiments.Fig13Report(rows, speedups, strategy))
 	case "fig14":
-		rows, err := experiments.Fig14()
+		rows, err := experiments.Fig14(ctx)
 		if err != nil {
 			return err
 		}
@@ -258,25 +264,25 @@ func run(args []string) error {
 	case "tab4":
 		return emit(experiments.Table4Report())
 	case "headline":
-		h, err := experiments.RunHeadline()
+		h, err := experiments.RunHeadline(ctx)
 		if err != nil {
 			return err
 		}
 		return emit(experiments.HeadlineReport(h))
 	case "sens":
-		rows, err := experiments.Sensitivity()
+		rows, err := experiments.Sensitivity(ctx)
 		if err != nil {
 			return err
 		}
 		return emit(experiments.SensitivityReport(rows))
 	case "scale":
-		rows, err := experiments.Scalability()
+		rows, err := experiments.Scalability(ctx)
 		if err != nil {
 			return err
 		}
 		return emit(experiments.ScalabilityReport(rows))
 	case "explore":
-		rows, err := experiments.Explore([]int{4, 6, 8, 12}, []float64{25, 50, 100})
+		rows, err := experiments.Explore(ctx, []int{4, 6, 8, 12}, []float64{25, 50, 100})
 		if err != nil {
 			return err
 		}
@@ -294,7 +300,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		pts, err := experiments.ScaleOutRows(*workload, counts, *analytic)
+		pts, err := experiments.ScaleOutRows(ctx, *workload, counts, *analytic)
 		if err != nil {
 			return err
 		}
@@ -306,7 +312,7 @@ func run(args []string) error {
 			if *analytic {
 				event = nil
 			}
-			rows, err := experiments.ScaleOutCompare(*workload, counts, event)
+			rows, err := experiments.ScaleOutCompare(ctx, *workload, counts, event)
 			if err != nil {
 				return err
 			}
@@ -314,7 +320,7 @@ func run(args []string) error {
 		}
 		return emit(rep)
 	case "transformer":
-		return runTransformer(rest)
+		return runTransformer(ctx, rest)
 	case "trace":
 		return runTrace(rest)
 	case "networks":
@@ -322,11 +328,11 @@ func run(args []string) error {
 	case "config":
 		return emit(experiments.ConfigReport())
 	case "run":
-		return runOne(rest)
+		return runOne(ctx, rest)
 	case "optimize":
-		return runOptimize(rest)
+		return runOptimize(ctx, rest)
 	case "serve":
-		return runServe(rest)
+		return runServe(ctx, rest)
 	case "all":
 		for _, sub := range []string{"config", "networks", "fig2", "fig9", "fig11", "fig12", "fig13", "fig14", "tab4", "headline", "sens", "scale", "explore", "transformer", "plane", "optimize"} {
 			// The banner keeps the text stream navigable; structured
@@ -337,12 +343,12 @@ func run(args []string) error {
 			var err error
 			switch sub {
 			case "fig11", "fig13":
-				err = run([]string{sub, "-strategy", "dp"})
+				err = run(ctx, []string{sub, "-strategy", "dp"})
 				if err == nil {
-					err = run([]string{sub, "-strategy", "mp"})
+					err = run(ctx, []string{sub, "-strategy", "mp"})
 				}
 			default:
-				err = run([]string{sub})
+				err = run(ctx, []string{sub})
 			}
 			if err != nil {
 				return err
@@ -391,7 +397,7 @@ func parseStrategy(s string) (train.Strategy, error) {
 	return strategy, nil
 }
 
-func runOne(args []string) error {
+func runOne(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	design := fs.String("design", "MC-DLA(B)", "system design point")
 	workload := fs.String("workload", "VGG-E", "benchmark (Table III or transformer)")
@@ -429,7 +435,7 @@ func runOne(args []string) error {
 	if err != nil {
 		return err
 	}
-	rep, err := experiments.RunReportFor(d, *workload, strategy, *batch, *seqlen, prec, *workers)
+	rep, err := experiments.RunReportFor(ctx, d, *workload, strategy, *batch, *seqlen, prec, *workers)
 	if err != nil {
 		return err
 	}
@@ -440,7 +446,7 @@ func runOne(args []string) error {
 // search over the candidate axes, pruned by the cost/power/throughput
 // constraints and rendered as the frontier table. Ctrl-C aborts the search
 // cleanly: queued simulations stop being scheduled.
-func runOptimize(args []string) error {
+func runOptimize(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("optimize", flag.ContinueOnError)
 	objectiveS := fs.String("objective", "perf-per-dollar", "frontier ordering: perf-per-dollar, perf-per-watt, throughput, cost or energy")
 	searchS := fs.String("search", "grid", "search driver: grid (exhaustive) or greedy (Pareto local search)")
@@ -529,8 +535,6 @@ func runOptimize(args []string) error {
 	default:
 		return fmt.Errorf("invalid -compress value %q (want off, on or both)", *compressS)
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	res, err := experiments.Optimize(ctx, space, dse.Options{
 		Search:    search,
 		Objective: objective,
@@ -555,7 +559,7 @@ func runOptimize(args []string) error {
 // process into a headless executor that only drains the shared job queue;
 // -exec=false serves the API without executing jobs locally, leaving the
 // queue to dedicated workers.
-func runServe(args []string) error {
+func runServe(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	cache := fs.Int("cache", server.DefaultCacheEntries, "cross-request simulation cache bound (LRU entries, 0 = unbounded)")
@@ -570,8 +574,6 @@ func runServe(args []string) error {
 		Store:           resultStore,
 		DisableExecutor: !*exec,
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	if *worker {
 		if resultStore == nil {
 			return fmt.Errorf("serve -worker requires the global -store DIR flag")
@@ -598,7 +600,7 @@ func runServe(args []string) error {
 
 // runTransformer drives the seqlen × precision × design study plus the
 // attention-compression headline table.
-func runTransformer(args []string) error {
+func runTransformer(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("transformer", flag.ContinueOnError)
 	workload := fs.String("workload", "", "transformer workload (default: all)")
 	seqlensCSV := fs.String("seqlens", "", "comma-separated sequence lengths (default: 128,256,512,1024)")
@@ -624,11 +626,11 @@ func runTransformer(args []string) error {
 			return err
 		}
 	}
-	rows, err := experiments.TransformerSweep(workloads, seqlens, precs)
+	rows, err := experiments.TransformerSweep(ctx, workloads, seqlens, precs)
 	if err != nil {
 		return err
 	}
-	cRows, err := experiments.AttentionCompress()
+	cRows, err := experiments.AttentionCompress(ctx)
 	if err != nil {
 		return err
 	}

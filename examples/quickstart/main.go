@@ -33,6 +33,7 @@ func main() {
 		}
 		fmt.Printf("%-10s %14v %12v %12v %12v\n",
 			r.Design, r.IterationTime, r.Breakdown.Compute, r.Breakdown.Sync, r.Breakdown.Virt)
+		//mcdlalint:allow exhaustive -- the example keeps only the two designs its headline compares
 		switch design.Kind {
 		case core.DCDLA:
 			dc = r

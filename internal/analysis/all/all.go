@@ -1,0 +1,23 @@
+// Package all registers the complete mcdla-lint analyzer suite.
+package all
+
+import (
+	"github.com/memcentric/mcdla/internal/analysis"
+	"github.com/memcentric/mcdla/internal/analysis/ctxflow"
+	"github.com/memcentric/mcdla/internal/analysis/exhaustive"
+	"github.com/memcentric/mcdla/internal/analysis/floatguard"
+	"github.com/memcentric/mcdla/internal/analysis/maporder"
+	"github.com/memcentric/mcdla/internal/analysis/nondeterminism"
+)
+
+// Analyzers returns the suite in alphabetical order, the order the
+// driver runs them in and the order diagnostics group under.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxflow.Analyzer,
+		exhaustive.Analyzer,
+		floatguard.Analyzer,
+		maporder.Analyzer,
+		nondeterminism.Analyzer,
+	}
+}

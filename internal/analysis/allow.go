@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// AllowPrefix opens an in-code allowlist entry. The full directive form is
+//
+//	//mcdlalint:allow <analyzer> -- <reason>
+//
+// and it suppresses <analyzer>'s diagnostics on its own source line (for
+// trailing comments) and on the line directly below (for own-line
+// comments). The reason is mandatory: an allowlist entry is a documented
+// exception to a repo invariant, and a directive without one is itself
+// reported as a diagnostic. This is the only suppression mechanism the
+// driver honors, so `grep -rn mcdlalint:allow` enumerates every exception.
+const AllowPrefix = "//mcdlalint:allow"
+
+// allowDirective is one parsed //mcdlalint:allow comment.
+type allowDirective struct {
+	analyzer string
+	reason   string
+	pos      token.Pos
+	line     int
+	file     string
+}
+
+// parseAllowDirectives scans every comment of files for allow directives.
+// Malformed directives (no analyzer, or no “-- reason”) are returned as
+// diagnostics so they cannot silently suppress anything.
+func parseAllowDirectives(fset *token.FileSet, files []*ast.File) (ds []allowDirective, malformed []Diagnostic) {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, AllowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, AllowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //mcdlalint:allowance — not ours
+				}
+				name, reason, ok := strings.Cut(strings.TrimSpace(rest), "--")
+				name = strings.TrimSpace(name)
+				reason = strings.TrimSpace(reason)
+				if name == "" || !ok || reason == "" {
+					malformed = append(malformed, Diagnostic{
+						Pos: c.Pos(),
+						Message: fmt.Sprintf("malformed directive %q: want %s <analyzer> -- <reason>",
+							c.Text, AllowPrefix),
+					})
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				ds = append(ds, allowDirective{
+					analyzer: name,
+					reason:   reason,
+					pos:      c.Pos(),
+					line:     posn.Line,
+					file:     posn.Filename,
+				})
+			}
+		}
+	}
+	return ds, malformed
+}
+
+// applyAllow filters diags through the files' allow directives for the
+// named analyzer and appends a diagnostic for every directive that
+// suppressed nothing (a stale allowlist entry is a lie about the code) or
+// was malformed.
+func applyAllow(fset *token.FileSet, files []*ast.File, name string, diags []Diagnostic) []Diagnostic {
+	ds, malformed := parseAllowDirectives(fset, files)
+	used := make([]bool, len(ds))
+	var kept []Diagnostic
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		suppressed := false
+		for i, dir := range ds {
+			if dir.analyzer != name || dir.file != posn.Filename {
+				continue
+			}
+			if dir.line == posn.Line || dir.line+1 == posn.Line {
+				suppressed = true
+				used[i] = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for i, dir := range ds {
+		if dir.analyzer == name && !used[i] {
+			kept = append(kept, Diagnostic{
+				Pos: dir.pos,
+				Message: fmt.Sprintf("stale %s directive: no %s diagnostic on this or the next line",
+					AllowPrefix, name),
+			})
+		}
+	}
+	kept = append(kept, malformedFor(malformed, name)...)
+	sortDiagnostics(fset, kept)
+	return kept
+}
+
+// malformedFor attributes malformed-directive diagnostics to a single
+// analyzer run so a multi-analyzer driver reports each exactly once (the
+// alphabetically first analyzer claims them; see Analyzers in the all
+// package for the suite order).
+func malformedFor(malformed []Diagnostic, name string) []Diagnostic {
+	if name != MalformedDirectiveOwner {
+		return nil
+	}
+	return malformed
+}
+
+// MalformedDirectiveOwner names the analyzer whose run reports malformed
+// //mcdlalint:allow directives, so a suite run reports each once.
+const MalformedDirectiveOwner = "ctxflow"
+
+func sortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+}

@@ -1,0 +1,95 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/memcentric/mcdla/internal/analysis"
+	"github.com/memcentric/mcdla/internal/analysis/ctxflow"
+	"github.com/memcentric/mcdla/internal/analysis/maporder"
+)
+
+// loadFixture type-checks a single-file package rooted in a temp dir and
+// returns it for RunAnalyzer. The import path is arbitrary library code,
+// so ctxflow's package-main exemption does not apply.
+func loadFixture(t *testing.T, src string) *analysis.Package {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l := analysis.NewLoader()
+	l.AddLocal("fixture/a", dir)
+	pkg, err := l.Load("fixture/a")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return pkg
+}
+
+func messages(t *testing.T, a *analysis.Analyzer, pkg *analysis.Package) []string {
+	t.Helper()
+	diags, err := analysis.RunAnalyzer(a, pkg)
+	if err != nil {
+		t.Fatalf("RunAnalyzer(%s): %v", a.Name, err)
+	}
+	var out []string
+	for _, d := range diags {
+		out = append(out, d.Message)
+	}
+	return out
+}
+
+// A well-formed trailing directive suppresses the diagnostic on its own
+// line and is therefore not stale.
+func TestAllowDirectiveSuppresses(t *testing.T) {
+	pkg := loadFixture(t, `package a
+
+import "context"
+
+func Root() error {
+	ctx := context.Background() //mcdlalint:allow ctxflow -- test fixture for a documented root
+	return ctx.Err()
+}
+`)
+	if got := messages(t, ctxflow.Analyzer, pkg); len(got) != 0 {
+		t.Fatalf("want no diagnostics, got %q", got)
+	}
+}
+
+// A directive that suppresses nothing is itself reported: a stale
+// allowlist entry is a lie about the code.
+func TestStaleAllowDirectiveReported(t *testing.T) {
+	pkg := loadFixture(t, `package a
+
+//mcdlalint:allow ctxflow -- nothing here needs suppressing
+
+func Fine() int { return 1 }
+`)
+	got := messages(t, ctxflow.Analyzer, pkg)
+	if len(got) != 1 || !strings.Contains(got[0], "stale //mcdlalint:allow directive: no ctxflow diagnostic on this or the next line") {
+		t.Fatalf("want one stale-directive diagnostic, got %q", got)
+	}
+}
+
+// A directive without the mandatory “-- reason” cannot suppress anything
+// and is reported — by exactly one analyzer of the suite, so a driver
+// running all of them prints it once.
+func TestMalformedAllowDirectiveReportedOnce(t *testing.T) {
+	pkg := loadFixture(t, `package a
+
+func Fine() int {
+	return 1 //mcdlalint:allow ctxflow
+}
+`)
+	got := messages(t, ctxflow.Analyzer, pkg)
+	if len(got) != 1 || !strings.Contains(got[0], "malformed directive") {
+		t.Fatalf("want one malformed-directive diagnostic from %s, got %q", analysis.MalformedDirectiveOwner, got)
+	}
+	// Every other analyzer stays silent about it.
+	if got := messages(t, maporder.Analyzer, pkg); len(got) != 0 {
+		t.Fatalf("maporder must not re-report malformed directives, got %q", got)
+	}
+}

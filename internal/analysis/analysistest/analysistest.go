@@ -1,0 +1,213 @@
+// Package analysistest runs an analyzer over a GOPATH-style fixture
+// tree and checks its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the repo's stdlib-only
+// framework.
+//
+// A fixture file marks each expected diagnostic on the offending line:
+//
+//	_ = time.Now() // want `time\.Now is nondeterministic`
+//
+// Each backquoted (or double-quoted) string is a regexp that must match
+// the message of a diagnostic reported on that line; every diagnostic
+// must be claimed by exactly one expectation and vice versa.
+//
+// RunWithSuggestedFixes additionally applies every suggested fix,
+// gofmts the result, and compares it byte-for-byte with the fixture's
+// .golden sibling.
+package analysistest
+
+import (
+	"fmt"
+	"go/format"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/memcentric/mcdla/internal/analysis"
+)
+
+// Run loads each package path from testdata/src and reports any
+// mismatch between the analyzer's diagnostics and the fixtures' want
+// comments as test errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	run(t, testdata, a, false, pkgs...)
+}
+
+// RunWithSuggestedFixes is Run plus golden-file checking of applied
+// suggested fixes.
+func RunWithSuggestedFixes(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	run(t, testdata, a, true, pkgs...)
+}
+
+func run(t *testing.T, testdata string, a *analysis.Analyzer, fixes bool, pkgs ...string) {
+	t.Helper()
+	loader := analysis.NewLoader()
+	if err := loader.AddLocalTree("", filepath.Join(testdata, "src")); err != nil {
+		t.Fatalf("scanning %s: %v", testdata, err)
+	}
+	for _, path := range pkgs {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		diags, err := analysis.RunAnalyzer(a, pkg)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		checkDiagnostics(t, pkg, diags)
+		if fixes {
+			checkSuggestedFixes(t, pkg, diags)
+		}
+	}
+}
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+func checkDiagnostics(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, tok := range wantRE.FindAllString(text[len("want "):], -1) {
+					pat := tok[1 : len(tok)-1]
+					if tok[0] == '"' {
+						var err error
+						if pat, err = strconv.Unquote(tok); err != nil {
+							t.Errorf("%s: bad want pattern %s: %v", pos, tok, err)
+							continue
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		claimed := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// checkSuggestedFixes applies the first suggested fix of every
+// diagnostic, file by file, formats the result, and compares it with
+// <file>.golden. Files whose diagnostics carry no fixes are skipped.
+func checkSuggestedFixes(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	edits := map[string][]analysis.TextEdit{} // filename → edits
+	for _, d := range diags {
+		if len(d.SuggestedFixes) == 0 {
+			continue
+		}
+		for _, e := range d.SuggestedFixes[0].TextEdits {
+			name := pkg.Fset.Position(e.Pos).Filename
+			edits[name] = append(edits[name], e)
+		}
+	}
+	var names []string
+	for name := range edits {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Errorf("reading %s: %v", name, err)
+			continue
+		}
+		fixed, err := applyEdits(pkg.Fset, src, edits[name])
+		if err != nil {
+			t.Errorf("applying fixes to %s: %v", name, err)
+			continue
+		}
+		formatted, err := format.Source(fixed)
+		if err != nil {
+			t.Errorf("formatting fixed %s: %v\n%s", name, err, fixed)
+			continue
+		}
+		golden, err := os.ReadFile(name + ".golden")
+		if err != nil {
+			t.Errorf("reading golden for %s: %v", name, err)
+			continue
+		}
+		if string(formatted) != string(golden) {
+			t.Errorf("suggested fixes for %s do not match golden file\n-- got --\n%s\n-- want --\n%s", name, formatted, golden)
+		}
+	}
+}
+
+// applyEdits rewrites src by the edits, which must not overlap.
+func applyEdits(fset *token.FileSet, src []byte, edits []analysis.TextEdit) ([]byte, error) {
+	type span struct {
+		start, end int
+		text       []byte
+	}
+	var spans []span
+	for _, e := range edits {
+		start := fset.Position(e.Pos).Offset
+		end := start
+		if e.End.IsValid() {
+			end = fset.Position(e.End).Offset
+		}
+		if start < 0 || end < start || end > len(src) {
+			return nil, fmt.Errorf("edit [%d,%d) out of range", start, end)
+		}
+		spans = append(spans, span{start, end, e.NewText})
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].start < spans[j].start })
+	for i := 1; i < len(spans); i++ {
+		if spans[i].start < spans[i-1].end {
+			return nil, fmt.Errorf("overlapping edits at offset %d", spans[i].start)
+		}
+	}
+	var out []byte
+	last := 0
+	for _, s := range spans {
+		out = append(out, src[last:s.start]...)
+		out = append(out, s.text...)
+		last = s.end
+	}
+	out = append(out, src[last:]...)
+	return out, nil
+}

@@ -1,0 +1,39 @@
+// Package a is a library fixture: fresh contexts are banned here and
+// context parameters must flow to the callees.
+package a
+
+import "context"
+
+// Sweep mints a fresh context instead of forwarding its own, so both
+// rules fire: the Background call (with the replace-with-param fix) and
+// the never-read ctx parameter.
+func Sweep(ctx context.Context) error { // want `Sweep receives ctx but never forwards it`
+	return do(context.Background()) // want `context\.Background\(\) in library code detaches this call tree from cancellation`
+}
+
+// do is a well-behaved callee.
+func do(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// Todo has no context parameter in scope, so the diagnostic carries no
+// suggested fix.
+func Todo() error {
+	return do(context.TODO()) // want `context\.TODO\(\) in library code detaches this call tree from cancellation`
+}
+
+// Drops never reads its context.
+func Drops(ctx context.Context) error { // want `Drops receives ctx but never forwards it`
+	return nil
+}
+
+// Blank documents an intentionally unused context and passes.
+func Blank(_ context.Context) error { return nil }
+
+// Forwards is the fixed shape and passes both rules.
+func Forwards(ctx context.Context) error { return do(ctx) }
+
+// Allowed is a documented detachment root and must not be reported.
+func Allowed() error {
+	return do(context.Background()) //mcdlalint:allow ctxflow -- fixture for a documented lifecycle root
+}

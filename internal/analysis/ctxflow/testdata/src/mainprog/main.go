@@ -1,0 +1,11 @@
+// Command mainprog shows the package-main exemption: entrypoints own
+// their context roots, so the analyzer must stay silent here.
+package main
+
+import "context"
+
+func main() {
+	_ = run(context.Background())
+}
+
+func run(ctx context.Context) error { return ctx.Err() }

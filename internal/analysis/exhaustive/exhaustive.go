@@ -1,0 +1,150 @@
+// Package exhaustive checks that switches over the repo's enum-like
+// types cover every declared constant.
+//
+// The repo encodes its closed vocabularies as named constants — dnn.Kind,
+// train.Precision, train.Strategy, the report formats, the store's job
+// states. A switch over one of those types that silently falls through on
+// an unhandled value is how a new enum member ships half-wired (rendered
+// as an empty cell, simulated as zero bytes). The analyzer flags a value
+// switch over an enum-like type when
+//
+//   - one or more declared constants are missing and there is no default
+//     clause, or
+//   - a default clause exists but its body is empty, which swallows
+//     unknown values instead of rejecting them.
+//
+// A non-empty default (typically returning an error or panicking on the
+// impossible value) satisfies the check: new members then fail loudly.
+//
+// A type counts as enum-like when it is a named type with a basic
+// non-boolean underlying type and at least two package-level constants
+// of exactly that type declared in its package.
+package exhaustive
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"github.com/memcentric/mcdla/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "exhaustive",
+	Doc: "require switches over enum-like types to cover every constant or reject unknowns\n\n" +
+		"A switch over a named constant set must list every member or carry a non-empty\n" +
+		"default that errors on the impossible value. Suppress a deliberately partial\n" +
+		"switch with //mcdlalint:allow exhaustive -- <reason>.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	analysis.WithStack(analysis.NonTestFiles(pass), func(n ast.Node, _ []ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok || sw.Tag == nil {
+			return true
+		}
+		checkSwitch(pass, sw)
+		return true
+	})
+	return nil, nil
+}
+
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	tv, ok := pass.TypesInfo.Types[sw.Tag]
+	if !ok {
+		return
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return
+	}
+	members := enumMembers(named)
+	if len(members) < 2 {
+		return
+	}
+
+	covered := map[string]bool{} // constant value (exact string) → seen
+	var defaultClause *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		if cc.List == nil {
+			defaultClause = cc
+			continue
+		}
+		for _, expr := range cc.List {
+			etv, ok := pass.TypesInfo.Types[expr]
+			if !ok || etv.Value == nil {
+				// Non-constant case expression: the switch is not over the
+				// closed vocabulary; nothing to prove.
+				return
+			}
+			covered[etv.Value.ExactString()] = true
+		}
+	}
+
+	var missing []string
+	for _, m := range members {
+		if !covered[m.val] {
+			missing = append(missing, m.name)
+		}
+	}
+	sort.Strings(missing)
+
+	typeName := named.Obj().Name()
+	if p := named.Obj().Pkg(); p != nil && p != pass.Pkg {
+		typeName = p.Name() + "." + typeName
+	}
+
+	switch {
+	case defaultClause == nil && len(missing) > 0:
+		pass.Reportf(sw.Pos(), "switch over %s is not exhaustive: missing %s — add the cases or a default that rejects unknown values",
+			typeName, strings.Join(missing, ", "))
+	case defaultClause != nil && len(defaultClause.Body) == 0:
+		pass.Reportf(defaultClause.Pos(), "empty default in switch over %s silently swallows unknown values: return an error or panic on the impossible value",
+			typeName)
+	}
+}
+
+type member struct {
+	name string
+	val  string // exact constant value, the dedupe key for aliases
+}
+
+// enumMembers returns the package-level constants of exactly type named,
+// deduplicated by value (aliases like KindDefault = KindCNN count once),
+// in declaration-scope order made deterministic by sorting on name.
+func enumMembers(named *types.Named) []member {
+	obj := named.Obj()
+	pkg := obj.Pkg()
+	if pkg == nil {
+		return nil
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsBoolean != 0 {
+		return nil
+	}
+	byVal := map[string]string{} // value → representative name
+	for _, name := range pkg.Scope().Names() {
+		c, ok := pkg.Scope().Lookup(name).(*types.Const)
+		if !ok || c.Type() != named {
+			continue
+		}
+		key := c.Val().ExactString()
+		if prev, ok := byVal[key]; !ok || name < prev {
+			byVal[key] = name
+		}
+	}
+	vals := make([]string, 0, len(byVal))
+	for val := range byVal {
+		vals = append(vals, val)
+	}
+	sort.Strings(vals)
+	ms := make([]member, 0, len(vals))
+	for _, val := range vals {
+		ms = append(ms, member{name: byVal[val], val: val})
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+	return ms
+}

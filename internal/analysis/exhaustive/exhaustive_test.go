@@ -1,0 +1,12 @@
+package exhaustive_test
+
+import (
+	"testing"
+
+	"github.com/memcentric/mcdla/internal/analysis/analysistest"
+	"github.com/memcentric/mcdla/internal/analysis/exhaustive"
+)
+
+func TestExhaustive(t *testing.T) {
+	analysistest.Run(t, "testdata", exhaustive.Analyzer, "a")
+}

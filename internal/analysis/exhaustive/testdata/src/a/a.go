@@ -1,0 +1,102 @@
+// Package a exercises enum-switch exhaustiveness: every switch over a
+// locally declared enum-like type must name every member or reject
+// unknown values explicitly.
+package a
+
+import "fmt"
+
+// Kind is enum-like: an integer type with a block of constants.
+type Kind int
+
+const (
+	CNN Kind = iota
+	RNN
+	Attention
+
+	// Default aliases CNN; the analyzer dedups by constant value, so
+	// covering CNN covers Default too.
+	Default = CNN
+)
+
+// Lone has a single member and is not treated as an enum.
+type Lone int
+
+const OnlyLone Lone = 0
+
+// Missing omits RNN and has no default.
+func Missing(k Kind) string {
+	switch k { // want `switch over Kind is not exhaustive: missing RNN`
+	case CNN:
+		return "cnn"
+	case Attention:
+		return "attention"
+	}
+	return ""
+}
+
+// Covered names every member and passes.
+func Covered(k Kind) string {
+	switch k {
+	case CNN:
+		return "cnn"
+	case RNN:
+		return "rnn"
+	case Attention:
+		return "attention"
+	}
+	return ""
+}
+
+// Rejecting is allowed to omit members because its default rejects the
+// unknown value instead of swallowing it.
+func Rejecting(k Kind) (string, error) {
+	switch k {
+	case CNN:
+		return "cnn", nil
+	default:
+		return "", fmt.Errorf("unknown kind %d", k)
+	}
+}
+
+// Swallows covers every member but its empty default would silently
+// absorb any future addition.
+func Swallows(k Kind) string {
+	switch k {
+	case CNN, RNN:
+		return "sequence"
+	case Attention:
+		return "attention"
+	default: // want `empty default in switch over Kind silently swallows unknown values`
+	}
+	return ""
+}
+
+// Dynamic has a non-constant case expression, so exhaustiveness cannot
+// be decided and the switch is skipped.
+func Dynamic(k, pick Kind) string {
+	switch k {
+	case pick:
+		return "picked"
+	}
+	return ""
+}
+
+// Allowed documents a deliberately partial switch.
+func Allowed(k Kind) string {
+	//mcdlalint:allow exhaustive -- fixture for a documented partial switch
+	switch k {
+	case CNN:
+		return "cnn"
+	}
+	return ""
+}
+
+// SingleMember switches over a one-constant type, which is below the
+// enum threshold and never reported.
+func SingleMember(l Lone) string {
+	switch l {
+	case OnlyLone:
+		return "lone"
+	}
+	return ""
+}

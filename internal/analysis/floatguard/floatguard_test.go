@@ -1,0 +1,14 @@
+package floatguard_test
+
+import (
+	"testing"
+
+	"github.com/memcentric/mcdla/internal/analysis/analysistest"
+	"github.com/memcentric/mcdla/internal/analysis/floatguard"
+)
+
+func TestFloatguard(t *testing.T) {
+	// internal/sim is inside the guarded Scope; tools/calc is the
+	// out-of-scope control and must produce no diagnostics.
+	analysistest.Run(t, "testdata", floatguard.Analyzer, "internal/sim", "tools/calc")
+}

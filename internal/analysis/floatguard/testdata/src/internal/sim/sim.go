@@ -1,0 +1,57 @@
+// Package sim exercises the float-division guard inside the analyzer's
+// scope: every float divide must have a provably nonzero divisor.
+package sim
+
+import "time"
+
+// Unguarded divides by a bare parameter with no dominating check.
+func Unguarded(x, y float64) float64 {
+	return x / y // want `float division by y which is not provably nonzero`
+}
+
+// Guarded returns early on the zero divisor, which dominates the divide.
+func Guarded(x, y float64) float64 {
+	if y == 0 {
+		return 0
+	}
+	return x / y
+}
+
+// Positive proves nonzero through a strict inequality.
+func Positive(x, y float64) float64 {
+	if y > 0 {
+		return x / y
+	}
+	return 0
+}
+
+// ConstDivisor divides by a nonzero literal.
+func ConstDivisor(x float64) float64 {
+	return x / 8
+}
+
+// Clamped uses the max-with-epsilon idiom the diagnostic recommends.
+func Clamped(x, y float64) float64 {
+	return x / max(y, 1e-9)
+}
+
+// Converted guards the integer before the float64 conversion.
+func Converted(x float64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return x / float64(n)
+}
+
+// Seconds guards the duration before dividing by its float view.
+func Seconds(x float64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return x / d.Seconds()
+}
+
+// Allowed carries a reasoned annotation instead of a structural guard.
+func Allowed(x, y float64) float64 {
+	return x / y //mcdlalint:allow floatguard -- fixture for the annotated-divisor path
+}

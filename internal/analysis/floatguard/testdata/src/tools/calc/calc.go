@@ -1,0 +1,8 @@
+// Package calc sits outside the analyzer's scope: unguarded divides in
+// tooling code are not reported.
+package calc
+
+// Ratio is deliberately unguarded and must stay silent.
+func Ratio(x, y float64) float64 {
+	return x / y
+}

@@ -1,0 +1,137 @@
+package maporder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/memcentric/mcdla/internal/analysis"
+)
+
+// sortedKeysFix builds the mechanical rewrite of
+//
+//	for k, v := range m { ... }
+//
+// into the sorted-keys idiom
+//
+//	keys := make([]T, 0, len(m))
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//	sort.Strings(keys)        // or sort.Ints
+//	for _, k := range keys {
+//		v := m[k]
+//		...
+//	}
+//
+// The fix is offered only when it is provably mechanical: the map is a
+// plain identifier, the loop declares (:=) an identifier key of exactly
+// type string or int, and the name "keys" is free in the file. The
+// edited file is gofmt'd by the applier, so the fix text only has to be
+// syntactically correct, not perfectly indented.
+func sortedKeysFix(pass *analysis.Pass, rng *ast.RangeStmt) (analysis.SuggestedFix, bool) {
+	var fix analysis.SuggestedFix
+	if rng.Tok != token.DEFINE {
+		return fix, false
+	}
+	mapID, ok := rng.X.(*ast.Ident)
+	if !ok {
+		return fix, false
+	}
+	key, ok := rng.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return fix, false
+	}
+	var sortCall, elem string
+	switch t := typeOf(pass, key).(type) {
+	case *types.Basic:
+		switch {
+		case t.Kind() == types.String:
+			sortCall, elem = "sort.Strings", "string"
+		case t.Kind() == types.Int:
+			sortCall, elem = "sort.Ints", "int"
+		default:
+			return fix, false
+		}
+	default:
+		return fix, false
+	}
+	file := fileOf(pass, rng.Pos())
+	if file == nil || nameTaken(file, "keys") {
+		return fix, false
+	}
+
+	header := fmt.Sprintf("keys := make([]%s, 0, len(%s))\n", elem, mapID.Name) +
+		fmt.Sprintf("for %s := range %s {\nkeys = append(keys, %s)\n}\n", key.Name, mapID.Name, key.Name) +
+		fmt.Sprintf("%s(keys)\n", sortCall) +
+		fmt.Sprintf("for _, %s := range keys {\n", key.Name)
+	if v, ok := rng.Value.(*ast.Ident); ok && v.Name != "_" {
+		header += fmt.Sprintf("%s := %s[%s]\n", v.Name, mapID.Name, key.Name)
+	}
+
+	fix = analysis.SuggestedFix{
+		Message: "extract the keys, sort them, and range over the sorted slice",
+		TextEdits: []analysis.TextEdit{{
+			Pos:     rng.Pos(),
+			End:     rng.Body.Lbrace + 1,
+			NewText: []byte(header),
+		}},
+	}
+	if edit, ok := importSortEdit(file); ok {
+		fix.TextEdits = append(fix.TextEdits, edit)
+	}
+	return fix, true
+}
+
+func fileOf(pass *analysis.Pass, pos token.Pos) *ast.File {
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// nameTaken reports whether any identifier in the file is spelled name —
+// deliberately conservative: shadowing "keys" anywhere disables the fix.
+func nameTaken(file *ast.File, name string) bool {
+	taken := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			taken = true
+		}
+		return !taken
+	})
+	return taken
+}
+
+// importSortEdit returns the edit adding `"sort"` to the file's first
+// import declaration, or ok=false if the import is already present. A
+// file with no import declaration at all cannot take the fix cheaply,
+// so it also returns ok=false — the caller still offers the loop edit.
+func importSortEdit(file *ast.File) (analysis.TextEdit, bool) {
+	for _, imp := range file.Imports {
+		if imp.Path.Value == `"sort"` {
+			return analysis.TextEdit{}, false
+		}
+	}
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT || len(gd.Specs) == 0 {
+			continue
+		}
+		last := gd.Specs[len(gd.Specs)-1]
+		if gd.Lparen == token.NoPos {
+			// `import "x"` — rewrite into a block form is more churn than
+			// the fix is worth; skip the import edit.
+			return analysis.TextEdit{}, false
+		}
+		return analysis.TextEdit{
+			Pos:     last.End(),
+			End:     last.End(),
+			NewText: []byte("\n\"sort\""),
+		}, true
+	}
+	return analysis.TextEdit{}, false
+}

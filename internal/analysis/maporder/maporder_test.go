@@ -1,0 +1,16 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"github.com/memcentric/mcdla/internal/analysis/analysistest"
+	"github.com/memcentric/mcdla/internal/analysis/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, "testdata", maporder.Analyzer, "a")
+}
+
+func TestMaporderSortedKeysFix(t *testing.T) {
+	analysistest.RunWithSuggestedFixes(t, "testdata", maporder.Analyzer, "fix")
+}

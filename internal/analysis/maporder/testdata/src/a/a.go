@@ -1,0 +1,74 @@
+// Package a exercises the ordered-output sinks: a range over a map may
+// not append, emit report rows, or feed a hash, but the sorted-key
+// extraction idiom and order-free reductions pass.
+package a
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Table mimics the report table: any method named AddRow is a row sink.
+type Table struct{ rows [][2]string }
+
+func (t *Table) AddRow(cells ...string) { t.rows = append(t.rows, [2]string{cells[0], cells[1]}) }
+
+// LeaksAppend appends a derived value, so output order tracks map order.
+func LeaksAppend(m map[string]float64) []string {
+	var out []string
+	for k := range m { // want `range over map m appends to a slice`
+		out = append(out, k+"!")
+	}
+	return out
+}
+
+// LeaksRows emits report rows straight from the iteration.
+func LeaksRows(t *Table, m map[string]int) {
+	for k, v := range m { // want `range over map m emits report rows`
+		t.AddRow(k, fmt.Sprint(v))
+	}
+}
+
+// LeaksHash folds the keys into a digest in randomized order.
+func LeaksHash(m map[string]int) uint32 {
+	h := fnv.New32a()
+	for k := range m { // want `range over map m writes into a hash`
+		fmt.Fprintf(h, "%s,", k)
+	}
+	return h.Sum32()
+}
+
+// SortedIdiom is the canonical rewrite and must not be reported: the
+// only sink appends the bare key to a slice that is sorted afterwards.
+func SortedIdiom(m map[string]float64) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	out := make([]string, 0, len(ks))
+	for _, k := range ks {
+		out = append(out, fmt.Sprintf("%s=%g", k, m[k]))
+	}
+	return out
+}
+
+// ReadOnly is an order-free reduction with no sinks.
+func ReadOnly(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// Allowed documents a provably order-free append.
+func Allowed(m map[string]struct{}) []string {
+	var out []string
+	//mcdlalint:allow maporder -- fixture for the allowlist path
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

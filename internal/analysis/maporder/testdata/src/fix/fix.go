@@ -1,0 +1,17 @@
+// Package fix holds the mechanical-rewrite case: ident map, := ident
+// key of type string, and no identifier spelled "keys" in the file, so
+// the diagnostic carries the sorted-keys fix plus the "sort" import.
+package fix
+
+import (
+	"fmt"
+)
+
+// Render formats the metrics map into ordered report rows.
+func Render(m map[string]float64) []string {
+	var rows []string
+	for k, v := range m { // want `range over map m appends to a slice`
+		rows = append(rows, fmt.Sprintf("%s=%g", k, v))
+	}
+	return rows
+}

@@ -1,0 +1,14 @@
+package nondeterminism_test
+
+import (
+	"testing"
+
+	"github.com/memcentric/mcdla/internal/analysis/analysistest"
+	"github.com/memcentric/mcdla/internal/analysis/nondeterminism"
+)
+
+func TestNondeterminism(t *testing.T) {
+	// internal/sim is inside the deterministic Scope; tools/gen is the
+	// out-of-scope control and must produce no diagnostics.
+	analysistest.Run(t, "testdata", nondeterminism.Analyzer, "internal/sim", "tools/gen")
+}

@@ -1,0 +1,49 @@
+// Package sim is a fixture standing in for the deterministic core: its
+// import path matches the nondeterminism analyzer's Scope.
+package sim
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Stamp observes the wall clock.
+func Stamp() time.Time {
+	return time.Now() // want `time\.Now is nondeterministic`
+}
+
+// Age measures elapsed wall time.
+func Age(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since is nondeterministic`
+}
+
+// Deadline computes remaining wall time.
+func Deadline(t1 time.Time) time.Duration {
+	return time.Until(t1) // want `time\.Until is nondeterministic`
+}
+
+// Jitter draws global randomness.
+func Jitter() int {
+	return rand.Intn(8) // want `math/rand\.Intn is nondeterministic`
+}
+
+// Env reads the environment.
+func Env() string {
+	return os.Getenv("MCDLA_SEED") // want `os\.Getenv is nondeterministic`
+}
+
+// Allowed is a documented exception and must not be reported.
+func Allowed() time.Time {
+	return time.Now() //mcdlalint:allow nondeterminism -- fixture for the allowlist path
+}
+
+// DurationMath is deterministic time arithmetic and passes.
+func DurationMath(d time.Duration) time.Duration {
+	return 2 * d
+}
+
+// FileRead is os usage outside the banned set and passes.
+func FileRead(name string) ([]byte, error) {
+	return os.ReadFile(name)
+}

@@ -1,0 +1,8 @@
+// Package gen lives outside the deterministic scope: wall-clock reads
+// are fine here and the analyzer must stay silent.
+package gen
+
+import "time"
+
+// Stamp timestamps generated artifacts.
+func Stamp() time.Time { return time.Now() }

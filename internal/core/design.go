@@ -321,9 +321,11 @@ func (d Design) EffectiveVirtBW() units.Bandwidth {
 		if perSocket > d.DevicesPerSocket {
 			perSocket = d.DevicesPerSocket
 		}
-		share := units.Bandwidth(float64(d.HostSocketShared) / float64(perSocket))
-		if share < bw {
-			bw = share
+		if perSocket > 0 {
+			share := units.Bandwidth(float64(d.HostSocketShared) / float64(perSocket))
+			if share < bw {
+				bw = share
+			}
 		}
 	}
 	return bw

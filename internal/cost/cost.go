@@ -210,7 +210,9 @@ func PerfPerDollar(throughput, totalUSD float64) float64 {
 	if totalUSD <= 0 {
 		return 0
 	}
-	return throughput / (totalUSD / 1000)
+	// The (totalUSD / 1000) grouping is golden-pinned: rewriting it as
+	// throughput*1000/totalUSD rounds differently in the last ulp.
+	return throughput / (totalUSD / 1000) //mcdlalint:allow floatguard -- totalUSD <= 0 returns above; /1000 keeps it nonzero
 }
 
 // PerfPerWatt reports throughput per watt of wall power (power.DesignPower

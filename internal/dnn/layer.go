@@ -73,8 +73,9 @@ func (k Kind) Major() bool {
 	switch k {
 	case Conv, FC, RNNCell, LSTMCell, GRUCell, Attention:
 		return true
+	default:
+		return false
 	}
-	return false
 }
 
 // Expensive reports whether the layer's forward pass is costly enough that
@@ -90,8 +91,9 @@ func (k Kind) Stateful() bool {
 	switch k {
 	case Conv, FC, RNNCell, LSTMCell, GRUCell, BatchNorm, LayerNorm:
 		return true
+	default:
+		return false
 	}
-	return false
 }
 
 // GEMM describes a dense matrix multiply C[M×N] += A[M×K]·B[K×N]; the unit

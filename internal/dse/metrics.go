@@ -107,6 +107,8 @@ func ParseObjective(s string) (Objective, error) {
 // better (cost and energy negate).
 func (o Objective) Score(m Metrics) float64 {
 	switch o {
+	case PerfPerDollar:
+		return m.PerfPerDollar()
 	case PerfPerWatt:
 		return m.PerfPerWatt()
 	case Throughput:
@@ -116,6 +118,7 @@ func (o Objective) Score(m Metrics) float64 {
 	case Energy:
 		return -m.EnergyJ
 	}
+	// Unknown objectives rank by the paper's headline figure of merit.
 	return m.PerfPerDollar()
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"github.com/memcentric/mcdla/internal/train"
@@ -13,45 +14,45 @@ import (
 func TestGeneratorsDeterministicUnderParallelism(t *testing.T) {
 	generators := map[string]func() (string, error){
 		"fig2": func() (string, error) {
-			rows, err := Fig2()
+			rows, err := Fig2(context.Background())
 			return RenderFig2(rows), err
 		},
 		"fig11-dp": func() (string, error) {
-			rows, err := Fig11(train.DataParallel)
+			rows, err := Fig11(context.Background(), train.DataParallel)
 			return RenderFig11(rows, train.DataParallel), err
 		},
 		"fig11-mp": func() (string, error) {
-			rows, err := Fig11(train.ModelParallel)
+			rows, err := Fig11(context.Background(), train.ModelParallel)
 			return RenderFig11(rows, train.ModelParallel), err
 		},
 		"fig12": func() (string, error) {
-			rows, err := Fig12()
+			rows, err := Fig12(context.Background())
 			return RenderFig12(rows), err
 		},
 		"fig13-dp": func() (string, error) {
-			rows, speedups, err := Fig13(train.DataParallel)
+			rows, speedups, err := Fig13(context.Background(), train.DataParallel)
 			return RenderFig13(rows, speedups, train.DataParallel), err
 		},
 		"headline": func() (string, error) {
-			h, err := RunHeadline()
+			h, err := RunHeadline(context.Background())
 			return RenderHeadline(h), err
 		},
 		"scale": func() (string, error) {
-			rows, err := Scalability()
+			rows, err := Scalability(context.Background())
 			return RenderScalability(rows), err
 		},
 		"explore": func() (string, error) {
-			rows, err := Explore([]int{6}, []float64{25, 50})
+			rows, err := Explore(context.Background(), []int{6}, []float64{25, 50})
 			return RenderExplore(rows), err
 		},
 	}
 	if !testing.Short() {
 		generators["fig14"] = func() (string, error) {
-			rows, err := Fig14()
+			rows, err := Fig14(context.Background())
 			return RenderFig14(rows), err
 		}
 		generators["sens"] = func() (string, error) {
-			rows, err := Sensitivity()
+			rows, err := Sensitivity(context.Background())
 			return RenderSensitivity(rows), err
 		}
 	}
@@ -74,6 +75,30 @@ func TestGeneratorsDeterministicUnderParallelism(t *testing.T) {
 	}
 }
 
+// TestReportByteIdenticalAcrossRepeats builds the same report 50 times on a
+// fanned-out engine and requires every rendering to be byte-identical to the
+// first. With -race (the CI default for tier-1) this doubles as the
+// scheduler-interleaving probe behind the maporder analyzer: a map-ordered
+// row, an unsorted key extraction, or a racy accumulator shows up here as a
+// flaky byte diff long before a golden fixture catches it.
+func TestReportByteIdenticalAcrossRepeats(t *testing.T) {
+	SetParallelism(8)
+	t.Cleanup(func() { SetParallelism(0) })
+	build := func() string {
+		rows, err := Explore(context.Background(), []int{4, 6}, []float64{25, 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return RenderExplore(rows)
+	}
+	want := build()
+	for i := 1; i < 50; i++ {
+		if got := build(); got != want {
+			t.Fatalf("repeat %d: report bytes diverged from the first build", i)
+		}
+	}
+}
+
 // TestEngineCacheSharedAcrossGenerators checks that overlapping sweeps reuse
 // simulations: the headline regenerates the same workload × design plane
 // Figure 11 already simulated, so a second generator on the same engine must
@@ -81,11 +106,11 @@ func TestGeneratorsDeterministicUnderParallelism(t *testing.T) {
 func TestEngineCacheSharedAcrossGenerators(t *testing.T) {
 	SetParallelism(4)
 	t.Cleanup(func() { SetParallelism(0) })
-	if _, err := Fig11(train.DataParallel); err != nil {
+	if _, err := Fig11(context.Background(), train.DataParallel); err != nil {
 		t.Fatal(err)
 	}
 	before := EngineStats()
-	if _, _, err := Fig13(train.DataParallel); err != nil {
+	if _, _, err := Fig13(context.Background(), train.DataParallel); err != nil {
 		t.Fatal(err)
 	}
 	after := EngineStats()

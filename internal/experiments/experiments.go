@@ -79,16 +79,12 @@ func EngineStats() runner.CacheStats {
 	return engine.Stats()
 }
 
-// submit runs a job grid on the package engine. The paper generators are
-// bounded sweeps, so they run uncancellable; the optimizer's open-ended
-// searches go through submitCtx.
-func submit(jobs []runner.Job) ([]core.Result, error) {
-	return submitCtx(context.Background(), jobs)
-}
-
-// submitCtx runs a job grid on the package engine under a cancellation
-// context: queued jobs stop being scheduled once ctx is cancelled.
-func submitCtx(ctx context.Context, jobs []runner.Job) ([]core.Result, error) {
+// submit runs a job grid on the package engine under the caller's
+// cancellation context: queued jobs stop being scheduled once ctx is
+// cancelled, so Ctrl-C on the CLI and client disconnect on the HTTP
+// service abort whole sweeps mid-grid (enforced by the ctxflow analyzer;
+// see cmd/mcdla-lint).
+func submit(ctx context.Context, jobs []runner.Job) ([]core.Result, error) {
 	engineMu.Lock()
 	e, p := engine, progress
 	engineMu.Unlock()
@@ -113,7 +109,7 @@ func parallelism() int {
 }
 
 // runAll simulates every workload × design for one strategy at a batch size.
-func runAll(strategy train.Strategy, batch int) (map[string]map[string]core.Result, error) {
+func runAll(ctx context.Context, strategy train.Strategy, batch int) (map[string]map[string]core.Result, error) {
 	designs := core.StandardDesigns()
 	jobs := runner.Grid{
 		Workloads:  dnn.BenchmarkNames(),
@@ -123,7 +119,7 @@ func runAll(strategy train.Strategy, batch int) (map[string]map[string]core.Resu
 		Workers:    Workers,
 		Tag:        "grid",
 	}.Jobs()
-	rs, err := submit(jobs)
+	rs, err := submit(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -155,7 +151,7 @@ type Fig2Row struct {
 // Fig2 reproduces Figure 2: single-device execution time across five
 // accelerator generations with PCIe gen3 memory virtualization, and the
 // virtualization overhead percentage.
-func Fig2() ([]Fig2Row, error) {
+func Fig2(ctx context.Context) ([]Fig2Row, error) {
 	const batch = 256 // single-device motivational runs
 	gens := accel.Generations()
 	var jobs []runner.Job
@@ -169,7 +165,7 @@ func Fig2() ([]Fig2Row, error) {
 			}
 		}
 	}
-	rs, err := submit(jobs)
+	rs, err := submit(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -292,8 +288,8 @@ type Fig11Row struct {
 }
 
 // Fig11 reproduces Figure 11(a) (data-parallel) or 11(b) (model-parallel).
-func Fig11(strategy train.Strategy) ([]Fig11Row, error) {
-	rs, err := runAll(strategy, Batch)
+func Fig11(ctx context.Context, strategy train.Strategy) ([]Fig11Row, error) {
+	rs, err := runAll(ctx, strategy, Batch)
 	if err != nil {
 		return nil, err
 	}
@@ -351,12 +347,12 @@ type Fig12Row struct {
 }
 
 // Fig12 reproduces Figure 12 for DC-DLA, HC-DLA and MC-DLA(B).
-func Fig12() ([]Fig12Row, error) {
-	dp, err := runAll(train.DataParallel, Batch)
+func Fig12(ctx context.Context) ([]Fig12Row, error) {
+	dp, err := runAll(ctx, train.DataParallel, Batch)
 	if err != nil {
 		return nil, err
 	}
-	mp, err := runAll(train.ModelParallel, Batch)
+	mp, err := runAll(ctx, train.ModelParallel, Batch)
 	if err != nil {
 		return nil, err
 	}
@@ -408,8 +404,8 @@ type Fig13Row struct {
 }
 
 // Fig13 reproduces Figure 13(a)/(b).
-func Fig13(strategy train.Strategy) ([]Fig13Row, []float64, error) {
-	rs, err := runAll(strategy, Batch)
+func Fig13(ctx context.Context, strategy train.Strategy) ([]Fig13Row, []float64, error) {
+	rs, err := runAll(ctx, strategy, Batch)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -464,7 +460,7 @@ type Fig14Row struct {
 var Fig14Batches = []int{128, 256, 1024, 2048}
 
 // Fig14 reproduces the batch-size sensitivity study.
-func Fig14() ([]Fig14Row, error) {
+func Fig14(ctx context.Context) ([]Fig14Row, error) {
 	strategies := []train.Strategy{train.DataParallel, train.ModelParallel}
 	designs := []core.Design{mustDesign("DC-DLA"), mustDesign("MC-DLA(B)")}
 	var jobs []runner.Job
@@ -480,7 +476,7 @@ func Fig14() ([]Fig14Row, error) {
 			}
 		}
 	}
-	rs, err := submit(jobs)
+	rs, err := submit(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -9,7 +10,7 @@ import (
 )
 
 func TestFig2ShapeMatchesPaper(t *testing.T) {
-	rows, err := Fig2()
+	rows, err := Fig2(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestFig9ShapeMatchesPaper(t *testing.T) {
 
 func TestFig11Normalization(t *testing.T) {
 	for _, strategy := range []train.Strategy{train.DataParallel, train.ModelParallel} {
-		rows, err := Fig11(strategy)
+		rows, err := Fig11(context.Background(), strategy)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -113,7 +114,7 @@ func TestFig11Normalization(t *testing.T) {
 }
 
 func TestFig11OracleHasNoVirt(t *testing.T) {
-	rows, err := Fig11(train.DataParallel)
+	rows, err := Fig11(context.Background(), train.DataParallel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestFig11OracleHasNoVirt(t *testing.T) {
 }
 
 func TestFig12MCDLAIsZero(t *testing.T) {
-	rows, err := Fig12()
+	rows, err := Fig12(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestFig12MCDLAIsZero(t *testing.T) {
 
 func TestFig13OracleIsUnity(t *testing.T) {
 	for _, strategy := range []train.Strategy{train.DataParallel, train.ModelParallel} {
-		rows, speedups, err := Fig13(strategy)
+		rows, speedups, err := Fig13(context.Background(), strategy)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -186,7 +187,7 @@ func TestFig14Robustness(t *testing.T) {
 	if testing.Short() {
 		t.Skip("batch sweep is slow")
 	}
-	rows, err := Fig14()
+	rows, err := Fig14(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +216,7 @@ func TestFig14Robustness(t *testing.T) {
 }
 
 func TestHeadlineBands(t *testing.T) {
-	h, err := RunHeadline()
+	h, err := RunHeadline(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +242,7 @@ func TestSensitivityShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sensitivity sweep is slow")
 	}
-	rows, err := Sensitivity()
+	rows, err := Sensitivity(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +266,7 @@ func TestSensitivityShape(t *testing.T) {
 }
 
 func TestScalabilityShape(t *testing.T) {
-	rows, err := Scalability()
+	rows, err := Scalability(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

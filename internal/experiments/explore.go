@@ -28,7 +28,7 @@ type ExploreRow struct {
 }
 
 // Explore sweeps link counts and per-link bandwidths as one runner grid.
-func Explore(linkCounts []int, linkGBps []float64) ([]ExploreRow, error) {
+func Explore(ctx context.Context, linkCounts []int, linkGBps []float64) ([]ExploreRow, error) {
 	var jobs []runner.Job
 	for _, n := range linkCounts {
 		for _, b := range linkGBps {
@@ -45,7 +45,7 @@ func Explore(linkCounts []int, linkGBps []float64) ([]ExploreRow, error) {
 			}
 		}
 	}
-	rs, err := submit(jobs)
+	rs, err := submit(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -105,9 +105,9 @@ func ScaleOutBatch(nodeCounts []int) int {
 // ScaleOutRows runs the §VI plane study for the CLI on the event-driven
 // plane engine (analytic selects the retired first-order estimator instead).
 // The plane sizes fan out across the runner's worker bound.
-func ScaleOutRows(workload string, nodeCounts []int, analytic bool) ([]scaleout.ScalingPoint, error) {
+func ScaleOutRows(ctx context.Context, workload string, nodeCounts []int, analytic bool) ([]scaleout.ScalingPoint, error) {
 	batch := ScaleOutBatch(nodeCounts)
-	pts, err := runner.Fan(context.Background(), parallelism(), len(nodeCounts), func(i int) (scaleout.ScalingPoint, error) {
+	pts, err := runner.Fan(ctx, parallelism(), len(nodeCounts), func(i int) (scaleout.ScalingPoint, error) {
 		return scaleout.Default(nodeCounts[i]).EvalPoint(workload, batch, analytic)
 	})
 	if err != nil {
@@ -160,9 +160,9 @@ type ScaleOutCompareRow struct {
 // ways. event may carry an already-computed event-driven study over the same
 // node counts (the CLI passes ScaleOutRows' result) so the expensive
 // simulations are not repeated; pass nil to simulate here.
-func ScaleOutCompare(workload string, nodeCounts []int, event []scaleout.ScalingPoint) ([]ScaleOutCompareRow, error) {
+func ScaleOutCompare(ctx context.Context, workload string, nodeCounts []int, event []scaleout.ScalingPoint) ([]ScaleOutCompareRow, error) {
 	batch := ScaleOutBatch(nodeCounts)
-	return runner.Fan(context.Background(), parallelism(), len(nodeCounts), func(i int) (ScaleOutCompareRow, error) {
+	return runner.Fan(ctx, parallelism(), len(nodeCounts), func(i int) (ScaleOutCompareRow, error) {
 		p := scaleout.Default(nodeCounts[i])
 		est, err := p.Estimate(workload, batch, true)
 		if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -9,7 +10,7 @@ func TestExploreSweepShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep is slow")
 	}
-	rows, err := Explore([]int{4, 6}, []float64{25, 50})
+	rows, err := Explore(context.Background(), []int{4, 6}, []float64{25, 50})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +38,7 @@ func TestExploreSweepShape(t *testing.T) {
 }
 
 func TestScaleOutRowsDivisibleBatch(t *testing.T) {
-	pts, err := ScaleOutRows("ResNet", []int{1, 2, 4}, false)
+	pts, err := ScaleOutRows(context.Background(), "ResNet", []int{1, 2, 4}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,11 +62,11 @@ func TestScaleOutAnalyticVsEvent(t *testing.T) {
 		t.Skip("sweep is slow")
 	}
 	counts := []int{1, 4}
-	analytic, err := ScaleOutRows("VGG-E", counts, true)
+	analytic, err := ScaleOutRows(context.Background(), "VGG-E", counts, true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	event, err := ScaleOutRows("VGG-E", counts, false)
+	event, err := ScaleOutRows(context.Background(), "VGG-E", counts, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestScaleOutAnalyticVsEvent(t *testing.T) {
 			t.Errorf("n=%d: MC divergence %.1f%% outside ±15%%", counts[i], 100*d)
 		}
 	}
-	rows, err := ScaleOutCompare("VGG-E", counts, event)
+	rows, err := ScaleOutCompare(context.Background(), "VGG-E", counts, event)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -153,12 +153,12 @@ func cdmaCell(p dse.Point) string {
 // engine and reports its iteration time — the reproducibility check behind
 // the optimizer tests (a frontier row's recipe must land on the same
 // simulation the search saw).
-func OptimizeRecipeIter(p dse.Point) (units.Time, error) {
+func OptimizeRecipeIter(ctx context.Context, p dse.Point) (units.Time, error) {
 	j, err := p.Job()
 	if err != nil {
 		return 0, err
 	}
-	rs, err := submit([]runner.Job{j})
+	rs, err := submit(ctx, []runner.Job{j})
 	if err != nil {
 		return 0, err
 	}

@@ -68,7 +68,7 @@ func TestOptimizeDefaultStudy(t *testing.T) {
 	// Reproducibility: re-simulating each frontier point through its
 	// recipe axes returns the exact iteration the frontier tabulates.
 	for _, e := range grid.Frontier {
-		iter, err := OptimizeRecipeIter(e.Point)
+		iter, err := OptimizeRecipeIter(context.Background(), e.Point)
 		if err != nil {
 			t.Fatalf("recipe %q failed: %v", e.Point.Recipe(), err)
 		}

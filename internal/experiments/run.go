@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -17,19 +18,19 @@ import (
 // precision) point through the shared engine — so the CLI `run` subcommand
 // and repeated `/v1/run` requests hit the memo cache — and builds the
 // single-simulation report. A zero seqlen keeps the workload default.
-func RunReport(design, workload string, strategy train.Strategy, batch, seqlen int, prec train.Precision) (*report.Report, error) {
+func RunReport(ctx context.Context, design, workload string, strategy train.Strategy, batch, seqlen int, prec train.Precision) (*report.Report, error) {
 	d, err := core.DesignByName(design)
 	if err != nil {
 		return nil, err
 	}
-	return RunReportFor(d, workload, strategy, batch, seqlen, prec, Workers)
+	return RunReportFor(ctx, d, workload, strategy, batch, seqlen, prec, Workers)
 }
 
 // RunReportFor is RunReport over an already-built design point — the path
 // behind the dse axis flags (-links, -gbps, -memnodes, -dimm, -compress,
 // -workers), whose derived designs have no catalog name to resolve. workers
 // must match the design's device count (≤ 0 selects the paper's 8).
-func RunReportFor(d core.Design, workload string, strategy train.Strategy, batch, seqlen int, prec train.Precision, workers int) (*report.Report, error) {
+func RunReportFor(ctx context.Context, d core.Design, workload string, strategy train.Strategy, batch, seqlen int, prec train.Precision, workers int) (*report.Report, error) {
 	if workers <= 0 {
 		workers = Workers
 	}
@@ -37,7 +38,7 @@ func RunReportFor(d core.Design, workload string, strategy train.Strategy, batch
 		Design: d, Workload: workload, Strategy: strategy,
 		Batch: batch, Workers: workers, SeqLen: seqlen, Precision: prec, Tag: "run",
 	}
-	rs, err := submit([]runner.Job{job})
+	rs, err := submit(ctx, []runner.Job{job})
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/memcentric/mcdla/internal/accel"
@@ -27,12 +28,12 @@ type Headline struct {
 }
 
 // RunHeadline computes the §V-B aggregates.
-func RunHeadline() (Headline, error) {
+func RunHeadline(ctx context.Context) (Headline, error) {
 	h := Headline{
 		DP: map[string]float64{}, MP: map[string]float64{}, Average: map[string]float64{},
 	}
 	perStrategy := func(strategy train.Strategy) (map[string][]float64, []float64, error) {
-		rs, err := runAll(strategy, Batch)
+		rs, err := runAll(ctx, strategy, Batch)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -148,7 +149,7 @@ func sensVariants() []sensVariant {
 // DC-variant and MC-DLA(B) simulations go out as one grid, so the runner
 // fans the whole sweep across its workers and serves the MC-DLA(B) points
 // shared between variants from its cache.
-func Sensitivity() ([]SensitivityRow, error) {
+func Sensitivity(ctx context.Context) ([]SensitivityRow, error) {
 	variants := sensVariants()
 	strategies := []train.Strategy{train.DataParallel, train.ModelParallel}
 	var jobs []runner.Job
@@ -163,7 +164,7 @@ func Sensitivity() ([]SensitivityRow, error) {
 			}
 		}
 	}
-	rs, err := submit(jobs)
+	rs, err := submit(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -213,7 +214,7 @@ type ScalingRow struct {
 // Scalability reproduces §V-D: strong scaling of the four CNNs across 1, 4,
 // and 8 devices. The DC-DLA host interface models the shared per-socket root
 // complex (one sustained ×16 per socket), which is what breaks scaling.
-func Scalability() ([]ScalingRow, error) {
+func Scalability(ctx context.Context) ([]ScalingRow, error) {
 	gpuCounts := []int{1, 4, 8}
 	dev := accel.Default()
 	var jobs []runner.Job
@@ -229,7 +230,7 @@ func Scalability() ([]ScalingRow, error) {
 			}
 		}
 	}
-	rs, err := submit(jobs)
+	rs, err := submit(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}

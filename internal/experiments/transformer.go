@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/memcentric/mcdla/internal/compress"
@@ -43,7 +44,7 @@ type TransformerRow struct {
 // TransformerSweep runs the seqlen × precision × design grid for the
 // transformer workloads, data-parallel at the paper batch, through the
 // shared runner engine. Empty arguments select the default axes.
-func TransformerSweep(workloads []string, seqlens []int, precs []train.Precision) ([]TransformerRow, error) {
+func TransformerSweep(ctx context.Context, workloads []string, seqlens []int, precs []train.Precision) ([]TransformerRow, error) {
 	if len(workloads) == 0 {
 		workloads = dnn.TransformerNames()
 	}
@@ -67,7 +68,7 @@ func TransformerSweep(workloads []string, seqlens []int, precs []train.Precision
 		Workers:    Workers,
 		Tag:        "transformer",
 	}.Jobs()
-	rs, err := submit(jobs)
+	rs, err := submit(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -154,7 +155,7 @@ type AttnCompressRow struct {
 // effective PCIe bandwidth and narrows the gap; dense attention tensors
 // compress at 1.0×, so for transformers the rescue does not exist and the
 // DC-DLA↔MC-DLA gap survives intact.
-func AttentionCompress() ([]AttnCompressRow, error) {
+func AttentionCompress(ctx context.Context) ([]AttnCompressRow, error) {
 	type point struct {
 		name, family string
 		ratio        float64
@@ -179,7 +180,7 @@ func AttentionCompress() ([]AttnCompressRow, error) {
 			})
 		}
 	}
-	rs, err := submit(jobs)
+	rs, err := submit(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}

@@ -1,13 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"github.com/memcentric/mcdla/internal/train"
 )
 
 func TestTransformerSweepShape(t *testing.T) {
-	rows, err := TransformerSweep([]string{"BERT-Large"}, []int{128, 256}, []train.Precision{train.FP16, train.FP32})
+	rows, err := TransformerSweep(context.Background(), []string{"BERT-Large"}, []int{128, 256}, []train.Precision{train.FP16, train.FP32})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func TestTransformerSweepShape(t *testing.T) {
 }
 
 func TestAttentionCompressHeadline(t *testing.T) {
-	rows, err := AttentionCompress()
+	rows, err := AttentionCompress(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,7 +24,7 @@ func HarmonicMean(xs []float64) float64 {
 		}
 		sum += 1 / x
 	}
-	return float64(len(xs)) / sum
+	return float64(len(xs)) / sum //mcdlalint:allow floatguard -- every term is validated positive above, so sum > 0
 }
 
 // GeoMean returns the geometric mean of xs.
@@ -39,8 +39,7 @@ func GeoMean(xs []float64) float64 {
 		}
 		prod *= x
 	}
-	n := float64(len(xs))
-	return pow(prod, 1/n)
+	return pow(prod, 1/float64(len(xs)))
 }
 
 func pow(x, p float64) float64 {

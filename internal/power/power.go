@@ -94,7 +94,7 @@ func PerfPerWatt(speedup, overheadFraction float64) float64 {
 	if overheadFraction < 0 {
 		panic(fmt.Sprintf("power: negative overhead %g", overheadFraction))
 	}
-	return speedup / (1 + overheadFraction)
+	return speedup / (1 + overheadFraction) //mcdlalint:allow floatguard -- overhead is validated nonnegative above, so the divisor is >= 1
 }
 
 // LowPowerChoice returns the 8 GB RDIMM report (the paper's pick for

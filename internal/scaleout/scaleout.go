@@ -107,7 +107,7 @@ func (p Plane) DeviceLinkBW() units.Bandwidth {
 // (the crossbar subsumes the BW_AWARE left/right split), bounded by the
 // memory-nodes' aggregate delivery capability shared across local devices.
 func (p Plane) VirtBW() units.Bandwidth {
-	if p.MemNodesPerNode == 0 {
+	if p.MemNodesPerNode == 0 || p.DevicesPerNode == 0 {
 		return 0
 	}
 	link := p.DeviceLinkBW()
@@ -146,6 +146,9 @@ func (p Plane) interConfig() collective.Config {
 // the standard hierarchical decomposition: local reduce-scatter, inter-node
 // all-reduce of the 1/D shard, local all-gather.
 func (p Plane) AllReduce(size units.Bytes) units.Time {
+	if p.DevicesPerNode <= 0 {
+		return 0
+	}
 	intra := p.intraConfig()
 	local := collective.Latency(collective.AllReduce, size, intra)
 	if p.SystemNodes == 1 {
@@ -353,8 +356,12 @@ func FillSpeedups(pts []ScalingPoint) {
 	}
 	baseDC, baseMC := pts[0].IterDC.Seconds(), pts[0].IterMC.Seconds()
 	for i := range pts {
-		pts[i].SpeedupDC = baseDC / pts[i].IterDC.Seconds()
-		pts[i].SpeedupMC = baseMC / pts[i].IterMC.Seconds()
+		if pts[i].IterDC > 0 {
+			pts[i].SpeedupDC = baseDC / pts[i].IterDC.Seconds()
+		}
+		if pts[i].IterMC > 0 {
+			pts[i].SpeedupMC = baseMC / pts[i].IterMC.Seconds()
+		}
 	}
 }
 

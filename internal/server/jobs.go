@@ -74,7 +74,7 @@ func newJobsManager(st *store.Store, poll time.Duration) *jobsManager {
 
 // start launches the background executor loop.
 func (m *jobsManager) start() {
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(context.Background()) //mcdlalint:allow ctxflow -- executor lifecycle root: jobs outlive the submitting request and stop via m.cancel
 	m.cancel = cancel
 	m.done = make(chan struct{})
 	go func() {
@@ -214,6 +214,7 @@ func (m *jobsManager) publish(id, name string, payload map[string]any) {
 	payload["seq"] = m.seq[id]
 	data, _ := json.Marshal(payload)
 	var chans []chan sseEvent
+	//mcdlalint:allow maporder -- every subscriber receives the same event; fan-out order carries no information
 	for ch := range m.subs[id] {
 		chans = append(chans, ch)
 	}

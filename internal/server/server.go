@@ -83,7 +83,7 @@ func New(opts Options) *Server {
 	}
 	experiments.SetOptions(ro)
 	experiments.SetProgress(nil)
-	s := &Server{mux: http.NewServeMux(), start: time.Now()}
+	s := &Server{mux: http.NewServeMux(), start: time.Now()} //mcdlalint:allow nondeterminism -- server start stamp feeds the uptime telemetry field, never a report
 	if opts.Store != nil {
 		s.jobs = newJobsManager(opts.Store, opts.PollInterval)
 		experiments.SetProgress(s.jobs.dispatch)
@@ -117,7 +117,7 @@ const ShutdownGrace = 10 * time.Second
 // ListenAndServe blocks serving the API on addr with no shutdown path;
 // Serve is the graceful form the CLI uses.
 func (s *Server) ListenAndServe(addr string) error {
-	return s.Serve(context.Background(), addr)
+	return s.Serve(context.Background(), addr) //mcdlalint:allow ctxflow -- documented no-shutdown entrypoint; Serve is the cancellable form
 }
 
 // Serve blocks serving the API on addr until ctx is cancelled (the CLI
@@ -141,7 +141,9 @@ func (s *Server) Serve(ctx context.Context, addr string) error {
 	case err := <-done:
 		return err
 	case <-ctx.Done():
-		grace, cancel := context.WithTimeout(context.Background(), ShutdownGrace)
+		// The serve ctx is already dead here; the drain deliberately
+		// detaches so Shutdown gets its full grace window.
+		grace, cancel := context.WithTimeout(context.Background(), ShutdownGrace) //mcdlalint:allow ctxflow -- shutdown grace period must outlive the cancelled serve ctx
 		defer cancel()
 		if err := srv.Shutdown(grace); err != nil {
 			return err
@@ -268,8 +270,8 @@ func buildConfig(context.Context, url.Values) (*report.Report, error) {
 	return experiments.ConfigReport(), nil
 }
 
-func buildFig2(context.Context, url.Values) (*report.Report, error) {
-	rows, err := experiments.Fig2()
+func buildFig2(ctx context.Context, _ url.Values) (*report.Report, error) {
+	rows, err := experiments.Fig2(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -280,40 +282,40 @@ func buildFig9(context.Context, url.Values) (*report.Report, error) {
 	return experiments.Fig9Report(experiments.Fig9()), nil
 }
 
-func buildFig11(_ context.Context, q url.Values) (*report.Report, error) {
+func buildFig11(ctx context.Context, q url.Values) (*report.Report, error) {
 	strategy, err := strategyParam(q)
 	if err != nil {
 		return nil, err
 	}
-	rows, err := experiments.Fig11(strategy)
+	rows, err := experiments.Fig11(ctx, strategy)
 	if err != nil {
 		return nil, err
 	}
 	return experiments.Fig11Report(rows, strategy), nil
 }
 
-func buildFig12(context.Context, url.Values) (*report.Report, error) {
-	rows, err := experiments.Fig12()
+func buildFig12(ctx context.Context, _ url.Values) (*report.Report, error) {
+	rows, err := experiments.Fig12(ctx)
 	if err != nil {
 		return nil, err
 	}
 	return experiments.Fig12Report(rows), nil
 }
 
-func buildFig13(_ context.Context, q url.Values) (*report.Report, error) {
+func buildFig13(ctx context.Context, q url.Values) (*report.Report, error) {
 	strategy, err := strategyParam(q)
 	if err != nil {
 		return nil, err
 	}
-	rows, speedups, err := experiments.Fig13(strategy)
+	rows, speedups, err := experiments.Fig13(ctx, strategy)
 	if err != nil {
 		return nil, err
 	}
 	return experiments.Fig13Report(rows, speedups, strategy), nil
 }
 
-func buildFig14(context.Context, url.Values) (*report.Report, error) {
-	rows, err := experiments.Fig14()
+func buildFig14(ctx context.Context, _ url.Values) (*report.Report, error) {
+	rows, err := experiments.Fig14(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -324,31 +326,31 @@ func buildTab4(context.Context, url.Values) (*report.Report, error) {
 	return experiments.Table4Report(), nil
 }
 
-func buildHeadline(context.Context, url.Values) (*report.Report, error) {
-	h, err := experiments.RunHeadline()
+func buildHeadline(ctx context.Context, _ url.Values) (*report.Report, error) {
+	h, err := experiments.RunHeadline(ctx)
 	if err != nil {
 		return nil, err
 	}
 	return experiments.HeadlineReport(h), nil
 }
 
-func buildSens(context.Context, url.Values) (*report.Report, error) {
-	rows, err := experiments.Sensitivity()
+func buildSens(ctx context.Context, _ url.Values) (*report.Report, error) {
+	rows, err := experiments.Sensitivity(ctx)
 	if err != nil {
 		return nil, err
 	}
 	return experiments.SensitivityReport(rows), nil
 }
 
-func buildScale(context.Context, url.Values) (*report.Report, error) {
-	rows, err := experiments.Scalability()
+func buildScale(ctx context.Context, _ url.Values) (*report.Report, error) {
+	rows, err := experiments.Scalability(ctx)
 	if err != nil {
 		return nil, err
 	}
 	return experiments.ScalabilityReport(rows), nil
 }
 
-func buildRun(_ context.Context, q url.Values) (*report.Report, error) {
+func buildRun(ctx context.Context, q url.Values) (*report.Report, error) {
 	workload := firstNonEmpty(q.Get("net"), q.Get("workload"), "VGG-E")
 	design := firstNonEmpty(q.Get("design"), "MC-DLA(B)")
 	strategy, err := strategyParam(q)
@@ -401,7 +403,7 @@ func buildRun(_ context.Context, q url.Values) (*report.Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return experiments.RunReportFor(d, workload, strategy, batch, seqlen, prec, workers)
+	return experiments.RunReportFor(ctx, d, workload, strategy, batch, seqlen, prec, workers)
 }
 
 // buildOptimize maps the optimizer's query parameters — the same axes and
@@ -501,7 +503,7 @@ func buildOptimize(ctx context.Context, q url.Values) (*report.Report, error) {
 	return experiments.OptimizeReport(res), nil
 }
 
-func buildTransformer(_ context.Context, q url.Values) (*report.Report, error) {
+func buildTransformer(ctx context.Context, q url.Values) (*report.Report, error) {
 	var workloads []string
 	if v := q.Get("workload"); v != "" {
 		workloads = []string{v}
@@ -517,18 +519,18 @@ func buildTransformer(_ context.Context, q url.Values) (*report.Report, error) {
 			return nil, fmt.Errorf("invalid precisions list %q: %v", v, err)
 		}
 	}
-	rows, err := experiments.TransformerSweep(workloads, seqlens, precs)
+	rows, err := experiments.TransformerSweep(ctx, workloads, seqlens, precs)
 	if err != nil {
 		return nil, err
 	}
-	cRows, err := experiments.AttentionCompress()
+	cRows, err := experiments.AttentionCompress(ctx)
 	if err != nil {
 		return nil, err
 	}
 	return experiments.TransformerStudyReport(rows, cRows), nil
 }
 
-func buildPlane(_ context.Context, q url.Values) (*report.Report, error) {
+func buildPlane(ctx context.Context, q url.Values) (*report.Report, error) {
 	workload := firstNonEmpty(q.Get("net"), q.Get("workload"), "VGG-E")
 	counts, err := intsCSVParam(q, "nodes", []int{1, 2, 4, 8, 16})
 	if err != nil {
@@ -542,7 +544,7 @@ func buildPlane(_ context.Context, q url.Values) (*report.Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	pts, err := experiments.ScaleOutRows(workload, counts, analytic)
+	pts, err := experiments.ScaleOutRows(ctx, workload, counts, analytic)
 	if err != nil {
 		return nil, err
 	}
@@ -552,7 +554,7 @@ func buildPlane(_ context.Context, q url.Values) (*report.Report, error) {
 		if analytic {
 			event = nil
 		}
-		rows, err := experiments.ScaleOutCompare(workload, counts, event)
+		rows, err := experiments.ScaleOutCompare(ctx, workload, counts, event)
 		if err != nil {
 			return nil, err
 		}
@@ -561,7 +563,7 @@ func buildPlane(_ context.Context, q url.Values) (*report.Report, error) {
 	return rep, nil
 }
 
-func buildExplore(_ context.Context, q url.Values) (*report.Report, error) {
+func buildExplore(ctx context.Context, q url.Values) (*report.Report, error) {
 	links, err := intsCSVParam(q, "links", []int{4, 6, 8, 12})
 	if err != nil {
 		return nil, err
@@ -570,7 +572,7 @@ func buildExplore(_ context.Context, q url.Values) (*report.Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows, err := experiments.Explore(links, gbps)
+	rows, err := experiments.Explore(ctx, links, gbps)
 	if err != nil {
 		return nil, err
 	}
@@ -582,7 +584,8 @@ func buildExplore(_ context.Context, q url.Values) (*report.Report, error) {
 func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 	stats := experiments.EngineStats()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ok",
+		"status": "ok",
+		//mcdlalint:allow nondeterminism -- uptime is operational telemetry, not report output
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"parallelism":    experiments.Parallelism(),
 		"cache": map[string]int64{
@@ -684,6 +687,8 @@ func contentType(f report.Format) string {
 		return "text/csv; charset=utf-8"
 	case report.FormatMarkdown:
 		return "text/markdown; charset=utf-8"
+	case report.FormatText:
+		return "text/plain; charset=utf-8"
 	}
 	return "text/plain; charset=utf-8"
 }

@@ -244,7 +244,7 @@ func waterfill(capacity float64, caps []float64) []float64 {
 	remaining := capacity
 	left := n
 	for _, i := range order {
-		share := remaining / float64(left)
+		share := remaining / float64(left) //mcdlalint:allow floatguard -- left counts down from n over exactly n iterations, so left >= 1 here
 		r := math.Min(caps[i], share)
 		out[i] = r
 		remaining -= r

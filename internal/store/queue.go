@@ -146,6 +146,7 @@ func (s *Store) Claim(id, owner string) bool {
 			return false
 		}
 		info, statErr := os.Stat(s.claimPath(id))
+		//mcdlalint:allow nondeterminism -- stale-claim aging compares file mtimes; wall-clock never reaches a record
 		if statErr != nil || time.Since(info.ModTime()) < StaleClaim {
 			return false
 		}
@@ -179,6 +180,7 @@ func (s *Store) ClaimNextPending(owner string) (JobRecord, bool) {
 		case JobRunning:
 			// Only steal a running job from a provably dead owner.
 			info, err := os.Stat(s.claimPath(rec.ID))
+			//mcdlalint:allow nondeterminism -- stale-claim aging compares file mtimes; wall-clock never reaches a record
 			if err == nil && time.Since(info.ModTime()) < StaleClaim {
 				continue
 			}

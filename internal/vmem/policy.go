@@ -16,6 +16,7 @@ package vmem
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/memcentric/mcdla/internal/dnn"
 )
@@ -152,6 +153,9 @@ func (p *Plan) closeRecomputeChains(lastUse []int) {
 			work = append(work, id)
 		}
 	}
+	// The chain walk mutates p.Tensors as it goes; a sorted worklist keeps
+	// the resulting plan independent of map iteration order.
+	sort.Ints(work)
 	for len(work) > 0 {
 		id := work[len(work)-1]
 		work = work[:len(work)-1]
@@ -209,6 +213,9 @@ func (p *Plan) OffloadsAfter(layer int) (tensors []int, extraBytes int64) {
 			tensors = append(tensors, id)
 		}
 	}
+	// The offload queue order feeds the event engine; sort so identical
+	// plans replay identically.
+	sort.Ints(tensors)
 	return tensors, p.ExtraStash[layer]
 }
 
