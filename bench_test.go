@@ -587,6 +587,24 @@ func BenchmarkOptimizeGreedy(b *testing.B) {
 	b.ReportMetric(100*frac, "simulated-%")
 }
 
+// BenchmarkOptimizeSurrogate runs the default study under the calibrated-
+// predictor successive-halving search. Its simulated-% metric undercuts
+// BenchmarkOptimizeGreedy's: the surrogate confirms the frontier with fewer
+// full simulations than plain neighborhood expansion.
+func BenchmarkOptimizeSurrogate(b *testing.B) {
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		eng := runner.New(runner.Options{})
+		res, err := dse.Search(context.Background(), eng, experiments.DefaultOptimizeSpace(),
+			dse.Options{Search: dse.Surrogate, Objective: dse.PerfPerDollar})
+		if err != nil {
+			b.Fatal(err)
+		}
+		frac = float64(res.Simulated) / float64(res.GridSize)
+	}
+	b.ReportMetric(100*frac, "simulated-%")
+}
+
 // BenchmarkParetoExtract measures the frontier extraction alone over a
 // seeded 4-objective cloud the size of a large study.
 func BenchmarkParetoExtract(b *testing.B) {

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// stream builds a minimal test2json stream with the given benchmark result
+// lines, interleaved with the noise lines a real `go test -json` run emits.
+func stream(results ...string) string {
+	var b strings.Builder
+	b.WriteString(`{"Action":"start","Package":"github.com/memcentric/mcdla"}` + "\n")
+	for _, r := range results {
+		name := strings.Fields(r)[0]
+		b.WriteString(`{"Action":"output","Output":"=== RUN   ` + name + `\n"}` + "\n")
+		b.WriteString(`{"Action":"output","Output":"` + name + `\n"}` + "\n")
+		b.WriteString(`{"Action":"output","Output":"` + strings.ReplaceAll(r, "\t", `\t`) + `\n"}` + "\n")
+	}
+	b.WriteString(`{"Action":"output","Output":"PASS\n"}` + "\n")
+	b.WriteString(`{"Action":"pass","Package":"github.com/memcentric/mcdla"}` + "\n")
+	return b.String()
+}
+
+const (
+	planeLine  = "BenchmarkPlaneSimulate-8 \t       1\t  42000000 ns/op\t        12.5 divergence-%\t 8000000 B/op\t   40000 allocs/op"
+	fanoutLine = "BenchmarkRunnerFanout \t       1\t 900000000 ns/op\t        53.0 jobs/s\t64000000 B/op\t  500000 allocs/op"
+)
+
+func TestParseStream(t *testing.T) {
+	res, err := Parse(strings.NewReader(stream(planeLine, fanoutLine)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("parsed %d results, want 2: %+v", len(res), res)
+	}
+	// The -8 GOMAXPROCS suffix must strip so baselines from different
+	// machines compare by name.
+	p, ok := res["BenchmarkPlaneSimulate"]
+	if !ok {
+		t.Fatalf("BenchmarkPlaneSimulate missing (suffix not stripped?): %+v", res)
+	}
+	if p.NsPerOp != 42000000 || p.AllocsPerOp != 40000 || p.BytesPerOp != 8000000 || !p.HasMem {
+		t.Fatalf("wrong measurements: %+v", p)
+	}
+	f := res["BenchmarkRunnerFanout"]
+	if f.NsPerOp != 900000000 || f.AllocsPerOp != 500000 {
+		t.Fatalf("wrong unsuffixed measurements: %+v", f)
+	}
+}
+
+// TestParseSplitResultLine covers the other flush shape test2json produces:
+// the benchmark name goes out in one output event and the measurements in a
+// later one that starts at the iteration count, with the name only in the
+// record's Test field.
+func TestParseSplitResultLine(t *testing.T) {
+	const split = `{"Action":"output","Test":"BenchmarkTransformerSimulate","Output":"BenchmarkTransformerSimulate\n"}
+{"Action":"output","Test":"BenchmarkTransformerSimulate","Output":"       1\t   5259209 ns/op\t         6.969 bert-speedup-x\t  825440 B/op\t    5991 allocs/op\n"}
+{"Action":"output","Output":"PASS\n"}
+`
+	res, err := Parse(strings.NewReader(split))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := res["BenchmarkTransformerSimulate"]
+	if !ok {
+		t.Fatalf("split result line not parsed: %+v", res)
+	}
+	if r.NsPerOp != 5259209 || r.AllocsPerOp != 5991 || r.BytesPerOp != 825440 {
+		t.Fatalf("wrong split-line measurements: %+v", r)
+	}
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	th := Thresholds{TimePct: 400, AllocsPct: 10}
+	base := map[string]Result{
+		"BenchmarkA": {NsPerOp: 100, AllocsPerOp: 1000, HasMem: true},
+		"BenchmarkB": {NsPerOp: 100, AllocsPerOp: 1000, HasMem: true},
+		"BenchmarkC": {NsPerOp: 100, AllocsPerOp: 1000, HasMem: true},
+		"BenchmarkD": {NsPerOp: 100, AllocsPerOp: 1000, HasMem: true},
+	}
+	cur := map[string]Result{
+		"BenchmarkA": {NsPerOp: 450, AllocsPerOp: 1099, HasMem: true}, // within both bounds
+		"BenchmarkB": {NsPerOp: 100, AllocsPerOp: 1101, HasMem: true}, // allocs regression
+		"BenchmarkC": {NsPerOp: 600, AllocsPerOp: 1000, HasMem: true}, // time blowup
+		// BenchmarkD missing: must fail, not silently pass.
+		"BenchmarkE": {NsPerOp: 100, AllocsPerOp: 1, HasMem: true}, // new: informational
+	}
+	rows := compare(base, cur, th)
+	want := map[string]verdict{
+		"BenchmarkA": pass, "BenchmarkB": regressed, "BenchmarkC": regressed,
+		"BenchmarkD": missing, "BenchmarkE": pass,
+	}
+	for _, r := range rows {
+		if r.Verdict != want[r.Name] {
+			t.Errorf("%s: verdict %v (%s), want %v", r.Name, r.Verdict, r.Detail, want[r.Name])
+		}
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("compared %d rows, want %d", len(rows), len(want))
+	}
+}
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestGateFailsOnDoctoredBaseline is the acceptance check: against a
+// baseline doctored to claim fewer allocations than the current run, the
+// gate exits nonzero; against the truthful baseline it exits zero.
+func TestGateFailsOnDoctoredBaseline(t *testing.T) {
+	dir := t.TempDir()
+	current := writeFile(t, dir, "current.json", stream(planeLine))
+	honest := writeFile(t, dir, "base.json", stream(planeLine))
+	doctored := writeFile(t, dir, "doctored.json", stream(
+		"BenchmarkPlaneSimulate-8 \t       1\t  42000000 ns/op\t 8000000 B/op\t   30000 allocs/op"))
+
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+
+	if code := run([]string{honest, current}, devnull, devnull); code != 0 {
+		t.Fatalf("gate failed against its own baseline: exit %d", code)
+	}
+	if code := run([]string{doctored, current}, devnull, devnull); code != 1 {
+		t.Fatalf("gate passed a 33%% allocs/op regression: exit %d, want 1", code)
+	}
+	// The doctored baseline passes once the threshold admits the growth.
+	if code := run([]string{"-threshold", "50", doctored, current}, devnull, devnull); code != 0 {
+		t.Fatalf("gate ignored -threshold: exit %d, want 0", code)
+	}
+	// A benchmark deleted from the current run also fails the gate.
+	both := writeFile(t, dir, "both.json", stream(planeLine, fanoutLine))
+	if code := run([]string{both, current}, devnull, devnull); code != 1 {
+		t.Fatalf("gate passed with a benchmark missing from current: exit %d, want 1", code)
+	}
+	// Usage and unreadable files are exit 2, distinct from a regression.
+	if code := run([]string{honest}, devnull, devnull); code != 2 {
+		t.Fatalf("missing arg: exit %d, want 2", code)
+	}
+	if code := run([]string{filepath.Join(dir, "absent.json"), current}, devnull, devnull); code != 2 {
+		t.Fatalf("unreadable baseline: exit %d, want 2", code)
+	}
+}
+
+// TestGateAgainstCommittedBaselines keeps the checked-in CI baselines
+// parseable and self-consistent: each must gate cleanly against itself.
+func TestGateAgainstCommittedBaselines(t *testing.T) {
+	matches, err := filepath.Glob(filepath.Join("..", "..", "bench", "baseline", "BENCH_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("no committed baselines under bench/baseline/")
+	}
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	for _, m := range matches {
+		if code := run([]string{m, m}, devnull, devnull); code != 0 {
+			t.Errorf("baseline %s does not gate cleanly against itself: exit %d", m, code)
+		}
+	}
+}

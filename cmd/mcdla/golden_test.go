@@ -50,6 +50,7 @@ var goldenCases = []struct {
 	{"transformer", []string{"transformer", "-seqlens", "128,256"}},
 	{"optimize", []string{"optimize"}},
 	{"optimize_greedy", []string{"optimize", "-search", "greedy", "-objective", "perf-per-watt", "-max-power", "4300"}},
+	{"optimize_surrogate", []string{"optimize", "-surrogate"}},
 	{"run_default", []string{"run"}},
 	{"run_recipe", []string{"run", "-design", "MC-DLA(B)", "-workload", "VGG-E", "-batch", "512", "-gbps", "50", "-memnodes", "4", "-dimm", "32GB-LRDIMM"}},
 	{"run_rnn_mp", []string{"run", "-workload", "RNN-GRU", "-strategy", "mp", "-design", "DC-DLA"}},

@@ -60,10 +60,12 @@
 //	run        one simulation (flags: -design, -workload, -strategy, -batch,
 //	           -seqlen, -precision, plus the dse axes -links, -gbps,
 //	           -memnodes, -dimm, -compress)
-//	optimize   cost/TCO design-space optimizer: grid or greedy Pareto search
-//	           over the candidate axes under -max-cost/-max-power/
-//	           -min-throughput constraints; every frontier row prints the
-//	           `mcdla run` recipe that reproduces it
+//	optimize   cost/TCO design-space optimizer: grid, greedy or surrogate
+//	           (-surrogate: successive halving over a calibrated analytic
+//	           predictor that only full-simulates the predicted frontier)
+//	           Pareto search over the candidate axes under -max-cost/
+//	           -max-power/-min-throughput constraints; every frontier row
+//	           prints the `mcdla run` recipe that reproduces it
 //	serve      long-running HTTP API over the experiment suite
 //	           (flags: -addr, -cache, -worker, -exec; SIGINT/SIGTERM drain
 //	           gracefully; with the global -store DIR the async /v1/jobs
@@ -442,14 +444,15 @@ func runOne(ctx context.Context, args []string) error {
 	return emit(rep)
 }
 
-// runOptimize drives the design-space optimizer: a grid or greedy Pareto
-// search over the candidate axes, pruned by the cost/power/throughput
-// constraints and rendered as the frontier table. Ctrl-C aborts the search
-// cleanly: queued simulations stop being scheduled.
+// runOptimize drives the design-space optimizer: a grid, greedy or
+// surrogate-guided Pareto search over the candidate axes, pruned by the
+// cost/power/throughput constraints and rendered as the frontier table.
+// Ctrl-C aborts the search cleanly: queued simulations stop being scheduled.
 func runOptimize(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("optimize", flag.ContinueOnError)
 	objectiveS := fs.String("objective", "perf-per-dollar", "frontier ordering: perf-per-dollar, perf-per-watt, throughput, cost or energy")
-	searchS := fs.String("search", "grid", "search driver: grid (exhaustive) or greedy (Pareto local search)")
+	searchS := fs.String("search", "grid", "search driver: grid (exhaustive), greedy (Pareto local search) or surrogate (successive halving over the calibrated analytic predictor)")
+	surrogateF := fs.Bool("surrogate", false, "shorthand for -search surrogate")
 	maxCost := fs.Float64("max-cost", 0, "bill-of-materials ceiling in USD (0: unbounded)")
 	maxPower := fs.Float64("max-power", 0, "wall-power ceiling in watts (0: unbounded)")
 	minThroughput := fs.Float64("min-throughput", 0, "training-throughput floor in samples/s (0: unbounded)")
@@ -474,6 +477,9 @@ func runOptimize(ctx context.Context, args []string) error {
 	search, err := dse.ParseSearch(*searchS)
 	if err != nil {
 		return fmt.Errorf("invalid -search value: %v", err)
+	}
+	if *surrogateF {
+		search = dse.Surrogate
 	}
 	space := experiments.DefaultOptimizeSpace()
 	if *workloadsCSV != "" {
@@ -712,12 +718,14 @@ subcommands:
   run -design D -workload W -strategy dp|mp    one simulation
     [-seqlen N] [-precision fp16|mixed|fp32]
     [-links N] [-gbps B] [-memnodes M] [-dimm D] [-compress] [-workers K]
-  optimize [-objective perf-per-dollar] [-search grid|greedy]
-    [-max-cost USD] [-max-power W] [-min-throughput S/s]
+  optimize [-objective perf-per-dollar] [-search grid|greedy|surrogate]
+    [-surrogate] [-max-cost USD] [-max-power W] [-min-throughput S/s]
     [-workloads ...] [-designs ...] [-gbps 25,50] [-memnodes 4,8]
     [-dimms ...] [-precisions ...] [-compress off|on|both]
                                                cost/TCO design-space optimizer:
                                                Pareto frontier + run recipes
+                                               (-surrogate: successive halving
+                                               over the calibrated predictor)
   trace -design D -workload W -o out.json      chrome://tracing timeline
   serve [-addr :8080] [-cache N]               HTTP API over the experiment suite
     [-worker] [-exec=false]                    (with -store: async /v1/jobs API;

@@ -10,7 +10,6 @@ import (
 	"github.com/memcentric/mcdla/internal/trace"
 	"github.com/memcentric/mcdla/internal/train"
 	"github.com/memcentric/mcdla/internal/units"
-	"github.com/memcentric/mcdla/internal/vmem"
 )
 
 // Breakdown holds the three standalone latency categories of Figure 11.
@@ -89,10 +88,11 @@ func SimulateTraced(d Design, s *train.Schedule, tr *trace.Log) (Result, error) 
 		return Result{}, fmt.Errorf("core: design has %d workers but schedule has %d", d.Workers, s.Workers)
 	}
 
-	plan := vmem.Analyze(s.Graph, vmem.Options{Oracle: d.Oracle})
-	if err := plan.Validate(); err != nil {
+	prep, err := s.Prepared(d.Oracle)
+	if err != nil {
 		return Result{}, err
 	}
+	plan := prep.Plan
 	virtRate := d.EffectiveVirtBW()
 
 	// Under model-parallel training of recurrent networks the hidden state
@@ -171,7 +171,7 @@ func SimulateTraced(d Design, s *train.Schedule, tr *trace.Log) (Result, error) 
 		res.Breakdown.Compute += ft
 
 		if !d.Oracle {
-			tensors, extra := plan.OffloadsAfter(l.ID)
+			tensors, extra := prep.Offloads[l.ID], plan.ExtraStash[l.ID]
 			for _, id := range tensors {
 				size := scaleStash(plan.Tensors[id].Bytes)
 				virtCh.StartGroup(t, "offload", "virt", size, virtRate, 0)
@@ -210,7 +210,7 @@ func SimulateTraced(d Design, s *train.Schedule, tr *trace.Log) (Result, error) 
 		issued units.Time
 		traced bool
 	}
-	sched := plan.PrefetchSchedule()
+	sched := prep.Sched
 	queue := sched.Items
 	fetched := make([]inflight, len(queue))
 	// The pipeline issues whole per-layer groups: all items first needed at
@@ -257,7 +257,7 @@ func SimulateTraced(d Design, s *train.Schedule, tr *trace.Log) (Result, error) 
 			issueNextGroup(t)
 		}
 		// Recompute cheap producers whose outputs were not stashed.
-		for _, rid := range plan.RecomputeFor(id) {
+		for _, rid := range prep.Recompute[id] {
 			if recomputed[rid] {
 				continue
 			}

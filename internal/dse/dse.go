@@ -292,6 +292,19 @@ func (s Space) Validate() error {
 type lattice struct {
 	s    Space
 	dims []int
+	// fams caches each design axis value's family traits so point() can
+	// normalize without re-deriving core.DesignFor per index vector — the
+	// derivation used to dominate lattice materialization even when only the
+	// workload axis changed between candidates.
+	fams []famInfo
+}
+
+// famInfo is the per-design-name normalization information Point.Normalize
+// extracts from the design family.
+type famInfo struct {
+	known       bool
+	sharedLinks bool
+	oracle      bool
 }
 
 // axPrecision is the precision axis position in the lattice dims — the one
@@ -301,7 +314,19 @@ const axPrecision = 5
 
 func newLattice(s Space) lattice {
 	n := s.normalized()
-	return lattice{s: n, dims: []int{
+	workers := n.Workers
+	if workers <= 0 {
+		workers = DefaultWorkers
+	}
+	fams := make([]famInfo, len(n.Designs))
+	for i, name := range n.Designs {
+		d, err := core.DesignFor(name, accel.Default(), workers)
+		if err != nil {
+			continue // unknown designs pass through unnormalized, as before
+		}
+		fams[i] = famInfo{known: true, sharedLinks: d.SharedLinks, oracle: d.Oracle}
+	}
+	return lattice{s: n, fams: fams, dims: []int{
 		len(n.Workloads), len(n.Designs), len(n.Strategies), len(n.Batches),
 		len(n.SeqLens), len(n.Precisions), len(n.LinkCounts), len(n.LinkGBps),
 		len(n.MemNodes), len(n.DIMMs), len(n.Compress),
@@ -316,9 +341,11 @@ func (l lattice) size() int {
 	return n
 }
 
-// point materializes an index vector as a normalized candidate.
+// point materializes an index vector as a normalized candidate, using the
+// precomputed family traits instead of Point.Normalize's per-call design
+// derivation.
 func (l lattice) point(idx []int) Point {
-	return Point{
+	p := Point{
 		Workload:  l.s.Workloads[idx[0]],
 		Design:    l.s.Designs[idx[1]],
 		Strategy:  l.s.Strategies[idx[2]],
@@ -331,7 +358,47 @@ func (l lattice) point(idx []int) Point {
 		DIMM:      l.s.DIMMs[idx[9]],
 		Compress:  l.s.Compress[idx[10]],
 		Workers:   l.s.Workers,
-	}.Normalize()
+	}
+	f := l.fams[idx[1]]
+	if !f.known {
+		return p // unknown design: surfaces later as a Job error
+	}
+	if f.sharedLinks {
+		p.Compress = false
+	} else {
+		p.MemNodes, p.DIMM = 0, ""
+	}
+	if f.oracle {
+		p.Compress = false
+	}
+	return p
+}
+
+// corners returns the greedy/surrogate seed index vectors: the all-lo and
+// all-hi corners of every workload × design × strategy combination, with the
+// precision axis pinned at its narrowest value in both corners (a wider
+// format costs the same and runs strictly slower, so searches only widen it
+// if the frontier pulls that way).
+func (l lattice) corners() [][]int {
+	var out [][]int
+	for w := 0; w < l.dims[0]; w++ {
+		for d := 0; d < l.dims[1]; d++ {
+			for s := 0; s < l.dims[2]; s++ {
+				lo := make([]int, len(l.dims))
+				hi := make([]int, len(l.dims))
+				lo[0], lo[1], lo[2] = w, d, s
+				hi[0], hi[1], hi[2] = w, d, s
+				for ax := 3; ax < len(l.dims); ax++ {
+					if ax == axPrecision {
+						continue
+					}
+					hi[ax] = l.dims[ax] - 1
+				}
+				out = append(out, lo, hi)
+			}
+		}
+	}
+	return out
 }
 
 // each visits every index vector in row-major (candidate) order.

@@ -49,6 +49,11 @@ type Evaluated struct {
 	Point   Point      `json:"point"`
 	Iter    units.Time `json:"iteration_seconds"`
 	Metrics Metrics    `json:"metrics"`
+	// Source records the row's provenance under the surrogate search:
+	// "simulated" for event-engine results, "predicted" for frontier
+	// candidates the budget left unconfirmed. Empty for the grid and greedy
+	// drivers (every row is simulated), keeping their JSON unchanged.
+	Source string `json:"source,omitempty"`
 }
 
 // Objective ranks candidates for the greedy seeds, the frontier table

@@ -9,6 +9,7 @@ import (
 	"github.com/memcentric/mcdla/internal/core"
 	"github.com/memcentric/mcdla/internal/cost"
 	"github.com/memcentric/mcdla/internal/runner"
+	"github.com/memcentric/mcdla/internal/units"
 )
 
 // SearchKind selects the search driver.
@@ -23,13 +24,25 @@ const (
 	// space that are dominated more than one step away from the frontier
 	// are never simulated.
 	Greedy
+	// Surrogate runs successive halving over a calibrated analytic
+	// predictor: seed the axis corners, train the surrogate on everything
+	// simulated so far, and only full-simulate the candidates the predictor
+	// places on the Pareto frontier, until the frontier is fully confirmed
+	// or the simulation budget (half the grid) is spent.
+	Surrogate
 )
 
 func (k SearchKind) String() string {
-	if k == Greedy {
+	switch k {
+	case Grid:
+		return "grid"
+	case Greedy:
 		return "greedy"
+	case Surrogate:
+		return "surrogate"
+	default:
+		return "grid"
 	}
-	return "grid"
 }
 
 // ParseSearch resolves a CLI/HTTP spelling.
@@ -39,8 +52,10 @@ func ParseSearch(s string) (SearchKind, error) {
 		return Grid, nil
 	case "greedy", "hill", "pareto-local":
 		return Greedy, nil
+	case "surrogate", "halving", "successive-halving":
+		return Surrogate, nil
 	}
-	return 0, fmt.Errorf("dse: unknown search %q (want grid or greedy)", s)
+	return 0, fmt.Errorf("dse: unknown search %q (want grid, greedy or surrogate)", s)
 }
 
 // Runner abstracts the parallel simulation pool; *runner.Engine implements
@@ -86,6 +101,18 @@ type Result struct {
 	// Evaluated lists every feasible simulated candidate in candidate
 	// order (the frontier is a subset).
 	Evaluated []Evaluated `json:"-"`
+	// Rounds counts the surrogate driver's successive-halving rounds (zero
+	// for the other drivers).
+	Rounds int `json:"rounds,omitempty"`
+	// PredictedFrontier lists the frontier candidates the surrogate budget
+	// left unconfirmed, best predicted objective first, with predicted
+	// metrics and Source "predicted". Empty once the search converges.
+	PredictedFrontier []Evaluated `json:"predicted_frontier,omitempty"`
+	// DesignDerivations / DesignCacheHits count core design constructions
+	// versus archive cache reuse across the search — engine accounting the
+	// dse tests pin so the per-evaluation re-derivation fix sticks.
+	DesignDerivations int `json:"-"`
+	DesignCacheHits   int `json:"-"`
 }
 
 // Search runs the configured driver over the space on eng and extracts the
@@ -109,10 +136,12 @@ func Search(ctx context.Context, eng Runner, space Space, opts Options) (Result,
 		GridSize:    len(pts),
 	}
 	a := &archive{
-		opts:  opts,
-		eng:   eng,
-		seen:  make(map[Point]bool, len(pts)),
-		index: make(map[Point]int, len(pts)),
+		opts:    opts,
+		eng:     eng,
+		seen:    make(map[Point]bool, len(pts)),
+		index:   make(map[Point]int, len(pts)),
+		designs: make(map[Point]core.Design),
+		sims:    make(map[Point]units.Time, len(pts)),
 	}
 	for i, p := range pts {
 		a.index[p] = i
@@ -120,6 +149,9 @@ func Search(ctx context.Context, eng Runner, space Space, opts Options) (Result,
 	switch opts.Search {
 	case Greedy:
 		err = a.greedy(ctx, space)
+	case Surrogate:
+		a.source = "simulated"
+		err = a.halving(ctx, space, pts)
 	default:
 		err = a.batch(ctx, pts)
 	}
@@ -127,6 +159,9 @@ func Search(ctx context.Context, eng Runner, space Space, opts Options) (Result,
 		return Result{}, err
 	}
 	res.Simulated, res.Pruned, res.Infeasible = a.simulated, a.pruned, a.infeasible
+	res.Rounds = a.rounds
+	res.PredictedFrontier = a.predicted
+	res.DesignDerivations, res.DesignCacheHits = a.derived, a.designHits
 
 	// Candidate order makes the frontier extraction independent of the
 	// order the searches discovered points in.
@@ -164,8 +199,51 @@ type archive struct {
 	seen     map[Point]bool
 	index    map[Point]int // candidate order, for deterministic sorting
 	feasible []Evaluated
+	// sims records every simulated candidate's iteration time, feasible or
+	// not — the surrogate trains on all of them.
+	sims map[Point]units.Time
+	// designs caches derived core designs by their design-relevant axes so
+	// candidates that differ only on workload/strategy/precision reuse one
+	// derivation (see designKey).
+	designs             map[Point]core.Design
+	derived, designHits int
+	// source tags evaluations for report provenance ("" except under the
+	// surrogate driver).
+	source string
+	// rounds / predicted are surrogate-driver accounting.
+	rounds    int
+	predicted []Evaluated
 
 	simulated, pruned, infeasible int
+}
+
+// designKey collapses the axes DesignPoint does not read: strategy and
+// precision never shape the design, and the workload axes (workload, batch,
+// seqlen) only feed the cDMA compression ratio, so they stay in the key only
+// for compressed candidates.
+func designKey(p Point) Point {
+	p.Strategy = 0
+	p.Precision = 0
+	if !p.Compress {
+		p.Workload, p.Batch, p.SeqLen = "", 0, 0
+	}
+	return p
+}
+
+// designFor derives the candidate's core design through the archive cache.
+func (a *archive) designFor(p Point) (core.Design, error) {
+	k := designKey(p)
+	if d, ok := a.designs[k]; ok {
+		a.designHits++
+		return d, nil
+	}
+	d, err := p.DesignPoint()
+	if err != nil {
+		return core.Design{}, err
+	}
+	a.derived++
+	a.designs[k] = d
+	return d, nil
 }
 
 // batch evaluates the not-yet-seen candidates of pts: analytic constraint
@@ -185,7 +263,7 @@ func (a *archive) batch(ctx context.Context, pts []Point) error {
 			continue
 		}
 		a.seen[p] = true
-		d, err := p.DesignPoint()
+		d, err := a.designFor(p)
 		if err != nil {
 			return err
 		}
@@ -211,6 +289,7 @@ func (a *archive) batch(ctx context.Context, pts []Point) error {
 	}
 	for i, c := range run {
 		iter := rs[i].IterationTime
+		a.sims[c.p] = iter
 		m := Metrics{
 			Throughput: float64(c.p.Batch) / iter.Seconds(),
 			CostUSD:    c.costUSD,
@@ -222,7 +301,7 @@ func (a *archive) batch(ctx context.Context, pts []Point) error {
 			a.infeasible++
 			continue
 		}
-		a.feasible = append(a.feasible, Evaluated{Point: c.p, Iter: iter, Metrics: m})
+		a.feasible = append(a.feasible, Evaluated{Point: c.p, Iter: iter, Metrics: m, Source: a.source})
 	}
 	return nil
 }
@@ -251,23 +330,8 @@ func (a *archive) greedy(ctx context.Context, space Space) error {
 			pendingIdx = append(pendingIdx, append([]int(nil), idx...))
 		}
 	}
-	for w := 0; w < l.dims[0]; w++ {
-		for d := 0; d < l.dims[1]; d++ {
-			for s := 0; s < l.dims[2]; s++ {
-				lo := make([]int, len(l.dims))
-				hi := make([]int, len(l.dims))
-				lo[0], lo[1], lo[2] = w, d, s
-				hi[0], hi[1], hi[2] = w, d, s
-				for ax := 3; ax < len(l.dims); ax++ {
-					if ax == axPrecision {
-						continue
-					}
-					hi[ax] = l.dims[ax] - 1
-				}
-				addPending(lo)
-				addPending(hi)
-			}
-		}
+	for _, idx := range l.corners() {
+		addPending(idx)
 	}
 
 	// idxOf remembers a lattice index vector for each evaluated point so

@@ -1,0 +1,151 @@
+package dse
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"github.com/memcentric/mcdla/internal/runner"
+	"github.com/memcentric/mcdla/internal/train"
+)
+
+// toySpace is the full default study lattice (the `mcdla optimize` default):
+// 36 distinct candidates after normalization, big enough for the surrogate
+// to have something to skip and small enough to grid-search exactly.
+func toySpace() Space {
+	return Space{
+		Workloads:  []string{"VGG-E"},
+		Designs:    []string{"DC-DLA", "MC-DLA(B)"},
+		Strategies: []train.Strategy{train.DataParallel},
+		Batches:    []int{512},
+		Precisions: train.Precisions(),
+		LinkGBps:   []float64{25, 50},
+		MemNodes:   []int{4, 8},
+		DIMMs:      []string{"32GB-LRDIMM", "128GB-LRDIMM"},
+		Compress:   []bool{false, true},
+	}
+}
+
+func runSearch(t *testing.T, space Space, kind SearchKind, parallelism int) Result {
+	t.Helper()
+	eng := runner.New(runner.Options{Parallelism: parallelism})
+	res, err := Search(context.Background(), eng, space, Options{Search: kind})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSurrogateFrontierRecall is the tentpole acceptance test: on the full
+// toy lattice the surrogate-guided successive-halving search must recover at
+// least 90% of the exact (grid) Pareto frontier while full-simulating at
+// most half of the candidates — and fewer than the greedy neighborhood
+// search needs.
+func TestSurrogateFrontierRecall(t *testing.T) {
+	grid := runSearch(t, toySpace(), Grid, 4)
+	sur := runSearch(t, toySpace(), Surrogate, 4)
+	greedy := runSearch(t, toySpace(), Greedy, 4)
+
+	if len(grid.Frontier) == 0 {
+		t.Fatal("grid frontier is empty")
+	}
+	found := make(map[Point]bool, len(sur.Frontier))
+	for _, e := range sur.Frontier {
+		found[e.Point] = true
+	}
+	recalled := 0
+	for _, e := range grid.Frontier {
+		if found[e.Point] {
+			recalled++
+		}
+	}
+	if 10*recalled < 9*len(grid.Frontier) {
+		t.Fatalf("surrogate recalled %d of %d exact frontier points, want >= 90%%",
+			recalled, len(grid.Frontier))
+	}
+	if 2*sur.Simulated > grid.GridSize {
+		t.Fatalf("surrogate simulated %d of %d candidates, budget is half the grid",
+			sur.Simulated, grid.GridSize)
+	}
+	if sur.Simulated >= greedy.Simulated {
+		t.Fatalf("surrogate simulated %d candidates, greedy %d; the predictor must beat plain neighborhood search",
+			sur.Simulated, greedy.Simulated)
+	}
+	if sur.Rounds < 1 {
+		t.Fatalf("surrogate reported %d refinement rounds, want >= 1", sur.Rounds)
+	}
+	// Provenance: every evaluated row the surrogate reports was actually
+	// simulated; unconfirmed frontier predictions live in PredictedFrontier.
+	for _, e := range sur.Evaluated {
+		if e.Source != "simulated" {
+			t.Fatalf("surrogate evaluated row %q has source %q, want \"simulated\"", e.Point.Recipe(), e.Source)
+		}
+	}
+	for _, e := range sur.PredictedFrontier {
+		if e.Source != "predicted" {
+			t.Fatalf("predicted-frontier row %q has source %q, want \"predicted\"", e.Point.Recipe(), e.Source)
+		}
+	}
+	// Grid rows carry no provenance tag, keeping the pre-surrogate JSON
+	// byte-identical.
+	for _, e := range grid.Evaluated {
+		if e.Source != "" {
+			t.Fatalf("grid row %q unexpectedly tagged %q", e.Point.Recipe(), e.Source)
+		}
+	}
+
+	// The search is deterministic: the engine's parallelism must not change
+	// a single frontier row.
+	for _, par := range []int{1, 8} {
+		again := runSearch(t, toySpace(), Surrogate, par)
+		if !reflect.DeepEqual(sur.Frontier, again.Frontier) {
+			t.Fatalf("surrogate frontier changed at parallelism %d", par)
+		}
+		if again.Simulated != sur.Simulated {
+			t.Fatalf("surrogate simulated %d candidates at parallelism %d, %d at 4",
+				again.Simulated, par, sur.Simulated)
+		}
+	}
+}
+
+// TestSurrogatePredictionsMonotoneInBandwidth pins the feature design: the
+// bandwidth axes are excluded from the surrogate features, so along a pure
+// link-bandwidth sweep the calibration ratio is constant and the predicted
+// iteration time inherits the analytic model's monotonicity — more link
+// bandwidth never predicts a slower iteration.
+func TestSurrogatePredictionsMonotoneInBandwidth(t *testing.T) {
+	space := toySpace().normalized()
+	feats := newFeatureSpace(space)
+	lo := Point{Workload: "VGG-E", Design: "MC-DLA(B)", Strategy: train.DataParallel,
+		Batch: 512, Precision: train.FP16, LinkGBps: 25, MemNodes: 4, DIMM: "32GB-LRDIMM"}
+	hi := lo
+	hi.LinkGBps = 50
+	vlo, vhi := feats.vector(lo), feats.vector(hi)
+	if !reflect.DeepEqual(vlo, vhi) {
+		t.Fatalf("bandwidth sweep changed the feature vector: %v vs %v", vlo, vhi)
+	}
+}
+
+// TestGreedyDesignCache pins the satellite fix: the greedy search used to
+// re-derive core.DesignFor for every evaluation even when only the
+// workload-side axes changed; the candidate lattice now resolves each design
+// family once and the archive caches per bandwidth-distinct key.
+func TestGreedyDesignCache(t *testing.T) {
+	res := runSearch(t, toySpace(), Greedy, 4)
+	if res.DesignCacheHits == 0 {
+		t.Fatal("greedy search never hit the design cache")
+	}
+	// The toy lattice has 12 bandwidth-distinct design configurations:
+	// DC-DLA collapses the memory-node/DIMM axes but sweeps compression and
+	// link speed (2×2 = 4, with compress folding the workload axes into the
+	// key), MC-DLA(B) sweeps gbps × memnodes × dimms (2×2×2 = 8).
+	if res.DesignDerivations >= res.Simulated {
+		t.Fatalf("derived %d designs for %d simulations; derivations must be cached",
+			res.DesignDerivations, res.Simulated)
+	}
+	surr := runSearch(t, toySpace(), Surrogate, 4)
+	if surr.DesignDerivations == 0 || surr.DesignCacheHits == 0 {
+		t.Fatalf("surrogate search bypassed the design cache: derived=%d hits=%d",
+			surr.DesignDerivations, surr.DesignCacheHits)
+	}
+}

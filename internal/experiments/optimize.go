@@ -51,14 +51,23 @@ func Optimize(ctx context.Context, space dse.Space, opts dse.Options) (dse.Resul
 
 // OptimizeReport builds the typed optimizer report: the objective-ordered
 // Pareto frontier with each row's full `mcdla run` recipe, and the search
-// accounting (candidates, simulated, pruned, dominated).
+// accounting (candidates, simulated, pruned, dominated). Under the surrogate
+// search the table gains a provenance column — "simulated" rows are event-
+// engine results, "predicted" rows are frontier candidates the simulation
+// budget left unconfirmed — and the unconfirmed rows trail the confirmed
+// frontier. The other drivers keep the pre-surrogate layout byte-identical.
 func OptimizeReport(res dse.Result) *report.Report {
-	t := report.NewTable("rank", "design", "workload", "precision", "links",
+	surrogate := res.Search == dse.Surrogate
+	columns := []string{"rank", "design", "workload", "precision", "links",
 		"memory", "cDMA", "samples/s", "cost (k$)", "power (kW)", "energy (J/iter)",
-		"pool (TB)", "perf/$k", "perf/W", "recipe")
-	for i, e := range res.Frontier {
+		"pool (TB)", "perf/$k", "perf/W", "recipe"}
+	if surrogate {
+		columns = append(columns, "source")
+	}
+	t := report.NewTable(columns...)
+	addRow := func(rank int, e dse.Evaluated) {
 		m := e.Metrics
-		t.AddRow(report.Int(i+1),
+		cells := []report.Cell{report.Int(rank),
 			report.Str(e.Point.Design),
 			report.Str(e.Point.Workload),
 			report.Str(e.Point.Precision.String()),
@@ -72,13 +81,27 @@ func OptimizeReport(res dse.Result) *report.Report {
 			report.Numf("%.2f", m.CapacityTB),
 			report.Numf("%.2f", m.PerfPerDollar()),
 			report.Numf("%.3f", m.PerfPerWatt()),
-			report.Str(e.Point.Recipe()))
+			report.Str(e.Point.Recipe())}
+		if surrogate {
+			cells = append(cells, report.Str(e.Source))
+		}
+		t.AddRow(cells...)
+	}
+	for i, e := range res.Frontier {
+		addRow(i+1, e)
+	}
+	for i, e := range res.PredictedFrontier {
+		addRow(len(res.Frontier)+i+1, e)
 	}
 	notes := []string{
 		fmt.Sprintf("objective: %v; search: %v; constraints: %v", res.Objective, res.Search, res.Constraints),
 		fmt.Sprintf("candidates: %d; simulated: %d; pruned by cost/power bounds: %d; below throughput floor: %d",
 			res.GridSize, res.Simulated, res.Pruned, res.Infeasible),
 		fmt.Sprintf("frontier: %d points; dominated: %d", len(res.Frontier), res.Dominated),
+	}
+	if surrogate {
+		notes = append(notes, fmt.Sprintf("surrogate: %d refinement rounds; unconfirmed predicted frontier rows: %d",
+			res.Rounds, len(res.PredictedFrontier)))
 	}
 	if len(res.Frontier) > 0 {
 		best := res.Frontier[0]

@@ -24,7 +24,6 @@ import (
 	"github.com/memcentric/mcdla/internal/memnode"
 	"github.com/memcentric/mcdla/internal/train"
 	"github.com/memcentric/mcdla/internal/units"
-	"github.com/memcentric/mcdla/internal/vmem"
 )
 
 // Plane describes a scale-out device-side interconnect plane.
@@ -208,7 +207,7 @@ func (p Plane) Estimate(workload string, globalBatch int, memCentric bool) (Iter
 	if globalBatch%devices != 0 {
 		return IterationEstimate{}, fmt.Errorf("scaleout: batch %d not divisible by %d devices", globalBatch, devices)
 	}
-	s, err := train.Build(workload, globalBatch, devices, train.DataParallel)
+	s, err := buildSchedule(workload, globalBatch, devices, train.DataParallel)
 	if err != nil {
 		return IterationEstimate{}, err
 	}
@@ -233,14 +232,18 @@ func (p Plane) Estimate(workload string, globalBatch int, memCentric bool) (Iter
 		compute += units.Time((1 + accel.BackwardFactor) * float64(ft))
 	}
 
-	plan := vmem.Analyze(g, vmem.Options{})
+	prep, err := s.Prepared(false)
+	if err != nil {
+		return IterationEstimate{}, err
+	}
+	plan := prep.Plan
 	// The virtualization policy trades stashes for recompute bursts; the
 	// re-executed layers are real device time and belong in the compute
 	// term (omitting them made the estimate diverge hardest on the
 	// recompute-heavy CNNs once the event engine charged them honestly).
 	recompute := map[int]bool{}
 	for _, l := range g.Layers {
-		for _, rid := range plan.RecomputeFor(l.ID) {
+		for _, rid := range prep.Recompute[l.ID] {
 			recompute[rid] = true
 		}
 	}

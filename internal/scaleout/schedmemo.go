@@ -1,0 +1,60 @@
+package scaleout
+
+import (
+	"sync"
+
+	"github.com/memcentric/mcdla/internal/train"
+)
+
+// schedKey identifies a per-device schedule by the exact train.Build
+// arguments the plane engines derive from their inputs.
+type schedKey struct {
+	workload string
+	batch    int
+	workers  int
+	strategy train.Strategy
+}
+
+// schedMemoCap bounds the package-level memo. Plane sweeps revisit a handful
+// of (workload, batch, strategy) combinations thousands of times; when a
+// pathological caller exceeds the cap the memo resets wholesale, which keeps
+// eviction deterministic (no map-order-dependent LRU).
+const schedMemoCap = 64
+
+var (
+	schedMu   sync.Mutex
+	schedMemo map[schedKey]*train.Schedule
+)
+
+// buildSchedule memoizes train.Build across plane simulations and estimates:
+// every design axis except the workload/batch/strategy triple (node counts,
+// link speeds, memory-node populations) shares one schedule — and through
+// train.Schedule.Prepared, one vmem analysis.
+func buildSchedule(workload string, batch, workers int, strategy train.Strategy) (*train.Schedule, error) {
+	key := schedKey{workload: workload, batch: batch, workers: workers, strategy: strategy}
+	schedMu.Lock()
+	if s, ok := schedMemo[key]; ok {
+		schedMu.Unlock()
+		return s, nil
+	}
+	schedMu.Unlock()
+
+	s, err := train.Build(workload, batch, workers, strategy)
+	if err != nil {
+		return nil, err
+	}
+
+	schedMu.Lock()
+	defer schedMu.Unlock()
+	// Re-check under the lock: a concurrent builder may have won the race,
+	// and callers must observe one stable pointer per key so the lazy
+	// analyses on the schedule are shared rather than duplicated.
+	if cached, ok := schedMemo[key]; ok {
+		return cached, nil
+	}
+	if schedMemo == nil || len(schedMemo) >= schedMemoCap {
+		schedMemo = make(map[schedKey]*train.Schedule, schedMemoCap)
+	}
+	schedMemo[key] = s
+	return s, nil
+}

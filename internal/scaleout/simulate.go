@@ -9,7 +9,6 @@ import (
 	"github.com/memcentric/mcdla/internal/trace"
 	"github.com/memcentric/mcdla/internal/train"
 	"github.com/memcentric/mcdla/internal/units"
-	"github.com/memcentric/mcdla/internal/vmem"
 )
 
 // Strategy selects how the plane parallelizes a workload.
@@ -170,12 +169,12 @@ func (p Plane) SimulateTraced(workload string, globalBatch int, memCentric bool,
 	var err error
 	switch strategy {
 	case DataParallel:
-		s, err = train.Build(workload, globalBatch, devices, train.DataParallel)
+		s, err = buildSchedule(workload, globalBatch, devices, train.DataParallel)
 	case Hybrid:
 		if globalBatch%p.SystemNodes != 0 {
 			return SimResult{}, fmt.Errorf("scaleout: batch %d not divisible by %d chassis", globalBatch, p.SystemNodes)
 		}
-		s, err = train.Build(workload, globalBatch/p.SystemNodes, p.DevicesPerNode, train.ModelParallel)
+		s, err = buildSchedule(workload, globalBatch/p.SystemNodes, p.DevicesPerNode, train.ModelParallel)
 	default:
 		return SimResult{}, fmt.Errorf("scaleout: unknown plane strategy %v", strategy)
 	}
@@ -295,7 +294,11 @@ func (p Plane) SimulateTraced(workload string, globalBatch int, memCentric bool,
 		}
 	}
 
-	plan := vmem.Analyze(g, vmem.Options{})
+	prep, err := s.Prepared(false)
+	if err != nil {
+		return SimResult{}, err
+	}
+	plan := prep.Plan
 	stashScale := float64(s.Precision.ActScale())
 	if s.Strategy == train.ModelParallel && g.Timesteps > 0 {
 		stashScale /= float64(s.Workers)
@@ -331,7 +334,7 @@ func (p Plane) SimulateTraced(workload string, globalBatch int, memCentric bool,
 		t += ft
 		res.Compute += ft
 
-		tensors, extra := plan.OffloadsAfter(l.ID)
+		tensors, extra := prep.Offloads[l.ID], plan.ExtraStash[l.ID]
 		for _, id := range tensors {
 			size := scaleStash(plan.Tensors[id].Bytes)
 			virtCh.StartGroup(t, "offload", "virt", size, virtRate, 0)
@@ -370,7 +373,7 @@ func (p Plane) SimulateTraced(workload string, globalBatch int, memCentric bool,
 	// at every backward layer boundary; in-flight flows are counted lazily by
 	// advancing the channel to the device clock.
 	const prefetchDepth = 8
-	sched := plan.PrefetchSchedule()
+	sched := prep.Sched
 	queue := sched.Items
 	fetched := make([]inflight, len(queue))
 	next := 0
@@ -426,7 +429,7 @@ func (p Plane) SimulateTraced(workload string, globalBatch int, memCentric bool,
 			res.StallVirt += t - stallFrom
 			fillPrefetchQueue(t)
 		}
-		for _, rid := range plan.RecomputeFor(id) {
+		for _, rid := range prep.Recompute[id] {
 			if recomputed[rid] {
 				continue
 			}

@@ -163,7 +163,7 @@ var endpoints = []struct{ Path, Doc string }{
 	{"/v1/config", "Table II device/memory-node/design-point inventory"},
 	{"/v1/run", "one simulation: ?net=&design=&strategy=dp|mp&batch=&seqlen=&precision=&links=&gbps=&memnodes=&dimm=&compress=&workers="},
 	{"/v1/jobs", "async job API over every report endpoint (requires -store): POST ?path=&format= plus the endpoint's params submits (content-addressed id), GET lists; /v1/jobs/{id} polls, …/{id}/events streams SSE progress, …/{id}/result serves the rendered report"},
-	{"/v1/optimize", "cost/TCO design-space optimizer: ?objective=&search=grid|greedy&max-cost=&max-power=&min-throughput= plus candidate axes (workloads, designs, gbps, memnodes, dimms, precisions, compress)"},
+	{"/v1/optimize", "cost/TCO design-space optimizer: ?objective=&search=grid|greedy|surrogate&surrogate=1&max-cost=&max-power=&min-throughput= plus candidate axes (workloads, designs, gbps, memnodes, dimms, precisions, compress)"},
 	{"/v1/transformer", "seqlen × precision × design study: ?workload=&seqlens=&precisions="},
 	{"/v1/plane", "§VI scale-out plane: ?workload=&nodes=1,2,4&analytic=&compare="},
 	{"/v1/explore", "§III-B link-technology sweep: ?links=4,8&gbps=25,100"},
@@ -424,6 +424,13 @@ func buildOptimize(ctx context.Context, q url.Values) (*report.Report, error) {
 		if search, err = dse.ParseSearch(v); err != nil {
 			return nil, fmt.Errorf("invalid search parameter: %v", err)
 		}
+	}
+	switch q.Get("surrogate") {
+	case "":
+	case "1", "true", "on":
+		search = dse.Surrogate
+	default:
+		return nil, fmt.Errorf("invalid surrogate parameter %q (want 1, true or on)", q.Get("surrogate"))
 	}
 	space := experiments.DefaultOptimizeSpace()
 	if v := q.Get("workloads"); v != "" {

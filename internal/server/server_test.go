@@ -303,6 +303,33 @@ func TestOptimizeEndpointGoldenJSON(t *testing.T) {
 	}
 }
 
+// TestOptimizeSurrogateGoldenJSON pins the surrogate search's raw response
+// bytes on the same reduced study for the CI smoke job. The 4-candidate
+// space gives the halving driver a 2-simulation budget, so the fixture also
+// pins the provenance column and the trailing predicted (unconfirmed)
+// frontier rows.
+func TestOptimizeSurrogateGoldenJSON(t *testing.T) {
+	ts := newTestServer(t)
+	status, body := get(t, ts.URL+optimizeSmokeQuery+"&surrogate=1")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d: %s", status, body)
+	}
+	path := filepath.Join("testdata", "optimize_surrogate.golden.json")
+	if *update {
+		if err := os.WriteFile(path, body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing fixture (run with -update to create): %v", err)
+	}
+	if string(body) != string(want) {
+		t.Fatalf("response diverged from %s:\ngot:\n%s\nwant:\n%s", path, body, want)
+	}
+}
+
 // TestOptimizeEndpointShape decodes the frontier table and checks every row
 // carries a reproducible run recipe whose parameters the /v1/run endpoint
 // accepts.
@@ -336,6 +363,7 @@ func TestOptimizeBadParams(t *testing.T) {
 	for _, c := range []struct{ query, wantIn string }{
 		{"/v1/optimize?objective=latency", "objective"},
 		{"/v1/optimize?search=annealing", "search"},
+		{"/v1/optimize?surrogate=maybe", "surrogate"},
 		{"/v1/optimize?max-cost=cheap", "max-cost"},
 		{"/v1/optimize?compress=maybe", "compress"},
 		{"/v1/optimize?memnodes=0", "memnodes"},

@@ -56,6 +56,38 @@ type Channel struct {
 	groupCaps map[string]units.Bandwidth
 
 	stats ChannelStats
+
+	// Scratch state below keeps the steady-state hot path (Start → allocate
+	// → water-fill, and the Drain loop) off the heap: every flow start and
+	// completion reruns the two-level water-fill, so these buffers are hit
+	// once per event. All of it is pure capacity reuse — the fill arithmetic
+	// and sort permutations are unchanged, keeping results bit-identical.
+	arena      []Flow // current flow allocation block (see newFlow)
+	arenaUsed  int
+	units      []allocUnit    // allocate's unit list
+	grouped    map[string]int // allocate's group → unit index
+	topFill    fillScratch    // top-level fill across units
+	memberFill fillScratch    // per-unit fill across member flows
+	classFill  fillScratch    // per-priority-class fill inside priorityFill
+	pri        priScratch     // priorityFill's order/output buffers
+	drained    []*Flow        // Drain's per-step completion snapshot
+}
+
+// arenaBlock is the Flow allocation granularity: steady state pays one heap
+// allocation per arenaBlock flow starts instead of one per flow.
+const arenaBlock = 64
+
+// newFlow hands out a Flow from the current arena block, starting a fresh
+// block when it runs out. Slots are never reused while the arena is live, so
+// caller-held *Flow pointers stay valid; Reset drops the block wholesale.
+func (c *Channel) newFlow() *Flow {
+	if c.arenaUsed == len(c.arena) {
+		c.arena = make([]Flow, arenaBlock)
+		c.arenaUsed = 0
+	}
+	f := &c.arena[c.arenaUsed]
+	c.arenaUsed++
+	return f
 }
 
 // SetGroupCap bounds the aggregate rate of flows started in the named group.
@@ -127,41 +159,49 @@ type allocUnit struct {
 // allocate recomputes max-min fair rates for the active flows using
 // two-level water-filling: groups (and independent flows) share the channel
 // capacity max-min fairly, then each group's allocation is water-filled
-// across its members.
+// across its members. It runs on every flow start and completion, so all of
+// its working storage lives in Channel scratch buffers.
 func (c *Channel) allocate() {
 	if len(c.flows) == 0 {
 		return
 	}
-	var units_ []allocUnit
-	grouped := make(map[string]int)
+	c.units = c.units[:0]
+	if c.grouped == nil {
+		c.grouped = make(map[string]int)
+	}
+	clear(c.grouped)
 	for _, f := range c.flows {
 		if f.group == "" {
-			units_ = append(units_, allocUnit{cap: float64(f.maxRate), flows: []*Flow{f}})
+			u := c.pushUnit(float64(f.maxRate))
+			u.flows = append(u.flows, f)
 			continue
 		}
-		idx, ok := grouped[f.group]
+		idx, ok := c.grouped[f.group]
 		if !ok {
-			cap := math.Inf(1)
+			groupCap := math.Inf(1)
 			if g, has := c.groupCaps[f.group]; has {
-				cap = float64(g)
+				groupCap = float64(g)
 			}
-			grouped[f.group] = len(units_)
-			units_ = append(units_, allocUnit{cap: cap})
-			idx = len(units_) - 1
+			idx = len(c.units)
+			c.grouped[f.group] = idx
+			c.pushUnit(groupCap)
 		}
-		units_[idx].flows = append(units_[idx].flows, f)
+		c.units[idx].flows = append(c.units[idx].flows, f)
 	}
 	// A group's effective demand is also bounded by its members' caps.
-	for i := range units_ {
+	c.topFill.caps = c.topFill.caps[:0]
+	for i := range c.units {
 		var memberSum float64
-		for _, f := range units_[i].flows {
+		for _, f := range c.units[i].flows {
 			memberSum += float64(f.maxRate)
 		}
-		units_[i].cap = math.Min(units_[i].cap, memberSum)
+		c.units[i].cap = math.Min(c.units[i].cap, memberSum)
+		c.topFill.caps = append(c.topFill.caps, c.units[i].cap)
 	}
-	shares := waterfill(float64(c.capacity), unitCaps(units_))
-	for i, u := range units_ {
-		memberShares := priorityFill(shares[i], u.flows)
+	shares := c.topFill.fill(float64(c.capacity))
+	for i := range c.units {
+		u := &c.units[i]
+		memberShares := c.priorityFill(shares[i], u.flows)
 		for j, f := range u.flows {
 			f.rate = units.Bandwidth(memberShares[j])
 		}
@@ -175,26 +215,40 @@ func (c *Channel) allocate() {
 	}
 }
 
-func unitCaps(us []allocUnit) []float64 {
-	out := make([]float64, len(us))
-	for i, u := range us {
-		out[i] = u.cap
+// pushUnit appends a unit to the scratch list, reusing the member-flow slice
+// capacity a previous allocate round left in the slot.
+func (c *Channel) pushUnit(capLimit float64) *allocUnit {
+	n := len(c.units)
+	if n < cap(c.units) {
+		c.units = c.units[:n+1]
+		u := &c.units[n]
+		u.cap = capLimit
+		u.flows = u.flows[:0]
+		return u
 	}
-	return out
+	c.units = append(c.units, allocUnit{cap: capLimit})
+	return &c.units[n]
 }
 
-func flowCaps(fs []*Flow) []float64 {
-	out := make([]float64, len(fs))
-	for i, f := range fs {
-		out[i] = float64(f.maxRate)
-	}
-	return out
+// priScratch holds priorityFill's reusable buffers. It doubles as the
+// sort.Stable interface ordering flow indices by descending priority class —
+// sort.Stable and sort.SliceStable share one stable-sort implementation, so
+// the permutation (and thus every tie-broken fill) is unchanged.
+type priScratch struct {
+	order []int
+	out   []float64
+	flows []*Flow
 }
+
+func (s *priScratch) Len() int           { return len(s.order) }
+func (s *priScratch) Less(a, b int) bool { return s.flows[s.order[a]].pri > s.flows[s.order[b]].pri }
+func (s *priScratch) Swap(a, b int)      { s.order[a], s.order[b] = s.order[b], s.order[a] }
 
 // priorityFill distributes a unit's capacity across its member flows:
 // strictly by descending priority class, max-min fairly within a class.
-// The common all-priority-zero case reduces to a plain water-fill.
-func priorityFill(capacity float64, fs []*Flow) []float64 {
+// The common all-priority-zero case reduces to a plain water-fill. The
+// returned slice is scratch, valid until the next allocate round.
+func (c *Channel) priorityFill(capacity float64, fs []*Flow) []float64 {
 	uniform := true
 	for _, f := range fs {
 		if f.pri != fs[0].pri {
@@ -203,25 +257,34 @@ func priorityFill(capacity float64, fs []*Flow) []float64 {
 		}
 	}
 	if uniform {
-		return waterfill(capacity, flowCaps(fs))
+		c.memberFill.caps = c.memberFill.caps[:0]
+		for _, f := range fs {
+			c.memberFill.caps = append(c.memberFill.caps, float64(f.maxRate))
+		}
+		return c.memberFill.fill(capacity)
 	}
-	order := make([]int, len(fs))
-	for i := range order {
-		order[i] = i
+	s := &c.pri
+	s.order = resizeInts(s.order, len(fs))
+	for i := range s.order {
+		s.order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool { return fs[order[a]].pri > fs[order[b]].pri })
-	out := make([]float64, len(fs))
+	s.flows = fs
+	sort.Stable(s)
+	s.flows = nil
+	order := s.order
+	s.out = resizeFloats(s.out, len(fs))
+	out := s.out
 	remaining := capacity
 	for lo := 0; lo < len(order); {
 		hi := lo
 		for hi < len(order) && fs[order[hi]].pri == fs[order[lo]].pri {
 			hi++
 		}
-		class := make([]*Flow, 0, hi-lo)
+		c.classFill.caps = c.classFill.caps[:0]
 		for _, i := range order[lo:hi] {
-			class = append(class, fs[i])
+			c.classFill.caps = append(c.classFill.caps, float64(fs[i].maxRate))
 		}
-		shares := waterfill(remaining, flowCaps(class))
+		shares := c.classFill.fill(remaining)
 		for k, i := range order[lo:hi] {
 			out[i] = shares[k]
 			remaining -= shares[k]
@@ -231,26 +294,58 @@ func priorityFill(capacity float64, fs []*Flow) []float64 {
 	return out
 }
 
-// waterfill distributes capacity across demands max-min fairly: ascending
-// caps, leftover shared among the unfilled.
-func waterfill(capacity float64, caps []float64) []float64 {
-	n := len(caps)
-	out := make([]float64, n)
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
+// fillScratch is one water-fill working set: callers load caps, fill
+// computes shares in place. The three fill sites (top-level across units,
+// per-unit across members, per-class inside priorityFill) nest, so each
+// owns its own scratch. fillScratch is also the sort.Sort interface ordering
+// indices by ascending cap — sort.Sort and sort.Slice share one pdqsort
+// implementation, so the permutation is identical to the previous
+// closure-based sort and results stay bit-identical.
+type fillScratch struct {
+	caps  []float64
+	out   []float64
+	order []int
+}
+
+func (fs *fillScratch) Len() int           { return len(fs.order) }
+func (fs *fillScratch) Less(a, b int) bool { return fs.caps[fs.order[a]] < fs.caps[fs.order[b]] }
+func (fs *fillScratch) Swap(a, b int)      { fs.order[a], fs.order[b] = fs.order[b], fs.order[a] }
+
+// fill distributes capacity across fs.caps max-min fairly: ascending caps,
+// leftover shared among the unfilled. The returned slice aliases fs.out and
+// is valid until the next fill on the same scratch.
+func (fs *fillScratch) fill(capacity float64) []float64 {
+	n := len(fs.caps)
+	fs.out = resizeFloats(fs.out, n)
+	fs.order = resizeInts(fs.order, n)
+	for i := range fs.order {
+		fs.order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool { return caps[order[a]] < caps[order[b]] })
+	sort.Sort(fs)
 	remaining := capacity
 	left := n
-	for _, i := range order {
+	for _, i := range fs.order {
 		share := remaining / float64(left) //mcdlalint:allow floatguard -- left counts down from n over exactly n iterations, so left >= 1 here
-		r := math.Min(caps[i], share)
-		out[i] = r
+		r := math.Min(fs.caps[i], share)
+		fs.out[i] = r
 		remaining -= r
 		left--
 	}
-	return out
+	return fs.out
+}
+
+func resizeFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
 }
 
 // Start begins a transfer of size bytes at time t, capped at maxRate.
@@ -280,7 +375,8 @@ func (c *Channel) StartGroupPriority(t units.Time, tag, group string, size units
 		panic(fmt.Sprintf("sim: channel %q: flow %q max rate must be positive", c.name, tag))
 	}
 	c.AdvanceTo(t)
-	f := &Flow{ch: c, tag: tag, group: group, pri: pri, remaining: float64(size), maxRate: maxRate, extra: extra}
+	f := c.newFlow()
+	*f = Flow{ch: c, tag: tag, group: group, pri: pri, remaining: float64(size), maxRate: maxRate, extra: extra}
 	if size == 0 {
 		// Stamp from the channel clock, not the caller's t: AdvanceTo may
 		// have left now past t (the clock is shared between issue sites),
@@ -429,15 +525,15 @@ func (c *Channel) Drain(t units.Time) units.Time {
 	c.AdvanceTo(t)
 	end := t
 	for len(c.flows) > 0 {
-		flows := make([]*Flow, len(c.flows))
-		copy(flows, c.flows)
+		c.drained = append(c.drained[:0], c.flows...)
 		c.AdvanceTo(c.now + c.nextCompletionDelta())
-		for _, f := range flows {
+		for _, f := range c.drained {
 			if f.done && f.doneAt > end {
 				end = f.doneAt
 			}
 		}
 	}
+	c.drained = c.drained[:0]
 	return end
 }
 
@@ -454,9 +550,18 @@ func (c *Channel) AggregateRate() units.Bandwidth {
 }
 
 // Reset clears flows, clock and statistics, reusing the channel for a fresh
-// simulation run.
+// simulation run. The flow arena is dropped wholesale — callers may still
+// hold *Flow pointers from the finished run, so slots are never recycled —
+// and scratch buffers release the flow pointers they were caching.
 func (c *Channel) Reset() {
 	c.flows = nil
 	c.now = 0
 	c.stats = ChannelStats{BytesByTag: make(map[string]float64)}
+	c.arena = nil
+	c.arenaUsed = 0
+	clear(c.units[:cap(c.units)])
+	c.units = c.units[:0]
+	clear(c.drained[:cap(c.drained)])
+	c.drained = c.drained[:0]
+	c.pri.flows = nil
 }

@@ -1,0 +1,172 @@
+// Package surrogate implements the cheap candidate predictor behind the
+// design-space optimizer's successive-halving search: the resurrected
+// first-order analytic estimator (core.EstimateIteration — the closed form
+// the event engine replaced) recalibrated against, and interpolating over,
+// already-simulated neighbor candidates.
+//
+// The model is deliberately simple. Each trained sample carries the ratio
+// between its simulated iteration time and its analytic estimate — "how
+// wrong was the closed form here" — and a prediction multiplies the query's
+// own analytic estimate by the inverse-distance-weighted mean of those
+// ratios over the sample features. Features are the categorical lattice
+// coordinates of a candidate (workload, design family, strategy, ...), and
+// deliberately EXCLUDE the bandwidth axes (link count, link speed,
+// memory-node population, DIMM): candidates along a bandwidth sweep share
+// features exactly, so their calibration ratio is constant and the
+// prediction inherits the analytic model's monotonicity in bandwidth — the
+// property test pins this.
+//
+// Guarantees (pinned by property tests and FuzzSurrogatePredict):
+//   - deterministic: Predict is a pure function of the trained samples
+//     (sample order included) and the query;
+//   - bounded: calibration ratios are clamped to [1/8, 8], so a prediction
+//     never strays more than 8x from the analytic estimate;
+//   - total: Predict never returns NaN or Inf, whatever the inputs.
+package surrogate
+
+import (
+	"math"
+)
+
+const (
+	// ratioMin / ratioMax clamp each sample's simulated/analytic calibration
+	// ratio: a sample that disagrees with the closed form by more than 8x is
+	// treated as 8x, keeping one outlier (or a corrupted store entry) from
+	// capsizing every prediction in its neighborhood.
+	ratioMin = 1.0 / 8
+	ratioMax = 8.0
+	// distEps keeps the inverse-distance weight finite when a query lands
+	// exactly on a trained sample; it also sets how fast influence decays —
+	// a sample at L1 distance 1 weighs 1/3 of a colocated one.
+	distEps = 0.5
+)
+
+// Sample is one simulated candidate the model calibrates against.
+type Sample struct {
+	// Features are the candidate's lattice coordinates (see Features in the
+	// dse package). Bandwidth axes must not appear here.
+	Features []float64
+	// Analytic is the closed-form iteration-time estimate in seconds.
+	Analytic float64
+	// Simulated is the event engine's iteration time in seconds.
+	Simulated float64
+}
+
+// trained is a vetted sample with its calibration ratio precomputed.
+type trained struct {
+	features []float64
+	ratio    float64
+}
+
+// Model predicts iteration times by recalibrating analytic estimates
+// against simulated neighbors. The zero value is usable: with no trained
+// samples every prediction is the unscaled analytic estimate.
+type Model struct {
+	samples []trained
+}
+
+// Train replaces the model's samples. Samples with a nonpositive or
+// non-finite analytic estimate, a nonpositive or non-finite simulated time,
+// or non-finite features are dropped: they cannot yield a meaningful ratio.
+// Sample order is preserved, so identical training sets give identical
+// models.
+func (m *Model) Train(samples []Sample) {
+	m.samples = m.samples[:0]
+	for _, s := range samples {
+		if !finitePositive(s.Analytic) || !finitePositive(s.Simulated) {
+			continue
+		}
+		if !finiteAll(s.Features) {
+			continue
+		}
+		ratio := clampRatio(s.Simulated / s.Analytic)
+		m.samples = append(m.samples, trained{features: s.Features, ratio: ratio})
+	}
+}
+
+// Len reports the trained sample count.
+func (m *Model) Len() int { return len(m.samples) }
+
+// Predict returns the calibrated iteration-time prediction for a candidate
+// with the given features and analytic estimate: analytic times the
+// inverse-distance-weighted mean calibration ratio of the trained samples
+// (clamped to [1/8, 8]). With no samples, or a degenerate query, the
+// analytic estimate passes through unscaled; a nonpositive or non-finite
+// analytic estimate predicts 0. The result is never NaN or Inf.
+func (m *Model) Predict(features []float64, analytic float64) float64 {
+	if !finitePositive(analytic) {
+		return 0
+	}
+	var num, den float64
+	for _, s := range m.samples {
+		d := l1(features, s.features)
+		w := 1 / (distEps + d)
+		num += w * s.ratio
+		den += w
+	}
+	if den <= 0 || math.IsNaN(num) || math.IsInf(num, 0) {
+		return analytic
+	}
+	ratio := clampRatio(num / den)
+	out := analytic * ratio
+	if math.IsInf(out, 0) {
+		// analytic near MaxFloat64 with ratio > 1 overflows; saturate to keep
+		// the never-Inf guarantee total.
+		out = math.MaxFloat64
+	}
+	return out
+}
+
+// l1 is the L1 distance between feature vectors. Mismatched lengths count
+// the absolute value of the unmatched tail, and non-finite coordinates are
+// skipped, so the result is always a nonnegative non-NaN float (possibly
+// +Inf, which Predict turns into zero weight).
+func l1(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var d float64
+	for i := 0; i < n; i++ {
+		d += absFinite(a[i] - b[i])
+	}
+	for _, v := range a[n:] {
+		d += absFinite(v)
+	}
+	for _, v := range b[n:] {
+		d += absFinite(v)
+	}
+	return d
+}
+
+func absFinite(v float64) float64 {
+	if math.IsNaN(v) {
+		return 0
+	}
+	return math.Abs(v)
+}
+
+func finitePositive(v float64) bool {
+	return v > 0 && !math.IsInf(v, 0)
+}
+
+func finiteAll(vs []float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func clampRatio(r float64) float64 {
+	switch {
+	case math.IsNaN(r):
+		return 1
+	case r < ratioMin:
+		return ratioMin
+	case r > ratioMax:
+		return ratioMax
+	}
+	return r
+}

@@ -1,0 +1,141 @@
+package surrogate
+
+import (
+	"math"
+	"testing"
+)
+
+func trainingSet() []Sample {
+	return []Sample{
+		{Features: []float64{0, 0, 0, 0, 0, 0, 0}, Analytic: 0.10, Simulated: 0.15},
+		{Features: []float64{0, 100, 0, 0, 0, 0, 0}, Analytic: 0.20, Simulated: 0.18},
+		{Features: []float64{0, 100, 0, 100, 0, 0, 1}, Analytic: 0.30, Simulated: 0.60},
+		{Features: []float64{0, 0, 0, 0, 1, 0, 2}, Analytic: 0.05, Simulated: 0.04},
+	}
+}
+
+// TestPredictDeterministic: a fixed training set gives bit-identical
+// predictions, call after call and model after model.
+func TestPredictDeterministic(t *testing.T) {
+	q := []float64{0, 100, 0, 0, 1, 0, 1}
+	var m1, m2 Model
+	m1.Train(trainingSet())
+	m2.Train(trainingSet())
+	a := m1.Predict(q, 0.17)
+	if b := m1.Predict(q, 0.17); b != a {
+		t.Fatalf("repeated prediction diverged: %v vs %v", a, b)
+	}
+	if b := m2.Predict(q, 0.17); b != a {
+		t.Fatalf("identically trained model diverged: %v vs %v", a, b)
+	}
+	// Retraining on the same samples must not drift either.
+	m1.Train(trainingSet())
+	if b := m1.Predict(q, 0.17); b != a {
+		t.Fatalf("retrained model diverged: %v vs %v", a, b)
+	}
+}
+
+// TestPredictMonotoneInAnalytic: for fixed features the calibration ratio is
+// fixed, so the prediction is strictly increasing in the analytic estimate.
+// This is the half of the bandwidth-monotonicity guarantee the model owns:
+// the dse feature map excludes the bandwidth axes, so a link-speed sweep
+// varies only the analytic input — and the analytic closed form is monotone
+// in bandwidth by construction.
+func TestPredictMonotoneInAnalytic(t *testing.T) {
+	var m Model
+	m.Train(trainingSet())
+	q := []float64{0, 100, 0, 0, 0, 0, 0}
+	prev := 0.0
+	for _, analytic := range []float64{0.01, 0.02, 0.1, 0.5, 2, 100} {
+		p := m.Predict(q, analytic)
+		if p <= prev {
+			t.Fatalf("Predict(%v) = %v, not above Predict of the previous smaller analytic (%v)",
+				analytic, p, prev)
+		}
+		prev = p
+	}
+}
+
+// TestPredictBounded: predictions never stray more than the ratio clamp from
+// the analytic estimate, whatever the neighbors claim.
+func TestPredictBounded(t *testing.T) {
+	var m Model
+	m.Train([]Sample{
+		{Features: []float64{0}, Analytic: 1, Simulated: 1e9},   // ratio clamps to 8
+		{Features: []float64{50}, Analytic: 1, Simulated: 1e-9}, // clamps to 1/8
+	})
+	for _, q := range [][]float64{{0}, {25}, {50}, {1e6}} {
+		p := m.Predict(q, 2.0)
+		if p < 2.0*ratioMin || p > 2.0*ratioMax {
+			t.Fatalf("Predict(%v, 2) = %v outside the [x/8, 8x] clamp", q, p)
+		}
+	}
+}
+
+// TestTrainFiltersDegenerateSamples: non-finite or nonpositive samples are
+// dropped instead of poisoning the model.
+func TestTrainFiltersDegenerateSamples(t *testing.T) {
+	var m Model
+	m.Train([]Sample{
+		{Features: []float64{0}, Analytic: 0, Simulated: 1},
+		{Features: []float64{0}, Analytic: -1, Simulated: 1},
+		{Features: []float64{0}, Analytic: 1, Simulated: math.NaN()},
+		{Features: []float64{0}, Analytic: math.Inf(1), Simulated: 1},
+		{Features: []float64{math.NaN()}, Analytic: 1, Simulated: 1},
+		{Features: []float64{0}, Analytic: 1, Simulated: 2},
+	})
+	if m.Len() != 1 {
+		t.Fatalf("trained %d samples, want only the single well-formed one", m.Len())
+	}
+	if p := m.Predict([]float64{0}, 1); p != 2 {
+		t.Fatalf("colocated prediction = %v, want the sample's own ratio applied (2)", p)
+	}
+}
+
+// TestPredictEmptyModelPassthrough: the zero model is the identity on the
+// analytic estimate, and degenerate analytic inputs predict zero.
+func TestPredictEmptyModelPassthrough(t *testing.T) {
+	var m Model
+	if p := m.Predict([]float64{1, 2}, 0.25); p != 0.25 {
+		t.Fatalf("untrained model predicted %v, want analytic passthrough", p)
+	}
+	m.Train(trainingSet())
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if p := m.Predict([]float64{0}, bad); p != 0 {
+			t.Fatalf("Predict(analytic=%v) = %v, want 0", bad, p)
+		}
+	}
+}
+
+// FuzzSurrogatePredict: whatever the inputs — hostile features, degenerate
+// analytic estimates, mismatched vector lengths — Predict never returns NaN
+// or Inf, is deterministic, and respects the ratio clamp for positive finite
+// analytic estimates.
+func FuzzSurrogatePredict(f *testing.F) {
+	f.Add(0.1, 0.2, 1.0, 2.0, 3.0, 0.15)
+	f.Add(-1.0, math.Inf(1), 0.0, -5.0, 1e300, 0.0)
+	f.Add(math.NaN(), 1e-308, 100.0, 0.5, -0.5, 1e9)
+	f.Fuzz(func(t *testing.T, a, b, q1, q2, simulated, analytic float64) {
+		var m Model
+		m.Train([]Sample{
+			{Features: []float64{a, b}, Analytic: 0.1, Simulated: simulated},
+			{Features: []float64{b}, Analytic: analytic, Simulated: 0.2},
+			{Features: []float64{a, b, q1}, Analytic: 0.3, Simulated: 0.3},
+		})
+		q := []float64{q1, q2}
+		p := m.Predict(q, analytic)
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			t.Fatalf("Predict(%v, %v) = %v", q, analytic, p)
+		}
+		if p2 := m.Predict(q, analytic); p2 != p {
+			t.Fatalf("nondeterministic: %v then %v", p, p2)
+		}
+		if analytic > 0 && !math.IsInf(analytic, 0) {
+			if p < analytic*ratioMin || p > analytic*ratioMax {
+				t.Fatalf("Predict(%v, %v) = %v outside the [x/8, 8x] clamp", q, analytic, p)
+			}
+		} else if p != 0 {
+			t.Fatalf("degenerate analytic %v predicted %v, want 0", analytic, p)
+		}
+	})
+}

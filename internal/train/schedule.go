@@ -9,10 +9,12 @@ package train
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/memcentric/mcdla/internal/collective"
 	"github.com/memcentric/mcdla/internal/dnn"
 	"github.com/memcentric/mcdla/internal/units"
+	"github.com/memcentric/mcdla/internal/vmem"
 )
 
 // Strategy selects the parallelization scheme.
@@ -83,6 +85,36 @@ type Schedule struct {
 	Graph *dnn.Graph
 	// Work is indexed by layer ID.
 	Work []LayerWork
+
+	// prepMu guards the lazily-built vmem analyses below. Schedules are
+	// shared by pointer across concurrent simulations (the runner memoizes
+	// them per workload), so the cache must be concurrency-safe. The mutex
+	// also makes Schedule non-copyable under go vet's copylocks check, which
+	// is intended — every consumer already holds a *Schedule.
+	prepMu sync.Mutex
+	prep   [2]*vmem.Prepared
+}
+
+// Prepared returns the vmem memory-overlaying analysis of the schedule's
+// graph for the given oracle mode, built once per schedule and shared across
+// simulations: design points that differ only on bandwidth axes (links,
+// memory nodes, DIMMs) reuse the same plan and prefetch schedule instead of
+// re-running the DAG analysis per evaluation.
+func (s *Schedule) Prepared(oracle bool) (*vmem.Prepared, error) {
+	idx := 0
+	if oracle {
+		idx = 1
+	}
+	s.prepMu.Lock()
+	defer s.prepMu.Unlock()
+	if s.prep[idx] == nil {
+		pr, err := vmem.Prepare(s.Graph, vmem.Options{Oracle: oracle})
+		if err != nil {
+			return nil, err
+		}
+		s.prep[idx] = pr
+	}
+	return s.prep[idx], nil
 }
 
 // Build constructs the per-device schedule for a benchmark at its default
