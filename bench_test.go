@@ -13,16 +13,20 @@ package mcdla_test
 
 import (
 	"context"
+	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"testing"
 
 	"github.com/memcentric/mcdla/internal/accel"
 	"github.com/memcentric/mcdla/internal/collective"
 	"github.com/memcentric/mcdla/internal/core"
+	"github.com/memcentric/mcdla/internal/cost"
 	"github.com/memcentric/mcdla/internal/cudart"
 	"github.com/memcentric/mcdla/internal/dnn"
 	"github.com/memcentric/mcdla/internal/dse"
 	"github.com/memcentric/mcdla/internal/experiments"
+	"github.com/memcentric/mcdla/internal/fleet"
 	"github.com/memcentric/mcdla/internal/metrics"
 	"github.com/memcentric/mcdla/internal/overlay"
 	"github.com/memcentric/mcdla/internal/power"
@@ -620,4 +624,40 @@ func BenchmarkParetoExtract(b *testing.B) {
 		size = len(frontier)
 	}
 	b.ReportMetric(float64(size), "frontier-points")
+}
+
+// BenchmarkFleetSimulate schedules a 100-job synthetic trace onto a mixed
+// device-/memory-centric cluster through the event-driven fleet scheduler
+// (ROADMAP §5). The simulator is an O(1) analytic stub, so the benchmark
+// times the scheduler itself — footprint accounting, first-fit admission
+// with backfill, and the virtual clock — rather than the per-job core
+// simulations the real surfaces memoize. Metric: completed jobs per
+// simulated day on the cluster.
+func BenchmarkFleetSimulate(b *testing.B) {
+	traceJobs := fleet.SyntheticTrace(100)
+	cluster := fleet.Cluster{Name: "mix", Pods: []fleet.PodSpec{
+		{Kind: "DC-DLA", Count: 2},
+		{Kind: "MC-DLA(B)", Count: 2},
+	}}
+	m := cost.Default()
+	sim := func(_ context.Context, jobs []runner.Job) ([]core.Result, error) {
+		out := make([]core.Result, len(jobs))
+		for i, j := range jobs {
+			h := fnv.New64a()
+			fmt.Fprintf(h, "%s|%s|%d|%d|%d|%d|%d", j.Design.Name, j.Workload, j.Strategy, j.Batch, j.Workers, j.SeqLen, j.Precision)
+			out[i] = core.Result{IterationTime: units.Seconds(0.001 + float64(h.Sum64()%997)/100)}
+		}
+		return out, nil
+	}
+	var jobsPerDay float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := fleet.Run(context.Background(), cluster, traceJobs, m, sim)
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobsPerDay = res.JobsPerDay
+	}
+	b.ReportMetric(jobsPerDay, "jobs/day")
 }

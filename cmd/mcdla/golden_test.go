@@ -51,6 +51,8 @@ var goldenCases = []struct {
 	{"optimize", []string{"optimize"}},
 	{"optimize_greedy", []string{"optimize", "-search", "greedy", "-objective", "perf-per-watt", "-max-power", "4300"}},
 	{"optimize_surrogate", []string{"optimize", "-surrogate"}},
+	{"fleet_default", []string{"fleet"}},
+	{"fleet_synthetic", []string{"fleet", "-jobs", "20", "-pods", "1", "-designs", "DC-DLA,MC-DLA(B)"}},
 	{"run_default", []string{"run"}},
 	{"run_recipe", []string{"run", "-design", "MC-DLA(B)", "-workload", "VGG-E", "-batch", "512", "-gbps", "50", "-memnodes", "4", "-dimm", "32GB-LRDIMM"}},
 	{"run_rnn_mp", []string{"run", "-workload", "RNN-GRU", "-strategy", "mp", "-design", "DC-DLA"}},

@@ -60,6 +60,11 @@
 //	run        one simulation (flags: -design, -workload, -strategy, -batch,
 //	           -seqlen, -precision, plus the dse axes -links, -gbps,
 //	           -memnodes, -dimm, -compress)
+//	fleet      fleet-scale multi-job cluster simulation: a CSV/JSON trace of
+//	           heterogeneous training jobs scheduled onto iso-cost DC/HC/MC
+//	           clusters under per-pod memory-pool capacity (flags: -trace,
+//	           -jobs, -pods, -designs); reports throughput, queueing delay,
+//	           utilization, deadline misses and jobs/day/$
 //	optimize   cost/TCO design-space optimizer: grid, greedy or surrogate
 //	           (-surrogate: successive halving over a calibrated analytic
 //	           predictor that only full-simulates the predicted frontier)
@@ -87,6 +92,7 @@ import (
 	"github.com/memcentric/mcdla/internal/core"
 	"github.com/memcentric/mcdla/internal/dse"
 	"github.com/memcentric/mcdla/internal/experiments"
+	"github.com/memcentric/mcdla/internal/fleet"
 	"github.com/memcentric/mcdla/internal/report"
 	"github.com/memcentric/mcdla/internal/runner"
 	"github.com/memcentric/mcdla/internal/server"
@@ -331,12 +337,14 @@ func run(ctx context.Context, args []string) error {
 		return emit(experiments.ConfigReport())
 	case "run":
 		return runOne(ctx, rest)
+	case "fleet":
+		return runFleet(ctx, rest)
 	case "optimize":
 		return runOptimize(ctx, rest)
 	case "serve":
 		return runServe(ctx, rest)
 	case "all":
-		for _, sub := range []string{"config", "networks", "fig2", "fig9", "fig11", "fig12", "fig13", "fig14", "tab4", "headline", "sens", "scale", "explore", "transformer", "plane", "optimize"} {
+		for _, sub := range []string{"config", "networks", "fig2", "fig9", "fig11", "fig12", "fig13", "fig14", "tab4", "headline", "sens", "scale", "explore", "transformer", "plane", "optimize", "fleet"} {
 			// The banner keeps the text stream navigable; structured
 			// formats concatenate clean documents instead.
 			if outputFormat == report.FormatText {
@@ -556,6 +564,53 @@ func runOptimize(ctx context.Context, args []string) error {
 	return emit(experiments.OptimizeReport(res))
 }
 
+// runFleet drives the fleet-scale multi-job cluster simulation: a trace of
+// heterogeneous training jobs scheduled onto iso-cost DC/HC/MC clusters
+// under each pod's memory-pool capacity. The CLI and the HTTP /v1/fleet
+// endpoint share the trace parser and the cluster validation, so the same
+// trace yields the same simulation jobs — and therefore the same durable
+// store keys — on both surfaces.
+func runFleet(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("fleet", flag.ContinueOnError)
+	traceFile := fs.String("trace", "", "CSV or JSON trace file (default: the built-in 12-job trace)")
+	jobs := fs.Int("jobs", 0, "generate a deterministic synthetic trace of N jobs instead of the default trace")
+	pods := fs.Int("pods", experiments.FleetPods, "iso-cost anchor: the shared budget buys this many pods of the priciest design")
+	designsCSV := fs.String("designs", "", "comma-separated cluster designs (default: DC-DLA,HC-DLA,MC-DLA(B))")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var tr []fleet.Job
+	switch {
+	case *traceFile != "" && *jobs > 0:
+		return fmt.Errorf("fleet: -trace and -jobs are mutually exclusive")
+	case *traceFile != "":
+		data, err := os.ReadFile(*traceFile)
+		if err != nil {
+			return err
+		}
+		if tr, err = fleet.ParseTrace(data); err != nil {
+			return err
+		}
+	case *jobs > 0:
+		tr = fleet.SyntheticTrace(*jobs)
+	default:
+		tr = fleet.DefaultTrace()
+	}
+	var designs []string
+	if *designsCSV != "" {
+		designs = strings.Split(*designsCSV, ",")
+	}
+	clusters, err := experiments.FleetClusters(*pods, designs)
+	if err != nil {
+		return err
+	}
+	results, err := experiments.Fleet(ctx, tr, clusters)
+	if err != nil {
+		return err
+	}
+	return emit(experiments.FleetReport(results))
+}
+
 // runServe starts the long-running HTTP API over the experiment suite.
 // SIGINT/SIGTERM stop accepting connections and drain in-flight requests
 // through the server's graceful shutdown instead of killing them mid-reply.
@@ -726,6 +781,10 @@ subcommands:
                                                Pareto frontier + run recipes
                                                (-surrogate: successive halving
                                                over the calibrated predictor)
+  fleet [-trace FILE] [-jobs N] [-pods P]      fleet-scale multi-job cluster
+    [-designs DC-DLA,HC-DLA,MC-DLA(B)]         simulation: iso-cost clusters
+                                               scheduling a CSV/JSON job trace
+                                               under pod memory-pool capacity
   trace -design D -workload W -o out.json      chrome://tracing timeline
   serve [-addr :8080] [-cache N]               HTTP API over the experiment suite
     [-worker] [-exec=false]                    (with -store: async /v1/jobs API;

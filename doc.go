@@ -60,6 +60,19 @@
 // survive crashes, and `mcdla serve -worker` processes drain the shared
 // queue under exclusive per-job claims.
 //
+// The fleet package lifts the simulators to datacenter scale: an
+// event-driven scheduler consumes a trace of heterogeneous training jobs
+// (arrival times, batch/seqlen/precision, optional deadlines; CSV or JSON,
+// fuzzed by FuzzFleetTrace) and an iso-cost cluster of DC-DLA / HC-DLA /
+// MC-DLA pods, admits jobs under each pod's pooled-memory capacity — so
+// memory-centric pods pack footprints the device-centric pods must refuse
+// outright — and advances a virtual clock on memoized per-job throughputs,
+// reporting fleet throughput, queueing delay, utilization, deadline misses
+// and TCO-normalized jobs/day/$. It surfaces as `mcdla fleet` and GET
+// /v1/fleet, with scheduler invariants (exactly-once completion, capacity
+// respected at every instant, monotone clock) property-tested over seeded
+// random traces.
+//
 // The invariants the packages promise — deterministic simulations,
 // byte-stable reports, one cancellable context root, exhaustive enum
 // switches, guarded float division — are mechanically enforced by the
@@ -70,8 +83,8 @@
 // The root-level benchmarks in bench_test.go expose one benchmark per
 // table and figure, each reporting its headline number as a custom metric,
 // plus BenchmarkRunnerFanout, BenchmarkPlaneSimulate,
-// BenchmarkTransformerSimulate and BenchmarkOptimizeGrid for the engines
-// themselves.
+// BenchmarkTransformerSimulate, BenchmarkOptimizeGrid and
+// BenchmarkFleetSimulate for the engines themselves.
 //
 // See README.md for a tour, CLI cookbook and serve quickstart,
 // ARCHITECTURE.md for the package map and layer invariants, and

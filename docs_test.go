@@ -95,7 +95,7 @@ func TestDocsMentionEverySubcommand(t *testing.T) {
 	for _, sub := range []string{
 		"fig2", "fig9", "fig11", "fig12", "fig13", "fig14", "tab4", "headline",
 		"sens", "scale", "explore", "plane", "transformer", "networks",
-		"config", "run", "optimize", "trace", "serve", "all",
+		"config", "run", "optimize", "fleet", "trace", "serve", "all",
 	} {
 		// The cookbook spells every subcommand as an invocation, so only
 		// the strict "mcdla <sub>" form counts as documentation.

@@ -31,7 +31,7 @@ import (
 // HTTP façade (whose uptime field is the one documented allowlist entry).
 // The runner and trace packages are covered transitively: they are in
 // scope too.
-var Scope = regexp.MustCompile(`(^|/)internal/(sim|core|scaleout|collective|vmem|compress|dnn|train|experiments|report|store|dse|cost|power|runner|trace|server)(/|$)`)
+var Scope = regexp.MustCompile(`(^|/)internal/(sim|core|scaleout|collective|vmem|compress|dnn|train|experiments|report|store|dse|cost|power|runner|trace|server|fleet)(/|$)`)
 
 // banned maps package path → names whose use is nondeterministic. An
 // empty name set bans the whole package.

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/memcentric/mcdla/internal/fleet"
+	"github.com/memcentric/mcdla/internal/report"
+)
+
+// TestFleetClustersIsoCost pins the budget arithmetic: with the default
+// designs and catalog, the budget of 2 MC-DLA(B) pods buys 4 DC-DLA pods
+// and 3 HC-DLA pods — the iso-cost anchor the headline table compares at.
+func TestFleetClustersIsoCost(t *testing.T) {
+	clusters, err := FleetClusters(FleetPods, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"DC-DLA": 4, "HC-DLA": 3, "MC-DLA(B)": 2}
+	if len(clusters) != len(want) {
+		t.Fatalf("got %d clusters, want %d", len(clusters), len(want))
+	}
+	for _, c := range clusters {
+		if got := c.TotalPods(); got != want[c.Name] {
+			t.Fatalf("cluster %s sized %d pods, want %d", c.Name, got, want[c.Name])
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFleetClustersErrors(t *testing.T) {
+	if _, err := FleetClusters(0, nil); err == nil || !strings.Contains(err.Error(), "positive") {
+		t.Fatalf("pods=0 error %v", err)
+	}
+	if _, err := FleetClusters(2, []string{"Z-DLA"}); err == nil || !strings.Contains(err.Error(), "unknown design") {
+		t.Fatalf("unknown design error %v", err)
+	}
+}
+
+// TestFleetReportShape drives the report builder over synthetic results:
+// the headline row set, the per-cluster sections, and the admission-gap
+// note comparing against the first (baseline) cluster.
+func TestFleetReportShape(t *testing.T) {
+	job := fleet.NormalizeTrace([]fleet.Job{{Name: "g", Workload: "GPT-2", Iters: 1}})[0]
+	dc := &fleet.Result{
+		Cluster:  fleet.Cluster{Name: "DC-DLA", Pods: []fleet.PodSpec{{Kind: "DC-DLA", Count: 4}}},
+		Outcomes: []fleet.Outcome{{Job: job, Refused: "footprint 1.95 TB exceeds largest pod pool 768.00 GB"}},
+		Refused:  1,
+	}
+	mc := &fleet.Result{
+		Cluster:   fleet.Cluster{Name: "MC-DLA(B)", Pods: []fleet.PodSpec{{Kind: "MC-DLA(B)", Count: 2}}},
+		Outcomes:  []fleet.Outcome{{Job: job, Admitted: true, Pod: "MC-DLA(B)/0"}},
+		Completed: 1,
+	}
+	rep := FleetReport([]*fleet.Result{dc, mc})
+	if rep.Name != "fleet" {
+		t.Fatalf("report name %q", rep.Name)
+	}
+	if len(rep.Sections) != 3 {
+		t.Fatalf("got %d sections, want headline + 2 clusters", len(rep.Sections))
+	}
+	if rows := len(rep.Sections[0].Table.Rows); rows != 2 {
+		t.Fatalf("headline has %d rows, want 2", rows)
+	}
+	text := report.Text(rep)
+	if !strings.Contains(text, "MC-DLA(B) admits g; DC-DLA refuses them (pool capacity).") {
+		t.Fatalf("missing admission-gap note:\n%s", text)
+	}
+	if !strings.Contains(text, "refused: footprint") {
+		t.Fatalf("missing refusal cell:\n%s", text)
+	}
+
+	// Empty input degrades to a bare document, and a gap-free comparison
+	// says so instead of printing nothing.
+	if empty := FleetReport(nil); len(empty.Sections) != 0 {
+		t.Fatalf("empty results produced sections: %+v", empty.Sections)
+	}
+	same := FleetReport([]*fleet.Result{mc, mc})
+	if !strings.Contains(report.Text(same), "No admission gap") {
+		t.Fatal("missing no-gap note")
+	}
+}

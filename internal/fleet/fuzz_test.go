@@ -1,0 +1,47 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzFleetTrace is the trace-parser robustness target: arbitrary bytes —
+// CSV-ish, JSON-ish, or garbage — must never panic, and every rejection
+// must carry the package's diagnostic prefix (which names the offending
+// line/job and field for structured failures). Accepted traces must come
+// back normalized: defaults applied and every job valid.
+func FuzzFleetTrace(f *testing.F) {
+	f.Add([]byte(csvHeader + "\nbert,BERT-Large,10,200,8,512,512,mixed,dp,1200\n"))
+	f.Add([]byte(csvHeader + "\n,AlexNet,,,,,,,,\n"))
+	f.Add([]byte(csvHeader + "\nx,AlexNet,0,1\n"))
+	f.Add([]byte(csvHeader + "\nx,AlexNet,-3,1,8,512,0,,,0\n"))
+	f.Add([]byte(`[{"name":"a","workload":"AlexNet","arrival_s":5,"devices":2}]`))
+	f.Add([]byte(`{"jobs":[{"workload":"GPT-2","seqlen":1024,"precision":"mixed","strategy":"mp"}]}`))
+	f.Add([]byte(`{"jobs":[{"workload":"GPT-2","seq_len":1024}]}`))
+	f.Add([]byte(`[{"workload":"AlexNet"}] trailing`))
+	f.Add([]byte("{"))
+	f.Add([]byte("[[[["))
+	f.Add([]byte(""))
+	f.Add([]byte("\x00\xff\xfe"))
+	f.Add([]byte("name\nname\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		jobs, err := ParseTrace(data)
+		if err != nil {
+			if !strings.Contains(err.Error(), "fleet trace:") {
+				t.Fatalf("error without diagnostic prefix: %v", err)
+			}
+			return
+		}
+		if len(jobs) == 0 {
+			t.Fatal("accepted a trace with no jobs")
+		}
+		for i, j := range jobs {
+			if err := j.validate(); err != nil {
+				t.Fatalf("accepted invalid job %d: %v", i, err)
+			}
+			if j.Name == "" || j.Devices <= 0 || j.Batch <= 0 || j.Iters <= 0 {
+				t.Fatalf("job %d not normalized: %+v", i, j)
+			}
+		}
+	})
+}

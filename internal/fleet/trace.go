@@ -1,0 +1,379 @@
+// Package fleet is the datacenter-level scheduling layer above the
+// per-system simulators: it takes a trace of heterogeneous training jobs
+// (CNN/RNN/BERT/GPT-2 mixes with arrival times, device demands,
+// batch/seqlen/precision axes and optional deadlines) and a cluster of
+// simulated pods (DC-DLA / HC-DLA / MC-DLA design points built via
+// core.DesignFor), admits jobs under each pod's memory-capacity constraint —
+// the pooled memory-nodes of the memory-centric pods hold multi-terabyte
+// working sets that the device-centric pods' host-DRAM backing store must
+// OOM-refuse — and advances a purely virtual clock over arrival and
+// completion events, using memoized per-job simulated throughputs supplied by
+// the caller. The outputs are fleet-level figures of merit: throughput,
+// queueing delay, utilization, deadline misses, and (with internal/cost)
+// jobs per day per dollar — the datacenter version of the paper's economic
+// argument.
+//
+// The package holds no wall clock, no randomness and no environment reads
+// (enforced by the nondeterminism analyzer): a trace and a cluster map to
+// one schedule, byte-identical at any parallelism.
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/memcentric/mcdla/internal/train"
+	"github.com/memcentric/mcdla/internal/units"
+)
+
+// Trace defaults: a job that leaves an axis zero gets the paper's evaluation
+// point (§IV), so hand-written traces stay short and the CLI and HTTP
+// surfaces normalize identically (identical traces can never fork store
+// entries on defaulting differences).
+const (
+	// DefaultDevices is the device demand of a job that does not name one:
+	// a full pod.
+	DefaultDevices = 8
+	// DefaultBatch is the paper's global batch.
+	DefaultBatch = 512
+	// DefaultIters is the training length of a job that does not name one.
+	DefaultIters = 100
+)
+
+// Job is one training job of a fleet trace.
+type Job struct {
+	// Name labels the job in reports ("" is normalized to job<index>).
+	Name string `json:"name"`
+	// Workload is a Table III or transformer benchmark.
+	Workload string `json:"workload"`
+	// Arrival is the submission time in seconds since trace start.
+	Arrival units.Time `json:"arrival_s"`
+	// Iters is the number of training iterations the job runs (0: default).
+	Iters int `json:"iters"`
+	// Devices is the job's accelerator demand within one pod (0: default 8).
+	Devices int `json:"devices"`
+	// Batch is the global batch size (0: the paper's 512).
+	Batch int `json:"batch"`
+	// SeqLen overrides a transformer workload's sequence length (0: the
+	// workload default).
+	SeqLen int `json:"seqlen"`
+	// Precision is the number-format policy (zero value: fp16).
+	Precision train.Precision `json:"precision"`
+	// Strategy is the parallelization strategy (zero value: dp).
+	Strategy train.Strategy `json:"strategy"`
+	// Deadline, when positive, is the completion deadline in seconds since
+	// trace start.
+	Deadline units.Time `json:"deadline_s"`
+}
+
+// normalized applies the trace defaults; index names anonymous jobs.
+func (j Job) normalized(index int) Job {
+	if j.Name == "" {
+		j.Name = fmt.Sprintf("job%d", index)
+	}
+	if j.Devices <= 0 {
+		j.Devices = DefaultDevices
+	}
+	if j.Batch <= 0 {
+		j.Batch = DefaultBatch
+	}
+	if j.Iters <= 0 {
+		j.Iters = DefaultIters
+	}
+	return j
+}
+
+// NormalizeTrace applies the trace defaults to every job, in place of the
+// parser for traces built programmatically (CLI flags, tests): both surfaces
+// feed the scheduler — and therefore the runner's canonical store keys —
+// through this one normalization.
+func NormalizeTrace(jobs []Job) []Job {
+	out := make([]Job, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.normalized(i)
+	}
+	return out
+}
+
+// traceColumns is the CSV header, in order. Every parse error names the
+// offending line and column so a malformed trace is diagnosable without
+// opening the file.
+var traceColumns = []string{
+	"name", "workload", "arrival_s", "iters", "devices",
+	"batch", "seqlen", "precision", "strategy", "deadline_s",
+}
+
+// ParseTrace parses a trace from CSV or JSON, sniffing the format from the
+// first non-space byte ('[' or '{' selects JSON). The returned jobs are
+// normalized (defaults applied) and validated; errors name the offending
+// line/job and field.
+func ParseTrace(data []byte) ([]Job, error) {
+	trimmed := strings.TrimLeft(string(data), " \t\r\n")
+	if strings.HasPrefix(trimmed, "[") || strings.HasPrefix(trimmed, "{") {
+		return ParseTraceJSON(data)
+	}
+	return ParseTraceCSV(data)
+}
+
+// ParseTraceCSV parses the comma-separated trace form:
+//
+//	name,workload,arrival_s,iters,devices,batch,seqlen,precision,strategy,deadline_s
+//	bert-0,BERT-Large,0,200,8,512,512,mixed,dp,0
+//
+// The header line is required. Numeric fields may be left empty for the
+// defaults; deadline_s 0 (or empty) means no deadline.
+func ParseTraceCSV(data []byte) ([]Job, error) {
+	lines := strings.Split(strings.ReplaceAll(string(data), "\r\n", "\n"), "\n")
+	var rows [][]string
+	var lineNos []int
+	for i, line := range lines {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		rows = append(rows, strings.Split(line, ","))
+		lineNos = append(lineNos, i+1)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("fleet trace: empty CSV (want a %q header line)", strings.Join(traceColumns, ","))
+	}
+	header := rows[0]
+	if len(header) != len(traceColumns) {
+		return nil, fmt.Errorf("fleet trace: line %d: header has %d columns, want %d (%s)",
+			lineNos[0], len(header), len(traceColumns), strings.Join(traceColumns, ","))
+	}
+	for i, col := range traceColumns {
+		if strings.TrimSpace(header[i]) != col {
+			return nil, fmt.Errorf("fleet trace: line %d: header column %d is %q, want %q",
+				lineNos[0], i+1, strings.TrimSpace(header[i]), col)
+		}
+	}
+	var jobs []Job
+	for r := 1; r < len(rows); r++ {
+		row, lineNo := rows[r], lineNos[r]
+		if len(row) != len(traceColumns) {
+			return nil, fmt.Errorf("fleet trace: line %d: %d columns, want %d", lineNo, len(row), len(traceColumns))
+		}
+		field := func(i int) string { return strings.TrimSpace(row[i]) }
+		j := Job{Name: field(0), Workload: field(1)}
+		var err error
+		if j.Arrival, err = timeField(field(2)); err != nil {
+			return nil, fmt.Errorf("fleet trace: line %d: field %q: %v", lineNo, "arrival_s", err)
+		}
+		if j.Iters, err = intField(field(3)); err != nil {
+			return nil, fmt.Errorf("fleet trace: line %d: field %q: %v", lineNo, "iters", err)
+		}
+		if j.Devices, err = intField(field(4)); err != nil {
+			return nil, fmt.Errorf("fleet trace: line %d: field %q: %v", lineNo, "devices", err)
+		}
+		if j.Batch, err = intField(field(5)); err != nil {
+			return nil, fmt.Errorf("fleet trace: line %d: field %q: %v", lineNo, "batch", err)
+		}
+		if j.SeqLen, err = intField(field(6)); err != nil {
+			return nil, fmt.Errorf("fleet trace: line %d: field %q: %v", lineNo, "seqlen", err)
+		}
+		if v := field(7); v != "" {
+			if j.Precision, err = train.ParsePrecision(v); err != nil {
+				return nil, fmt.Errorf("fleet trace: line %d: field %q: %v", lineNo, "precision", err)
+			}
+		}
+		if v := field(8); v != "" {
+			if j.Strategy, err = train.ParseStrategy(v); err != nil {
+				return nil, fmt.Errorf("fleet trace: line %d: field %q: %v", lineNo, "strategy", err)
+			}
+		}
+		if j.Deadline, err = timeField(field(9)); err != nil {
+			return nil, fmt.Errorf("fleet trace: line %d: field %q: %v", lineNo, "deadline_s", err)
+		}
+		if err := j.validate(); err != nil {
+			return nil, fmt.Errorf("fleet trace: line %d: %v", lineNo, err)
+		}
+		jobs = append(jobs, j.normalized(len(jobs)))
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("fleet trace: no jobs after the header")
+	}
+	return jobs, nil
+}
+
+// jsonJob is the JSON wire form of one job: precision and strategy arrive as
+// their CLI spellings and every axis is optional.
+type jsonJob struct {
+	Name      string  `json:"name"`
+	Workload  string  `json:"workload"`
+	ArrivalS  float64 `json:"arrival_s"`
+	Iters     int     `json:"iters"`
+	Devices   int     `json:"devices"`
+	Batch     int     `json:"batch"`
+	SeqLen    int     `json:"seqlen"`
+	Precision string  `json:"precision"`
+	Strategy  string  `json:"strategy"`
+	DeadlineS float64 `json:"deadline_s"`
+}
+
+// ParseTraceJSON parses the JSON trace form: either a bare job array or a
+// {"jobs": [...]} document. Unknown fields are rejected by name.
+func ParseTraceJSON(data []byte) ([]Job, error) {
+	trimmed := strings.TrimLeft(string(data), " \t\r\n")
+	var raw []jsonJob
+	if strings.HasPrefix(trimmed, "{") {
+		var doc struct {
+			Jobs []jsonJob `json:"jobs"`
+		}
+		if err := decodeStrict(data, &doc); err != nil {
+			return nil, fmt.Errorf("fleet trace: %v", err)
+		}
+		raw = doc.Jobs
+	} else {
+		if err := decodeStrict(data, &raw); err != nil {
+			return nil, fmt.Errorf("fleet trace: %v", err)
+		}
+	}
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("fleet trace: no jobs in JSON document")
+	}
+	var jobs []Job
+	for i, rj := range raw {
+		j := Job{
+			Name: rj.Name, Workload: rj.Workload,
+			Iters: rj.Iters, Devices: rj.Devices, Batch: rj.Batch, SeqLen: rj.SeqLen,
+		}
+		if rj.ArrivalS < 0 {
+			return nil, fmt.Errorf("fleet trace: job %d: field %q: want a nonnegative number, got %v", i, "arrival_s", rj.ArrivalS)
+		}
+		j.Arrival = units.Seconds(rj.ArrivalS)
+		if rj.DeadlineS < 0 {
+			return nil, fmt.Errorf("fleet trace: job %d: field %q: want a nonnegative number, got %v", i, "deadline_s", rj.DeadlineS)
+		}
+		j.Deadline = units.Seconds(rj.DeadlineS)
+		var err error
+		if rj.Precision != "" {
+			if j.Precision, err = train.ParsePrecision(rj.Precision); err != nil {
+				return nil, fmt.Errorf("fleet trace: job %d: field %q: %v", i, "precision", err)
+			}
+		}
+		if rj.Strategy != "" {
+			if j.Strategy, err = train.ParseStrategy(rj.Strategy); err != nil {
+				return nil, fmt.Errorf("fleet trace: job %d: field %q: %v", i, "strategy", err)
+			}
+		}
+		if err := j.validate(); err != nil {
+			return nil, fmt.Errorf("fleet trace: job %d: %v", i, err)
+		}
+		jobs = append(jobs, j.normalized(len(jobs)))
+	}
+	return jobs, nil
+}
+
+// decodeStrict unmarshals JSON with unknown fields rejected, so a typo'd
+// axis name errors instead of silently defaulting.
+func decodeStrict(data []byte, v any) error {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	var extra any
+	if dec.Decode(&extra) == nil {
+		return fmt.Errorf("trailing data after the trace document")
+	}
+	return nil
+}
+
+// validate rejects syntactically impossible jobs; workload existence is
+// checked by the scheduler when the training schedule is built.
+func (j Job) validate() error {
+	switch {
+	case j.Workload == "":
+		return fmt.Errorf("field %q: must name a workload", "workload")
+	case j.Iters < 0:
+		return fmt.Errorf("field %q: want a nonnegative count, got %d", "iters", j.Iters)
+	case j.Devices < 0:
+		return fmt.Errorf("field %q: want a nonnegative count, got %d", "devices", j.Devices)
+	case j.Batch < 0:
+		return fmt.Errorf("field %q: want a nonnegative count, got %d", "batch", j.Batch)
+	case j.SeqLen < 0:
+		return fmt.Errorf("field %q: want a nonnegative length, got %d", "seqlen", j.SeqLen)
+	case j.Arrival < 0:
+		return fmt.Errorf("field %q: want a nonnegative time, got %v", "arrival_s", j.Arrival.Seconds())
+	case j.Deadline < 0:
+		return fmt.Errorf("field %q: want a nonnegative time, got %v", "deadline_s", j.Deadline.Seconds())
+	}
+	return nil
+}
+
+// timeField parses a seconds field ("" is zero).
+func timeField(s string) (units.Time, error) {
+	if s == "" {
+		return 0, nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil || f < 0 {
+		return 0, fmt.Errorf("want a nonnegative number of seconds, got %q", s)
+	}
+	return units.Seconds(f), nil
+}
+
+// intField parses a count field ("" is zero, meaning the default).
+func intField(s string) (int, error) {
+	if s == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("want a nonnegative integer, got %q", s)
+	}
+	return n, nil
+}
+
+// DefaultTrace is the built-in demonstration trace: a morning's worth of
+// heterogeneous submissions. The two GPT-2 jobs carry ~2 TB working sets
+// (batch 512, seqlen 1024) that only a pooled-memory pod can hold — the
+// device-centric pods' 768 GB host backing store must refuse them — and the
+// mid-size BERT jobs pack several-hundred-GB footprints that stress, but
+// fit, every pod kind.
+func DefaultTrace() []Job {
+	return NormalizeTrace([]Job{
+		{Name: "resnet-a", Workload: "ResNet", Arrival: 0, Iters: 2000, Devices: 4},
+		{Name: "vgg-a", Workload: "VGG-E", Arrival: 0, Iters: 1200, Devices: 8},
+		{Name: "gpt2-big", Workload: "GPT-2", Arrival: units.Seconds(30), Iters: 150, Devices: 8, SeqLen: 1024, Precision: train.Mixed},
+		{Name: "bert-a", Workload: "BERT-Large", Arrival: units.Seconds(60), Iters: 400, Devices: 8, SeqLen: 512, Precision: train.Mixed, Deadline: units.Seconds(1200)},
+		{Name: "gru-a", Workload: "RNN-GRU", Arrival: units.Seconds(90), Iters: 3000, Devices: 2},
+		{Name: "lstm-a", Workload: "RNN-LSTM-2", Arrival: units.Seconds(120), Iters: 2500, Devices: 2},
+		{Name: "bert-fp32", Workload: "BERT-Large", Arrival: units.Seconds(180), Iters: 250, Devices: 8, Batch: 1024, SeqLen: 512, Precision: train.FP32},
+		{Name: "gpt2-late", Workload: "GPT-2", Arrival: units.Seconds(240), Iters: 100, Devices: 8, SeqLen: 1024, Precision: train.Mixed, Deadline: units.Seconds(3600)},
+		{Name: "resnet-mp", Workload: "ResNet", Arrival: units.Seconds(300), Iters: 1500, Devices: 4, Strategy: train.ModelParallel},
+		{Name: "alex-a", Workload: "AlexNet", Arrival: units.Seconds(360), Iters: 2500, Devices: 2},
+		{Name: "vgg-late", Workload: "VGG-E", Arrival: units.Seconds(420), Iters: 800, Devices: 4, Deadline: units.Seconds(900)},
+		{Name: "bert-late", Workload: "BERT-Large", Arrival: units.Seconds(480), Iters: 300, Devices: 8, SeqLen: 512, Precision: train.Mixed},
+	})
+}
+
+// SyntheticTrace builds a deterministic n-job trace cycling the workload
+// families with staggered arrivals and varied axes — the benchmark's 100-job
+// input and a convenient scale knob for tests (`mcdla fleet -jobs N`). The
+// same n always yields the same trace.
+func SyntheticTrace(n int) []Job {
+	patterns := []Job{
+		{Workload: "ResNet", Iters: 1500, Devices: 4},
+		{Workload: "VGG-E", Iters: 800, Devices: 8},
+		{Workload: "BERT-Large", Iters: 300, Devices: 8, SeqLen: 512, Precision: train.Mixed},
+		{Workload: "RNN-GRU", Iters: 2500, Devices: 2},
+		{Workload: "GPT-2", Iters: 120, Devices: 8, SeqLen: 1024, Precision: train.Mixed},
+		{Workload: "AlexNet", Iters: 2000, Devices: 2},
+		{Workload: "RNN-LSTM-2", Iters: 2200, Devices: 2},
+		{Workload: "BERT-Large", Iters: 250, Devices: 8, Batch: 1024, SeqLen: 512, Precision: train.FP32},
+	}
+	jobs := make([]Job, 0, n)
+	for i := 0; i < n; i++ {
+		j := patterns[i%len(patterns)]
+		j.Name = fmt.Sprintf("%s-%d", strings.ToLower(strings.SplitN(j.Workload, "-", 2)[0]), i)
+		j.Arrival = units.Seconds(float64(30 * i))
+		if i%5 == 4 {
+			j.Deadline = j.Arrival + units.Seconds(3600)
+		}
+		jobs = append(jobs, j)
+	}
+	return NormalizeTrace(jobs)
+}

@@ -1,0 +1,215 @@
+package fleet
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/memcentric/mcdla/internal/accel"
+	"github.com/memcentric/mcdla/internal/core"
+	"github.com/memcentric/mcdla/internal/runner"
+	"github.com/memcentric/mcdla/internal/store"
+	"github.com/memcentric/mcdla/internal/train"
+	"github.com/memcentric/mcdla/internal/units"
+)
+
+const csvHeader = "name,workload,arrival_s,iters,devices,batch,seqlen,precision,strategy,deadline_s"
+
+func TestParseTraceCSV(t *testing.T) {
+	data := csvHeader + "\n" +
+		"bert-0,BERT-Large,10,200,8,512,512,mixed,dp,1200\n" +
+		",AlexNet,,,,,,,,\n"
+	jobs, err := ParseTraceCSV([]byte(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Job{
+		{Name: "bert-0", Workload: "BERT-Large", Arrival: units.Seconds(10), Iters: 200,
+			Devices: 8, Batch: 512, SeqLen: 512, Precision: train.Mixed, Deadline: units.Seconds(1200)},
+		{Name: "job1", Workload: "AlexNet", Devices: DefaultDevices, Batch: DefaultBatch, Iters: DefaultIters},
+	}
+	if !reflect.DeepEqual(jobs, want) {
+		t.Fatalf("parsed %+v, want %+v", jobs, want)
+	}
+}
+
+func TestParseTraceJSONForms(t *testing.T) {
+	bare := `[{"name":"a","workload":"AlexNet","arrival_s":5,"iters":10,"devices":2,"precision":"fp32","strategy":"mp"}]`
+	doc := `{"jobs":` + bare + `}`
+	want := []Job{{Name: "a", Workload: "AlexNet", Arrival: units.Seconds(5), Iters: 10,
+		Devices: 2, Batch: DefaultBatch, Precision: train.FP32, Strategy: train.ModelParallel}}
+	for _, data := range []string{bare, doc} {
+		jobs, err := ParseTrace([]byte(data))
+		if err != nil {
+			t.Fatalf("%s: %v", data, err)
+		}
+		if !reflect.DeepEqual(jobs, want) {
+			t.Fatalf("parsed %+v, want %+v", jobs, want)
+		}
+	}
+}
+
+// TestParseTraceErrorsNameTheField is the satellite contract: malformed
+// traces error with the offending line (CSV) or job index (JSON) and field.
+func TestParseTraceErrorsNameTheField(t *testing.T) {
+	cases := []struct {
+		name, data, want string
+	}{
+		{"empty", "", "empty CSV"},
+		{"bad header", "name,workload\nx,y\n", "header has 2 columns"},
+		{"wrong column", strings.Replace(csvHeader, "iters", "steps", 1) + "\nx,AlexNet,0,1,8,512,0,,,0\n", `header column 4 is "steps"`},
+		{"short row", csvHeader + "\nx,AlexNet,0\n", "line 2: 3 columns"},
+		{"bad arrival", csvHeader + "\nx,AlexNet,-3,1,8,512,0,,,0\n", `line 2: field "arrival_s"`},
+		{"bad iters", csvHeader + "\nx,AlexNet,0,many,8,512,0,,,0\n", `line 2: field "iters"`},
+		{"bad devices", csvHeader + "\nx,AlexNet,0,1,-8,512,0,,,0\n", `line 2: field "devices"`},
+		{"bad precision", csvHeader + "\nx,AlexNet,0,1,8,512,0,fp12,,0\n", `line 2: field "precision"`},
+		{"bad strategy", csvHeader + "\nx,AlexNet,0,1,8,512,0,,zp,0\n", `line 2: field "strategy"`},
+		{"bad deadline", csvHeader + "\nx,AlexNet,0,1,8,512,0,,,never\n", `line 2: field "deadline_s"`},
+		{"missing workload", csvHeader + "\nx,,0,1,8,512,0,,,0\n", `line 2: field "workload"`},
+		{"header only", csvHeader + "\n", "no jobs after the header"},
+		{"json empty", "[]", "no jobs"},
+		{"json unknown field", `[{"workload":"AlexNet","seq_len":4}]`, "seq_len"},
+		{"json bad precision", `[{"workload":"AlexNet","precision":"fp12"}]`, `job 0: field "precision"`},
+		{"json bad strategy", `[{"workload":"AlexNet","strategy":"zp"}]`, `job 0: field "strategy"`},
+		{"json negative arrival", `[{"workload":"AlexNet","arrival_s":-1}]`, `job 0: field "arrival_s"`},
+		{"json negative deadline", `[{"workload":"AlexNet","deadline_s":-1}]`, `job 0: field "deadline_s"`},
+		{"json missing workload", `[{"name":"x"}]`, `field "workload"`},
+		{"json trailing data", `[{"workload":"AlexNet"}] [1]`, "trailing data"},
+		{"json not a trace", `{"pods":[]}`, "pods"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseTrace([]byte(tc.data))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestTraceFormatsAgree pins the CLI/HTTP anti-fork satellite end to end:
+// the same trace spelled as CSV, as JSON, and built programmatically must
+// normalize to identical jobs — and therefore to byte-identical runner jobs
+// and durable store hashes on every surface.
+func TestTraceFormatsAgree(t *testing.T) {
+	csv := csvHeader + "\n" +
+		"gpt,GPT-2,30,150,8,512,1024,mixed,dp,0\n" +
+		"gru,RNN-GRU,90,3000,2,,,,,\n"
+	json := `{"jobs":[
+		{"name":"gpt","workload":"GPT-2","arrival_s":30,"iters":150,"devices":8,"batch":512,"seqlen":1024,"precision":"mixed"},
+		{"name":"gru","workload":"RNN-GRU","arrival_s":90,"iters":3000,"devices":2}
+	]}`
+	direct := NormalizeTrace([]Job{
+		{Name: "gpt", Workload: "GPT-2", Arrival: units.Seconds(30), Iters: 150, Devices: 8, Batch: 512, SeqLen: 1024, Precision: train.Mixed},
+		{Name: "gru", Workload: "RNN-GRU", Arrival: units.Seconds(90), Iters: 3000, Devices: 2},
+	})
+	fromCSV, err := ParseTrace([]byte(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := ParseTrace([]byte(json))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromCSV, direct) || !reflect.DeepEqual(fromJSON, direct) {
+		t.Fatalf("surfaces disagree:\ncsv:    %+v\njson:   %+v\ndirect: %+v", fromCSV, fromJSON, direct)
+	}
+
+	// The store-key round trip: every parse surface keys the same entries.
+	toRunner := func(jobs []Job) []runner.Job {
+		var out []runner.Job
+		for _, j := range jobs {
+			d, err := core.DesignFor("MC-DLA(B)", accel.Default(), j.Devices)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, runner.Job{
+				Design: d, Workload: j.Workload, Strategy: j.Strategy,
+				Batch: j.Batch, Workers: j.Devices, SeqLen: j.SeqLen,
+				Precision: j.Precision, Tag: "fleet",
+			})
+		}
+		return out
+	}
+	a, b, c := toRunner(fromCSV), toRunner(fromJSON), toRunner(direct)
+	for i := range a {
+		ha, err := store.JobHash(a[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		hb, err := store.JobHash(b[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		hc, err := store.JobHash(c[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ha != hb || ha != hc {
+			t.Fatalf("job %d forked store entries: csv=%s json=%s direct=%s", i, ha, hb, hc)
+		}
+		// The Tag label must never fork a key either (runner.Job.Canonical).
+		tagged := a[i]
+		tagged.Tag = "something-else"
+		ht, err := store.JobHash(tagged)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ht != ha {
+			t.Fatalf("job %d: tag forked the store key: %s vs %s", i, ht, ha)
+		}
+	}
+}
+
+func TestDefaultTrace(t *testing.T) {
+	jobs := DefaultTrace()
+	if len(jobs) == 0 {
+		t.Fatal("empty default trace")
+	}
+	seen := map[string]bool{}
+	for _, j := range jobs {
+		if err := j.validate(); err != nil {
+			t.Fatalf("job %q: %v", j.Name, err)
+		}
+		if seen[j.Name] {
+			t.Fatalf("duplicate job name %q", j.Name)
+		}
+		seen[j.Name] = true
+	}
+}
+
+func TestSyntheticTraceDeterministic(t *testing.T) {
+	a, b := SyntheticTrace(100), SyntheticTrace(100)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("synthetic traces diverged")
+	}
+	if len(a) != 100 {
+		t.Fatalf("got %d jobs, want 100", len(a))
+	}
+	for i, j := range a {
+		if err := j.validate(); err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+	}
+}
+
+// TestSyntheticTraceRoundTripsCSV closes the loop between the generator and
+// the parser: a synthetic trace serialized as CSV parses back identically.
+func TestSyntheticTraceRoundTripsCSV(t *testing.T) {
+	jobs := SyntheticTrace(16)
+	var sb strings.Builder
+	sb.WriteString(csvHeader + "\n")
+	for _, j := range jobs {
+		fmt.Fprintf(&sb, "%s,%s,%g,%d,%d,%d,%d,%s,%s,%g\n",
+			j.Name, j.Workload, j.Arrival.Seconds(), j.Iters, j.Devices, j.Batch, j.SeqLen,
+			j.Precision, j.Strategy, j.Deadline.Seconds())
+	}
+	back, err := ParseTraceCSV([]byte(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, jobs) {
+		t.Fatalf("round trip diverged:\n%+v\n%+v", back, jobs)
+	}
+}

@@ -140,6 +140,11 @@ func Num(text string, v float64) Cell { return Cell{Text: text, Value: v} }
 // Numf builds a numeric cell formatting v with the given verb.
 func Numf(format string, v float64) Cell { return Num(fmt.Sprintf(format, v), v) }
 
+// Pct builds a percentage cell from a fraction: "62.5%" text with the raw
+// fraction (0.625) as the typed value, so machine renderers never re-parse
+// the formatted string.
+func Pct(frac float64) Cell { return Num(fmt.Sprintf("%.1f%%", frac*100), frac) }
+
 // Time builds a cell from a simulated duration: paper-style text, seconds as
 // the typed value.
 func Time(t units.Time) Cell { return Cell{Text: t.String(), Value: t.Seconds()} }

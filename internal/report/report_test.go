@@ -143,6 +143,19 @@ func TestRenderDispatch(t *testing.T) {
 	}
 }
 
+func TestPctCell(t *testing.T) {
+	c := Pct(0.625)
+	if c.Text != "62.5%" {
+		t.Fatalf("pct text = %q", c.Text)
+	}
+	if c.Value.(float64) != 0.625 {
+		t.Fatalf("pct value = %#v (want the raw fraction)", c.Value)
+	}
+	if c = Pct(0); c.Text != "0.0%" {
+		t.Fatalf("zero pct text = %q", c.Text)
+	}
+}
+
 func TestBytesCell(t *testing.T) {
 	c := Bytes(units.Bytes(3 * 1024 * 1024))
 	if c.Value.(int64) != 3*1024*1024 {

@@ -43,6 +43,16 @@ type Job struct {
 	Tag string
 }
 
+// Canonical returns the job's cache identity: the job with its caller-only
+// Tag label cleared. Every durable-store key and cross-surface comparison
+// must go through this one function — the CLI and HTTP paths both feed
+// normalized trace jobs here, so identical simulation inputs can never fork
+// store entries on labeling differences.
+func (j Job) Canonical() Job {
+	j.Tag = ""
+	return j
+}
+
 // key identifies the simulation's full input space. Design and Schedule are
 // plain value trees (no pointers or maps), so their printed form is a
 // faithful fingerprint.

@@ -542,3 +542,27 @@ func TestInFlightSurvivesBurstBeyondBound(t *testing.T) {
 		t.Fatalf("cache holds %d entries after the burst completed, bound is %d", final, cap)
 	}
 }
+
+// TestCanonicalClearsOnlyTag pins the cache-identity contract: Canonical
+// strips the caller-only Tag label and nothing else, and two jobs that
+// differ only by Tag share one memo key.
+func TestCanonicalClearsOnlyTag(t *testing.T) {
+	j := testGrid()[0]
+	j.Tag = "fleet"
+	c := j.Canonical()
+	if c.Tag != "" {
+		t.Fatalf("Canonical kept Tag %q", c.Tag)
+	}
+	j.Tag = ""
+	if !reflect.DeepEqual(c, j) {
+		t.Fatalf("Canonical changed more than Tag:\n%+v\n%+v", c, j)
+	}
+	tagged := j
+	tagged.Tag = "other-label"
+	if tagged.key() != j.key() {
+		t.Fatalf("Tag forked the memo key: %q vs %q", tagged.key(), j.key())
+	}
+	if tagged.Canonical() != j.Canonical() {
+		t.Fatal("Canonical forms of tag-only variants differ")
+	}
+}

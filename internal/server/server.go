@@ -26,6 +26,7 @@ import (
 	"github.com/memcentric/mcdla/internal/dnn"
 	"github.com/memcentric/mcdla/internal/dse"
 	"github.com/memcentric/mcdla/internal/experiments"
+	"github.com/memcentric/mcdla/internal/fleet"
 	"github.com/memcentric/mcdla/internal/report"
 	"github.com/memcentric/mcdla/internal/runner"
 	"github.com/memcentric/mcdla/internal/store"
@@ -164,6 +165,7 @@ var endpoints = []struct{ Path, Doc string }{
 	{"/v1/run", "one simulation: ?net=&design=&strategy=dp|mp&batch=&seqlen=&precision=&links=&gbps=&memnodes=&dimm=&compress=&workers="},
 	{"/v1/jobs", "async job API over every report endpoint (requires -store): POST ?path=&format= plus the endpoint's params submits (content-addressed id), GET lists; /v1/jobs/{id} polls, …/{id}/events streams SSE progress, …/{id}/result serves the rendered report"},
 	{"/v1/optimize", "cost/TCO design-space optimizer: ?objective=&search=grid|greedy|surrogate&surrogate=1&max-cost=&max-power=&min-throughput= plus candidate axes (workloads, designs, gbps, memnodes, dimms, precisions, compress)"},
+	{"/v1/fleet", "fleet-scale multi-job cluster simulation: ?trace=<CSV/JSON trace>&jobs=N&pods=P&designs=DC-DLA,HC-DLA,MC-DLA(B) — iso-cost clusters scheduling a heterogeneous job trace under pod memory-pool capacity"},
 	{"/v1/transformer", "seqlen × precision × design study: ?workload=&seqlens=&precisions="},
 	{"/v1/plane", "§VI scale-out plane: ?workload=&nodes=1,2,4&analytic=&compare="},
 	{"/v1/explore", "§III-B link-technology sweep: ?links=4,8&gbps=25,100"},
@@ -193,6 +195,7 @@ var reportRoutes = map[string]reportRoute{
 	"/v1/config":      {buildConfig, true},
 	"/v1/run":         {buildRun, false},
 	"/v1/optimize":    {buildOptimize, false},
+	"/v1/fleet":       {buildFleet, false},
 	"/v1/transformer": {buildTransformer, false},
 	"/v1/plane":       {buildPlane, false},
 	"/v1/explore":     {buildExplore, false},
@@ -508,6 +511,47 @@ func buildOptimize(ctx context.Context, q url.Values) (*report.Report, error) {
 		return nil, err
 	}
 	return experiments.OptimizeReport(res), nil
+}
+
+// buildFleet maps /v1/fleet query parameters onto the fleet-scale cluster
+// simulation, through exactly the trace parser, normalization and cluster
+// sizing the CLI uses — the same trace submitted on either surface produces
+// the same simulation jobs, and therefore the same durable store keys.
+func buildFleet(ctx context.Context, q url.Values) (*report.Report, error) {
+	jobs, err := intParam(q, "jobs", 0)
+	if err != nil {
+		return nil, err
+	}
+	pods, err := intParam(q, "pods", experiments.FleetPods)
+	if err != nil {
+		return nil, err
+	}
+	var tr []fleet.Job
+	switch {
+	case q.Get("trace") != "" && jobs > 0:
+		return nil, fmt.Errorf("trace and jobs parameters are mutually exclusive")
+	case q.Get("trace") != "":
+		if tr, err = fleet.ParseTrace([]byte(q.Get("trace"))); err != nil {
+			return nil, err
+		}
+	case jobs > 0:
+		tr = fleet.SyntheticTrace(jobs)
+	default:
+		tr = fleet.DefaultTrace()
+	}
+	var designs []string
+	if v := q.Get("designs"); v != "" {
+		designs = strings.Split(v, ",")
+	}
+	clusters, err := experiments.FleetClusters(pods, designs)
+	if err != nil {
+		return nil, err
+	}
+	results, err := experiments.Fleet(ctx, tr, clusters)
+	if err != nil {
+		return nil, err
+	}
+	return experiments.FleetReport(results), nil
 }
 
 func buildTransformer(ctx context.Context, q url.Values) (*report.Report, error) {

@@ -9,6 +9,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"os"
 	"path/filepath"
 	"strings"
@@ -454,5 +455,89 @@ func TestServeGracefulShutdown(t *testing.T) {
 	}
 	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
 		t.Fatal("listener still accepting after shutdown")
+	}
+}
+
+// TestFleetEndpointMatchesCLI pins surface parity for the fleet report: the
+// text rendering of /v1/fleet with default parameters must be byte-identical
+// to the CLI `mcdla fleet` golden fixture.
+func TestFleetEndpointMatchesCLI(t *testing.T) {
+	ts := newTestServer(t)
+	status, body := get(t, ts.URL+"/v1/fleet?format=text")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d: %s", status, body)
+	}
+	if got, want := string(body), cliGolden(t, "fleet_default"); got != want {
+		t.Fatalf("fleet endpoint diverged from the CLI fixture:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestFleetEndpointGoldenJSON pins the raw /v1/fleet response bytes for the
+// CI serve-smoke diff, MC-DLA(B)-only cluster. Refresh with:
+//
+//	go test ./internal/server -run TestFleetEndpointGoldenJSON -update
+func TestFleetEndpointGoldenJSON(t *testing.T) {
+	ts := newTestServer(t)
+	status, body := get(t, ts.URL+"/v1/fleet?designs=MC-DLA(B)&pods=2")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	path := filepath.Join("testdata", "fleet_mcdlab.golden.json")
+	if *update {
+		if err := os.WriteFile(path, body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing fixture (run with -update to create): %v", err)
+	}
+	if string(body) != string(want) {
+		t.Fatalf("response diverged from %s:\ngot:\n%s\nwant:\n%s", path, body, want)
+	}
+}
+
+// TestFleetEndpointTraceParam drives an inline CSV trace through the query
+// string: the same parser as the CLI -trace path, so a malformed trace
+// errors with the offending line and field, and a valid one schedules.
+func TestFleetEndpointTraceParam(t *testing.T) {
+	ts := newTestServer(t)
+	trace := "name,workload,arrival_s,iters,devices,batch,seqlen,precision,strategy,deadline_s\n" +
+		"a,AlexNet,0,10,2,,,,,\n"
+	status, body := get(t, ts.URL+"/v1/fleet?designs=DC-DLA&trace="+url.QueryEscape(trace))
+	if status != http.StatusOK {
+		t.Fatalf("status = %d: %s", status, body)
+	}
+	var rep report.Report
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Name != "fleet" {
+		t.Fatalf("report name %q", rep.Name)
+	}
+}
+
+// TestFleetEndpointErrors maps client mistakes to 400s that name the
+// offending parameter or trace location.
+func TestFleetEndpointErrors(t *testing.T) {
+	ts := newTestServer(t)
+	for _, tc := range []struct{ name, query, want string }{
+		{"bad pods", "pods=0", "positive"},
+		{"bad pods syntax", "pods=x", "pods"},
+		{"bad jobs", "jobs=-1", "jobs"},
+		{"unknown design", "designs=Z-DLA", "unknown design"},
+		{"trace and jobs", "jobs=5&trace=x", "mutually exclusive"},
+		{"bad trace", "trace=" + url.QueryEscape("name,workload\nx,y\n"), "fleet trace"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			status, body := get(t, ts.URL+"/v1/fleet?"+tc.query)
+			if status != http.StatusBadRequest {
+				t.Fatalf("status = %d: %s", status, body)
+			}
+			if !strings.Contains(string(body), tc.want) {
+				t.Fatalf("error body %q missing %q", body, tc.want)
+			}
+		})
 	}
 }

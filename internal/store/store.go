@@ -104,12 +104,12 @@ func hashBytes(b []byte) string {
 }
 
 // JobHash returns the job's content address: SHA-256 over the store version
-// tag and the canonical JSON of the job with its Tag label cleared — the Tag
-// is progress-stream metadata, not a simulation input, so jobs that differ
-// only by label share one entry (exactly like the runner's memo key).
+// tag and the canonical JSON of runner's Canonical form (the Tag label
+// cleared) — the Tag is progress-stream metadata, not a simulation input, so
+// jobs that differ only by label share one entry (exactly like the runner's
+// memo key).
 func JobHash(j runner.Job) (string, error) {
-	j.Tag = ""
-	b, err := canonicalJSON(j)
+	b, err := canonicalJSON(j.Canonical())
 	if err != nil {
 		return "", err
 	}
@@ -147,8 +147,7 @@ func encodeEntry(j runner.Job, r core.Result) (hash string, data []byte, err err
 	if err != nil {
 		return "", nil, err
 	}
-	j.Tag = ""
-	jobJSON, err := canonicalJSON(j)
+	jobJSON, err := canonicalJSON(j.Canonical())
 	if err != nil {
 		return "", nil, err
 	}
