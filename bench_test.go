@@ -12,6 +12,7 @@
 package mcdla_test
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"hash/fnv"
@@ -28,6 +29,7 @@ import (
 	"github.com/memcentric/mcdla/internal/experiments"
 	"github.com/memcentric/mcdla/internal/fleet"
 	"github.com/memcentric/mcdla/internal/metrics"
+	"github.com/memcentric/mcdla/internal/obs"
 	"github.com/memcentric/mcdla/internal/overlay"
 	"github.com/memcentric/mcdla/internal/power"
 	"github.com/memcentric/mcdla/internal/runner"
@@ -660,4 +662,89 @@ func BenchmarkFleetSimulate(b *testing.B) {
 		jobsPerDay = res.JobsPerDay
 	}
 	b.ReportMetric(jobsPerDay, "jobs/day")
+}
+
+// BenchmarkObsCounterInc pins the telemetry plane's hot-path budget: a
+// counter bump is one atomic add, 0 allocs/op — the cost a grid boundary
+// pays per job. The event loops themselves carry no obs calls at all.
+func BenchmarkObsCounterInc(b *testing.B) {
+	c := obs.NewRegistry().Counter("bench_counter_total", "benchmark counter")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	if c.Value() != int64(b.N) {
+		b.Fatalf("counter = %v, want %d", c.Value(), b.N)
+	}
+}
+
+// BenchmarkObsHistogramObserve: an observation is a binary search over the
+// fixed bucket bounds plus two atomic ops — 0 allocs/op.
+func BenchmarkObsHistogramObserve(b *testing.B) {
+	h := obs.NewRegistry().Histogram("bench_seconds", "benchmark histogram", obs.DefaultLatencyBuckets)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%100) / 1000)
+	}
+	if h.Count() != int64(b.N) {
+		b.Fatalf("histogram count = %d, want %d", h.Count(), b.N)
+	}
+}
+
+// BenchmarkObsWritePrometheus prices a /metrics scrape over a registry with
+// a realistic family count and labelled children.
+func BenchmarkObsWritePrometheus(b *testing.B) {
+	r := obs.NewRegistry()
+	for i := 0; i < 8; i++ {
+		r.Counter(fmt.Sprintf("bench_family_%d_total", i), "benchmark family").Add(int64(i))
+	}
+	rv := r.CounterVec("bench_requests_total", "benchmark requests", "route", "code")
+	for i := 0; i < 16; i++ {
+		rv.With(fmt.Sprintf("/v1/route%d", i), "200").Inc()
+	}
+	h := r.HistogramVec("bench_latency_seconds", "benchmark latency", obs.DefaultLatencyBuckets, "route")
+	for i := 0; i < 4; i++ {
+		h.With(fmt.Sprintf("/v1/route%d", i)).Observe(0.01)
+	}
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := r.WritePrometheus(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(buf.Len()), "exposition-bytes")
+}
+
+// BenchmarkTimelineWriteChrome prices the simulator-face export: trace one
+// VGG-E iteration and serialize the multi-process Chrome document.
+func BenchmarkTimelineWriteChrome(b *testing.B) {
+	d, err := core.DesignByName("MC-DLA(B)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := train.BuildSeq("VGG-E", experiments.Batch, experiments.Workers, train.DataParallel, 0, train.FP16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := &trace.Log{Label: "bench"}
+	if _, err := core.SimulateTraced(d, s, tr); err != nil {
+		b.Fatal(err)
+	}
+	t := &trace.Timeline{Label: "bench"}
+	t.AddProcess("bench", tr)
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := t.WriteChrome(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(buf.Len()), "trace-bytes")
 }

@@ -80,14 +80,19 @@ package main
 
 import (
 	"context"
+	_ "expvar" // registers /debug/vars on the -debug-addr listener
 	"flag"
 	"fmt"
+	"log/slog"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the -debug-addr listener
 	"os"
 	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"github.com/memcentric/mcdla/internal/core"
 	"github.com/memcentric/mcdla/internal/dse"
@@ -115,11 +120,16 @@ var (
 	resultStore *store.Store
 )
 
+// quietMode mirrors the global -quiet flag for subcommands that gate
+// telemetry output on it (serve's request log).
+var quietMode bool
+
 func main() {
 	args, parallel, quiet, format, dir, err := globalFlags(os.Args[1:])
 	if err == nil {
 		outputFormat = format
 		storeDir = dir
+		quietMode = quiet
 		ro := runner.Options{Parallelism: parallel}
 		if dir != "" {
 			if resultStore, err = store.Open(dir); err == nil {
@@ -301,12 +311,22 @@ func run(ctx context.Context, args []string) error {
 		nodesCSV := fs.String("nodes", "1,2,4,8,16", "system-node counts")
 		analytic := fs.Bool("analytic", false, "use the retired first-order estimator instead of the event engine")
 		compare := fs.Bool("compare", false, "table analytic vs event-driven MC-plane iteration times")
+		timeline := fs.String("timeline", "", "also write a Perfetto-loadable Chrome trace of the MC-plane sweep to FILE")
 		if err := fs.Parse(rest); err != nil {
 			return err
 		}
 		counts, err := parseIntsCSV("-nodes", *nodesCSV)
 		if err != nil {
 			return err
+		}
+		if *timeline != "" {
+			t, err := experiments.PlaneTimeline(ctx, *workload, counts)
+			if err != nil {
+				return err
+			}
+			if err := writeTimeline(*timeline, t); err != nil {
+				return err
+			}
 		}
 		pts, err := experiments.ScaleOutRows(ctx, *workload, counts, *analytic)
 		if err != nil {
@@ -421,6 +441,7 @@ func runOne(ctx context.Context, args []string) error {
 	dimm := fs.String("dimm", "", "memory-node DIMM module (default: Table II 128GB-LRDIMM; MC designs)")
 	compressF := fs.Bool("compress", false, "add a cDMA compressing DMA engine on the host virtualization path")
 	workers := fs.Int("workers", 0, "device count (0: the paper's 8)")
+	timeline := fs.String("timeline", "", "also write a Perfetto-loadable Chrome trace of the iteration to FILE")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -445,11 +466,33 @@ func runOne(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	if *timeline != "" {
+		t, err := experiments.RunTimeline(d, *workload, strategy, *batch, *seqlen, prec, *workers)
+		if err != nil {
+			return err
+		}
+		if err := writeTimeline(*timeline, t); err != nil {
+			return err
+		}
+	}
 	rep, err := experiments.RunReportFor(ctx, d, *workload, strategy, *batch, *seqlen, prec, *workers)
 	if err != nil {
 		return err
 	}
 	return emit(rep)
+}
+
+// writeTimeline serializes a timeline to path in Chrome trace-event JSON.
+func writeTimeline(path string, t *trace.Timeline) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runOptimize drives the design-space optimizer: a grid, greedy or
@@ -576,6 +619,7 @@ func runFleet(ctx context.Context, args []string) error {
 	jobs := fs.Int("jobs", 0, "generate a deterministic synthetic trace of N jobs instead of the default trace")
 	pods := fs.Int("pods", experiments.FleetPods, "iso-cost anchor: the shared budget buys this many pods of the priciest design")
 	designsCSV := fs.String("designs", "", "comma-separated cluster designs (default: DC-DLA,HC-DLA,MC-DLA(B))")
+	timeline := fs.String("timeline", "", "also write a Perfetto-loadable Chrome trace of the job lifecycle to FILE")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -608,6 +652,11 @@ func runFleet(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	if *timeline != "" {
+		if err := writeTimeline(*timeline, fleet.Timeline(results)); err != nil {
+			return err
+		}
+	}
 	return emit(experiments.FleetReport(results))
 }
 
@@ -626,14 +675,32 @@ func runServe(ctx context.Context, args []string) error {
 	cache := fs.Int("cache", server.DefaultCacheEntries, "cross-request simulation cache bound (LRU entries, 0 = unbounded)")
 	worker := fs.Bool("worker", false, "run as a headless job executor on the shared -store queue (no HTTP listener)")
 	exec := fs.Bool("exec", true, "execute queued jobs in this process (set -exec=false to leave the queue to -worker processes)")
+	debugAddr := fs.String("debug-addr", "", "separate listener for /debug/pprof and /debug/vars (empty: disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *debugAddr != "" {
+		// pprof and expvar register themselves on http.DefaultServeMux via
+		// the blank imports above; the debug listener serves only that mux,
+		// so profiles never ride the public API address. Best-effort: a
+		// failed debug listener logs and the service keeps running.
+		dbg := &http.Server{Addr: *debugAddr, Handler: http.DefaultServeMux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			fmt.Fprintf(os.Stderr, "mcdla serve: debug listener (pprof, expvar) on %s\n", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "mcdla serve: debug listener: %v\n", err)
+			}
+		}()
+		defer dbg.Close()
 	}
 	opts := server.Options{
 		Parallelism:     experiments.Parallelism(),
 		CacheEntries:    *cache,
 		Store:           resultStore,
 		DisableExecutor: !*exec,
+	}
+	if !quietMode {
+		opts.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
 	if *worker {
 		if resultStore == nil {
@@ -786,10 +853,17 @@ subcommands:
                                                scheduling a CSV/JSON job trace
                                                under pod memory-pool capacity
   trace -design D -workload W -o out.json      chrome://tracing timeline
+  run|plane|fleet -timeline FILE               also write a Perfetto-loadable
+                                               Chrome trace of the simulated
+                                               timeline (deterministic at any
+                                               -parallel)
   serve [-addr :8080] [-cache N]               HTTP API over the experiment suite
     [-worker] [-exec=false]                    (with -store: async /v1/jobs API;
-                                               -worker drains the shared queue
+    [-debug-addr :6060]                        -worker drains the shared queue
                                                headlessly, -exec=false serves
-                                               without executing locally)
+                                               without executing locally;
+                                               -debug-addr serves pprof+expvar;
+                                               /metrics scrapes Prometheus text,
+                                               request log on stderr unless -quiet)
   all                                          everything`)
 }

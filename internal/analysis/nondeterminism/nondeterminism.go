@@ -6,8 +6,11 @@
 // (ARCHITECTURE.md) — holds only because nothing on the simulation or
 // report path observes the outside world. This analyzer makes that
 // mechanical: inside the scoped packages, references to time.Now,
-// time.Since, time.Until, anything in math/rand (v1 or v2), and
-// os.Getenv/LookupEnv/Environ are diagnostics.
+// time.Since, time.Until, anything in math/rand (v1 or v2),
+// os.Getenv/LookupEnv/Environ, and the obs registry's wall-clock helpers
+// (obs.StartTimer, obs.SinceSeconds) are diagnostics — the last so the
+// telemetry plane's service face cannot leak wall-clock readings into
+// simulated timelines or reports.
 //
 // Deliberate exceptions carry an in-code allowlist directive with a
 // reason, e.g. the HTTP server's uptime field and the store queue's
@@ -41,6 +44,18 @@ var banned = map[string]map[string]bool{
 	"math/rand/v2": nil,
 	"os":           {"Getenv": true, "LookupEnv": true, "Environ": true},
 }
+
+// obsPkg matches the telemetry registry package by path suffix (the real
+// module path and the testdata fixture path both end in internal/obs), and
+// obsWallclock names its wall-clock helpers. The registry's counters and
+// gauges are fine anywhere — a counter bump is just an atomic add — but the
+// timer constructors observe the wall clock, so inside the deterministic
+// scope they are exactly as banned as time.Now. The HTTP middleware's
+// request timer is the documented allowlist entry.
+var (
+	obsPkg       = regexp.MustCompile(`(^|/)internal/obs$`)
+	obsWallclock = map[string]bool{"StartTimer": true, "SinceSeconds": true}
+)
 
 var Analyzer = &analysis.Analyzer{
 	Name: "nondeterminism",
@@ -94,6 +109,9 @@ func bannedObject(obj types.Object) bool {
 	}
 	names, ok := banned[pkg.Path()]
 	if !ok {
+		if obsPkg.MatchString(pkg.Path()) {
+			return obsWallclock[obj.Name()]
+		}
 		return false
 	}
 	if names == nil {

@@ -1,0 +1,27 @@
+// Package obs is a fixture standing in for the telemetry registry: its
+// import path suffix matches the analyzer's obsPkg pattern. The package
+// itself is outside the deterministic Scope (the real one holds the
+// wall-clock half of the telemetry plane), so its own time use is fine —
+// only uses of its wall-clock helpers from scoped packages are flagged.
+package obs
+
+import "time"
+
+// Timer mirrors the real registry's wall-clock latency timer.
+type Timer struct{ start time.Time }
+
+// StartTimer observes the wall clock.
+func StartTimer() Timer { return Timer{start: time.Now()} }
+
+// Seconds reports elapsed wall time.
+func (t Timer) Seconds() float64 { return time.Since(t.start).Seconds() }
+
+// SinceSeconds reports seconds elapsed since start.
+func SinceSeconds(start time.Time) float64 { return time.Since(start).Seconds() }
+
+// Counter mirrors the registry's deterministic-safe counter: bumping one is
+// an atomic add, fine anywhere.
+type Counter struct{ n int64 }
+
+// Inc increments the counter.
+func (c *Counter) Inc() { c.n++ }

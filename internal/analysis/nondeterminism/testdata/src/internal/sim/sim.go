@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"os"
 	"time"
+
+	"internal/obs"
 )
 
 // Stamp observes the wall clock.
@@ -46,4 +48,31 @@ func DurationMath(d time.Duration) time.Duration {
 // FileRead is os usage outside the banned set and passes.
 func FileRead(name string) ([]byte, error) {
 	return os.ReadFile(name)
+}
+
+// Span mimics a simulated timeline span: virtual-clock microsecond stamps.
+type Span struct{ Start, End int64 }
+
+// SmuggledSpan stamps a timeline span from the wall clock — the exact leak
+// the telemetry boundary exists to prevent.
+func SmuggledSpan() Span {
+	now := time.Now().UnixMicro() // want `time\.Now is nondeterministic`
+	return Span{Start: now, End: now + 1}
+}
+
+// TimedPhase measures a simulated phase with the obs wall-clock timer; the
+// registry's timer helpers are as banned here as time.Now itself.
+func TimedPhase() float64 {
+	t := obs.StartTimer() // want `internal/obs\.StartTimer is nondeterministic`
+	return t.Seconds()
+}
+
+// Age2 measures elapsed wall time through the obs helper.
+func Age2(t0 time.Time) float64 {
+	return obs.SinceSeconds(t0) // want `internal/obs\.SinceSeconds is nondeterministic`
+}
+
+// Counted bumps an obs counter — deterministic-safe registry use passes.
+func Counted(c *obs.Counter) {
+	c.Inc()
 }

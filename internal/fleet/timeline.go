@@ -1,0 +1,65 @@
+// Fleet timeline export: the job-lifecycle view of a fleet simulation as a
+// trace.Timeline — one process per cluster, a queue lane showing every
+// admitted job's arrival→start wait, and one lane per pod showing the jobs
+// it served. Purely virtual-clock: the spans are the scheduler's own
+// Outcome times, so the document is deterministic and golden-pinnable.
+package fleet
+
+import (
+	"fmt"
+
+	"github.com/memcentric/mcdla/internal/trace"
+)
+
+// Timeline lays the clusters' outcomes onto Chrome lanes. Lane 1 is the
+// shared queue (trace.Queue spans, arrival → start); lanes 2+N are the
+// cluster's pods in spec order (trace.Service spans, start → finish).
+// Refused jobs appear nowhere — the report's refusal column carries them.
+func Timeline(results []*Result) *trace.Timeline {
+	t := &trace.Timeline{Label: "fleet"}
+	for _, res := range results {
+		p := trace.Process{Name: res.Cluster.Name}
+		queue := trace.Lane{ID: 1, Name: "queue"}
+		// Pod lanes mirror the scheduler's naming exactly: spec order,
+		// "%s/%d" within each spec — the same names Outcome.Pod carries.
+		podLane := map[string]int{}
+		var pods []trace.Lane
+		for _, spec := range res.Cluster.Pods {
+			for i := 0; i < spec.Count; i++ {
+				name := fmt.Sprintf("%s/%d", spec.Kind, i)
+				podLane[name] = len(pods)
+				pods = append(pods, trace.Lane{ID: 2 + len(pods), Name: name})
+			}
+		}
+		for _, o := range res.Outcomes {
+			if !o.Admitted {
+				continue
+			}
+			name := o.Job.Name
+			if o.QueueDelay > 0 {
+				queue.Spans = append(queue.Spans, trace.Span{
+					Name: name, Category: trace.Queue,
+					Start: o.Job.Arrival, End: o.Start,
+				})
+			}
+			li, ok := podLane[o.Pod]
+			if !ok {
+				continue
+			}
+			pods[li].Spans = append(pods[li].Spans, trace.Span{
+				Name: name, Category: trace.Service,
+				Start: o.Start, End: o.Finish,
+			})
+		}
+		if len(queue.Spans) > 0 {
+			p.Lanes = append(p.Lanes, queue)
+		}
+		for _, lane := range pods {
+			if len(lane.Spans) > 0 {
+				p.Lanes = append(p.Lanes, lane)
+			}
+		}
+		t.Processes = append(t.Processes, p)
+	}
+	return t
+}

@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 
 	"github.com/memcentric/mcdla/internal/core"
+	"github.com/memcentric/mcdla/internal/obs"
 	"github.com/memcentric/mcdla/internal/train"
 )
 
@@ -114,6 +115,34 @@ type Options struct {
 	// internal/store here so memoized results survive restarts and are
 	// shared across worker processes.
 	Store ResultStore
+	// Metrics receives the engine's cache accounting. Nil allocates fresh
+	// unregistered counters private to the engine (the default for tests
+	// and one-shot CLI runs); long-lived callers may inject counters
+	// registered in an obs.Registry to surface them on /metrics.
+	Metrics *Metrics
+}
+
+// Metrics is the engine's cache accounting as obs counters — the same four
+// numbers CacheStats reports, but shareable with a metrics registry. All
+// fields must be non-nil; NewMetrics builds a private set.
+type Metrics struct {
+	// Hits counts jobs served by the in-memory memo (including jobs that
+	// waited on an identical in-flight simulation); Misses counts jobs that
+	// fell through it.
+	Hits, Misses *obs.Counter
+	// StoreHits counts memo misses answered by the durable store;
+	// Simulated counts simulations actually executed.
+	StoreHits, Simulated *obs.Counter
+}
+
+// NewMetrics builds a fresh, unregistered counter set.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		Hits:      &obs.Counter{},
+		Misses:    &obs.Counter{},
+		StoreHits: &obs.Counter{},
+		Simulated: &obs.Counter{},
+	}
 }
 
 // CacheStats reports the memo cache's hit accounting.
@@ -134,11 +163,10 @@ type CacheStats struct {
 type Engine struct {
 	parallelism int
 	store       ResultStore
+	metrics     *Metrics
 
 	results memo[core.Result]
 	scheds  memo[*train.Schedule]
-
-	storeHits, simulated atomic.Int64
 }
 
 // New builds an Engine.
@@ -147,9 +175,14 @@ func New(opts Options) *Engine {
 	if p <= 0 {
 		p = runtime.GOMAXPROCS(0)
 	}
+	m := opts.Metrics
+	if m == nil {
+		m = NewMetrics()
+	}
 	return &Engine{
 		parallelism: p,
 		store:       opts.Store,
+		metrics:     m,
 		results:     newMemo[core.Result](opts.CacheEntries),
 		scheds:      newMemo[*train.Schedule](opts.CacheEntries),
 	}
@@ -158,13 +191,14 @@ func New(opts Options) *Engine {
 // Parallelism reports the engine's worker bound.
 func (e *Engine) Parallelism() int { return e.parallelism }
 
-// Stats reports the simulation cache's hit accounting.
+// Stats reports the simulation cache's hit accounting, read from the
+// engine's obs counters (injected or private).
 func (e *Engine) Stats() CacheStats {
 	return CacheStats{
-		Hits:      e.results.hits.Load(),
-		Misses:    e.results.misses.Load(),
-		StoreHits: e.storeHits.Load(),
-		Simulated: e.simulated.Load(),
+		Hits:      e.metrics.Hits.Value(),
+		Misses:    e.metrics.Misses.Value(),
+		StoreHits: e.metrics.StoreHits.Value(),
+		Simulated: e.metrics.Simulated.Value(),
 	}
 }
 
@@ -251,7 +285,7 @@ func (e *Engine) simulate(j Job) (core.Result, bool, error) {
 	r, cached, err := e.results.do(j.key(), func() (core.Result, error) {
 		if e.store != nil {
 			if r, ok := e.store.Load(j); ok {
-				e.storeHits.Add(1)
+				e.metrics.StoreHits.Inc()
 				fromStore = true
 				return r, nil
 			}
@@ -260,13 +294,18 @@ func (e *Engine) simulate(j Job) (core.Result, bool, error) {
 		if err != nil {
 			return core.Result{}, err
 		}
-		e.simulated.Add(1)
+		e.metrics.Simulated.Inc()
 		r, err := core.Simulate(j.Design, s)
 		if err == nil && e.store != nil {
 			e.store.Save(j, r)
 		}
 		return r, err
 	})
+	if cached {
+		e.metrics.Hits.Inc()
+	} else {
+		e.metrics.Misses.Inc()
+	}
 	// A store hit is a cache hit from the caller's point of view (the
 	// progress stream's Cached flag), even though this goroutine was the
 	// one that created the memo slot.

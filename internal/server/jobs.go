@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"github.com/memcentric/mcdla/internal/experiments"
+	"github.com/memcentric/mcdla/internal/obs"
 	"github.com/memcentric/mcdla/internal/report"
 	"github.com/memcentric/mcdla/internal/runner"
 	"github.com/memcentric/mcdla/internal/store"
@@ -56,12 +57,19 @@ type jobsManager struct {
 	wake   chan struct{}
 	cancel context.CancelFunc
 	done   chan struct{}
+
+	// Claim accounting for the worker loop, registered in the process obs
+	// registry: claims counts every job this executor won, reclaims the
+	// subset stolen from a provably dead owner, failures the jobs that
+	// reached the failed terminal state here.
+	claims, reclaims, failures *obs.Counter
 }
 
 func newJobsManager(st *store.Store, poll time.Duration) *jobsManager {
 	if poll <= 0 {
 		poll = DefaultPollInterval
 	}
+	r := obs.Default()
 	return &jobsManager{
 		st:    st,
 		poll:  poll,
@@ -69,6 +77,12 @@ func newJobsManager(st *store.Store, poll time.Duration) *jobsManager {
 		seq:   map[string]int{},
 		subs:  map[string]map[chan sseEvent]bool{},
 		wake:  make(chan struct{}, 1),
+		claims: r.Counter("mcdla_worker_claims_total",
+			"Async jobs claimed for execution by this process."),
+		reclaims: r.Counter("mcdla_worker_reclaims_total",
+			"Async jobs reclaimed from a stale (dead-owner) claim."),
+		failures: r.Counter("mcdla_worker_failures_total",
+			"Async jobs that reached the failed terminal state in this process."),
 	}
 }
 
@@ -100,6 +114,9 @@ func (m *jobsManager) loop(ctx context.Context) {
 	tick := time.NewTicker(m.poll)
 	defer tick.Stop()
 	for {
+		// Heartbeat once per scan: any process on the store directory can
+		// see this executor is alive (healthz's last-worker-heartbeat).
+		m.st.Heartbeat(m.owner)
 		m.drainQueue(ctx)
 		select {
 		case <-ctx.Done():
@@ -127,6 +144,12 @@ func (m *jobsManager) drainQueue(ctx context.Context) int {
 		rec, ok := m.st.ClaimNextPending(m.owner)
 		if !ok {
 			return n
+		}
+		m.claims.Inc()
+		if rec.State == store.JobRunning {
+			// A running record whose claim went stale: its executor died
+			// mid-run and this process is taking the job over.
+			m.reclaims.Inc()
 		}
 		m.execute(ctx, rec)
 		n++
@@ -163,6 +186,7 @@ func (m *jobsManager) execute(ctx context.Context, rec store.JobRecord) {
 	}
 	if err != nil {
 		rec.State, rec.Error = store.JobFailed, err.Error()
+		m.failures.Inc()
 	}
 	m.st.PutJob(rec)
 	m.publishTerminal(rec)
@@ -244,6 +268,25 @@ func (m *jobsManager) terminalEvent(rec store.JobRecord) sseEvent {
 	m.mu.Unlock()
 	data, _ := json.Marshal(payload)
 	return sseEvent{Name: name, Data: string(data)}
+}
+
+// correlate stamps an event payload with the subscriber's request id and the
+// job's content hash. Marshalled maps render with sorted keys, so the stream
+// stays deterministic given the same ids.
+func correlate(data, requestID, jobID string) string {
+	var payload map[string]any
+	if err := json.Unmarshal([]byte(data), &payload); err != nil {
+		return data
+	}
+	payload["job"] = jobID
+	if requestID != "" {
+		payload["request_id"] = requestID
+	}
+	out, err := json.Marshal(payload)
+	if err != nil {
+		return data
+	}
+	return string(out)
 }
 
 func terminalPayload(rec store.JobRecord) (string, map[string]any) {
@@ -437,8 +480,11 @@ func (m *jobsManager) serveEvents(w http.ResponseWriter, r *http.Request, id str
 
 	ch := m.subscribe(id)
 	defer m.unsubscribe(id, ch)
+	// Every event is stamped with the subscriber's request id and the job's
+	// content hash, so log lines, metrics and SSE streams join on one key.
+	rid := requestID(r.Context())
 	send := func(ev sseEvent) {
-		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Name, ev.Data)
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Name, correlate(ev.Data, rid, id))
 		fl.Flush()
 	}
 	// Re-check after subscribing: a job that went terminal between the first

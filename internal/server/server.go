@@ -16,6 +16,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/url"
@@ -23,10 +24,11 @@ import (
 	"strings"
 	"time"
 
+	"github.com/memcentric/mcdla/internal/core"
 	"github.com/memcentric/mcdla/internal/dnn"
 	"github.com/memcentric/mcdla/internal/dse"
 	"github.com/memcentric/mcdla/internal/experiments"
-	"github.com/memcentric/mcdla/internal/fleet"
+	"github.com/memcentric/mcdla/internal/obs"
 	"github.com/memcentric/mcdla/internal/report"
 	"github.com/memcentric/mcdla/internal/runner"
 	"github.com/memcentric/mcdla/internal/store"
@@ -56,13 +58,20 @@ type Options struct {
 	// PollInterval overrides how often the executor and SSE streams rescan
 	// the store (≤ 0: DefaultPollInterval).
 	PollInterval time.Duration
+	// Logger, when non-nil, receives one structured line per request
+	// (request id, method, path, status, latency). Nil disables request
+	// logging — the default for tests and `serve -quiet`.
+	Logger *slog.Logger
 }
 
 // Server is the HTTP façade over the experiment suite. Build one with New.
 type Server struct {
-	mux   *http.ServeMux
-	start time.Time
-	jobs  *jobsManager
+	mux     *http.ServeMux
+	start   time.Time
+	jobs    *jobsManager
+	store   *store.Store
+	metrics *serverMetrics
+	logger  *slog.Logger
 }
 
 // New configures the shared experiments engine for cross-request use (LRU
@@ -84,14 +93,18 @@ func New(opts Options) *Server {
 	}
 	experiments.SetOptions(ro)
 	experiments.SetProgress(nil)
-	s := &Server{mux: http.NewServeMux(), start: time.Now()} //mcdlalint:allow nondeterminism -- server start stamp feeds the uptime telemetry field, never a report
+	s := &Server{mux: http.NewServeMux(), start: time.Now(), logger: opts.Logger} //mcdlalint:allow nondeterminism -- server start stamp feeds the uptime telemetry field, never a report
 	if opts.Store != nil {
+		s.store = opts.Store
 		s.jobs = newJobsManager(opts.Store, opts.PollInterval)
 		experiments.SetProgress(s.jobs.dispatch)
 		if !opts.DisableExecutor {
 			s.jobs.start()
 		}
 	}
+	s.metrics = newServerMetrics(obs.Default())
+	registerProcessCollectors(obs.Default(), s)
+	obs.Default().PublishExpvar("mcdla")
 	s.routes()
 	return s
 }
@@ -158,16 +171,17 @@ func (s *Server) Serve(ctx context.Context, addr string) error {
 
 // endpoints lists every route for /v1 discovery.
 var endpoints = []struct{ Path, Doc string }{
-	{"/healthz", "liveness, uptime, engine parallelism and cache hit/miss accounting"},
+	{"/healthz", "liveness, uptime, engine parallelism, cache hit/miss accounting, job-queue depth and worker heartbeat"},
+	{"/metrics", "Prometheus text exposition of the process metrics registry (requests, cache, queue, workers)"},
 	{"/v1", "this index"},
 	{"/v1/networks", "workload inventory (Table III + transformers); ?format=text for the CLI shape"},
 	{"/v1/config", "Table II device/memory-node/design-point inventory"},
-	{"/v1/run", "one simulation: ?net=&design=&strategy=dp|mp&batch=&seqlen=&precision=&links=&gbps=&memnodes=&dimm=&compress=&workers="},
+	{"/v1/run", "one simulation: ?net=&design=&strategy=dp|mp&batch=&seqlen=&precision=&links=&gbps=&memnodes=&dimm=&compress=&workers= (&timeline=1: Chrome trace of the iteration instead of the report)"},
 	{"/v1/jobs", "async job API over every report endpoint (requires -store): POST ?path=&format= plus the endpoint's params submits (content-addressed id), GET lists; /v1/jobs/{id} polls, …/{id}/events streams SSE progress, …/{id}/result serves the rendered report"},
 	{"/v1/optimize", "cost/TCO design-space optimizer: ?objective=&search=grid|greedy|surrogate&surrogate=1&max-cost=&max-power=&min-throughput= plus candidate axes (workloads, designs, gbps, memnodes, dimms, precisions, compress)"},
-	{"/v1/fleet", "fleet-scale multi-job cluster simulation: ?trace=<CSV/JSON trace>&jobs=N&pods=P&designs=DC-DLA,HC-DLA,MC-DLA(B) — iso-cost clusters scheduling a heterogeneous job trace under pod memory-pool capacity"},
+	{"/v1/fleet", "fleet-scale multi-job cluster simulation: ?trace=<CSV/JSON trace>&jobs=N&pods=P&designs=DC-DLA,HC-DLA,MC-DLA(B) — iso-cost clusters scheduling a heterogeneous job trace under pod memory-pool capacity (&timeline=1: Chrome trace of the job lifecycle)"},
 	{"/v1/transformer", "seqlen × precision × design study: ?workload=&seqlens=&precisions="},
-	{"/v1/plane", "§VI scale-out plane: ?workload=&nodes=1,2,4&analytic=&compare="},
+	{"/v1/plane", "§VI scale-out plane: ?workload=&nodes=1,2,4&analytic=&compare= (&timeline=1: Chrome trace of the sweep)"},
 	{"/v1/explore", "§III-B link-technology sweep: ?links=4,8&gbps=25,100"},
 	{"/v1/fig2", "Figure 2 generational study"},
 	{"/v1/fig9", "Figure 9 collective latency"},
@@ -212,17 +226,23 @@ var reportRoutes = map[string]reportRoute{
 }
 
 func (s *Server) routes() {
-	s.mux.HandleFunc("/healthz", s.healthz)
-	s.mux.HandleFunc("/v1", s.index)
-	s.mux.HandleFunc("/v1/networks", s.networks)
-	s.mux.HandleFunc("/v1/jobs", s.jobsRoot)
-	s.mux.HandleFunc("/v1/jobs/", s.jobByID)
+	handle := func(path string, h http.HandlerFunc) {
+		s.mux.Handle(path, s.instrument(path, h))
+	}
+	handle("/healthz", s.healthz)
+	handle("/metrics", s.metricsHandler)
+	handle("/v1", s.index)
+	handle("/v1/networks", s.networks)
+	handle("/v1/jobs", s.jobsRoot)
+	handle("/v1/jobs/", s.jobByID)
 	for path, rt := range reportRoutes {
 		h := reportHandler(rt.build)
 		if rt.fixed {
 			h = fixedReportHandler(rt.build)
 		}
-		s.mux.HandleFunc(path, h)
+		// Routes with a timeline face answer ?timeline=1 with the Chrome
+		// trace document instead of the report.
+		handle(path, withTimeline(path, h))
 	}
 }
 
@@ -355,7 +375,6 @@ func buildScale(ctx context.Context, _ url.Values) (*report.Report, error) {
 
 func buildRun(ctx context.Context, q url.Values) (*report.Report, error) {
 	workload := firstNonEmpty(q.Get("net"), q.Get("workload"), "VGG-E")
-	design := firstNonEmpty(q.Get("design"), "MC-DLA(B)")
 	strategy, err := strategyParam(q)
 	if err != nil {
 		return nil, err
@@ -374,39 +393,69 @@ func buildRun(ctx context.Context, q url.Values) (*report.Report, error) {
 			return nil, fmt.Errorf("invalid precision parameter: %v", err)
 		}
 	}
-	links, err := intParam(q, "links", 0)
-	if err != nil {
-		return nil, err
-	}
-	gbps, err := floatParam(q, "gbps", 0)
-	if err != nil {
-		return nil, err
-	}
-	memNodes, err := intParam(q, "memnodes", 0)
-	if err != nil {
-		return nil, err
-	}
-	compressed, err := boolParam(q, "compress")
-	if err != nil {
-		return nil, err
-	}
 	workers, err := intParam(q, "workers", 0)
 	if err != nil {
 		return nil, err
 	}
-	// The dse point derives the design exactly as the CLI `run` flags do,
-	// so an optimizer recipe translates 1:1 into query parameters.
+	d, err := runDesignPoint(q)
+	if err != nil {
+		return nil, err
+	}
+	return experiments.RunReportFor(ctx, d, workload, strategy, batch, seqlen, prec, workers)
+}
+
+// runDesignPoint derives the /v1/run design from the dse axes in the query —
+// exactly as the CLI `run` flags do, so an optimizer recipe translates 1:1
+// into query parameters. Shared by the report and timeline faces of the
+// endpoint so the traced design is the reported design.
+func runDesignPoint(q url.Values) (core.Design, error) {
+	workload := firstNonEmpty(q.Get("net"), q.Get("workload"), "VGG-E")
+	design := firstNonEmpty(q.Get("design"), "MC-DLA(B)")
+	strategy, err := strategyParam(q)
+	if err != nil {
+		return core.Design{}, err
+	}
+	batch, err := intParam(q, "batch", experiments.Batch)
+	if err != nil {
+		return core.Design{}, err
+	}
+	seqlen, err := intParam(q, "seqlen", 0)
+	if err != nil {
+		return core.Design{}, err
+	}
+	prec := train.FP16
+	if v := q.Get("precision"); v != "" {
+		if prec, err = train.ParsePrecision(v); err != nil {
+			return core.Design{}, fmt.Errorf("invalid precision parameter: %v", err)
+		}
+	}
+	links, err := intParam(q, "links", 0)
+	if err != nil {
+		return core.Design{}, err
+	}
+	gbps, err := floatParam(q, "gbps", 0)
+	if err != nil {
+		return core.Design{}, err
+	}
+	memNodes, err := intParam(q, "memnodes", 0)
+	if err != nil {
+		return core.Design{}, err
+	}
+	compressed, err := boolParam(q, "compress")
+	if err != nil {
+		return core.Design{}, err
+	}
+	workers, err := intParam(q, "workers", 0)
+	if err != nil {
+		return core.Design{}, err
+	}
 	p := dse.Point{
 		Design: design, Workload: workload, Strategy: strategy,
 		Batch: batch, SeqLen: seqlen, Precision: prec,
 		Links: links, LinkGBps: gbps, MemNodes: memNodes,
 		DIMM: q.Get("dimm"), Compress: compressed, Workers: workers,
 	}
-	d, err := p.DesignPoint()
-	if err != nil {
-		return nil, err
-	}
-	return experiments.RunReportFor(ctx, d, workload, strategy, batch, seqlen, prec, workers)
+	return p.DesignPoint()
 }
 
 // buildOptimize maps the optimizer's query parameters — the same axes and
@@ -518,32 +567,7 @@ func buildOptimize(ctx context.Context, q url.Values) (*report.Report, error) {
 // sizing the CLI uses — the same trace submitted on either surface produces
 // the same simulation jobs, and therefore the same durable store keys.
 func buildFleet(ctx context.Context, q url.Values) (*report.Report, error) {
-	jobs, err := intParam(q, "jobs", 0)
-	if err != nil {
-		return nil, err
-	}
-	pods, err := intParam(q, "pods", experiments.FleetPods)
-	if err != nil {
-		return nil, err
-	}
-	var tr []fleet.Job
-	switch {
-	case q.Get("trace") != "" && jobs > 0:
-		return nil, fmt.Errorf("trace and jobs parameters are mutually exclusive")
-	case q.Get("trace") != "":
-		if tr, err = fleet.ParseTrace([]byte(q.Get("trace"))); err != nil {
-			return nil, err
-		}
-	case jobs > 0:
-		tr = fleet.SyntheticTrace(jobs)
-	default:
-		tr = fleet.DefaultTrace()
-	}
-	var designs []string
-	if v := q.Get("designs"); v != "" {
-		designs = strings.Split(v, ",")
-	}
-	clusters, err := experiments.FleetClusters(pods, designs)
+	tr, clusters, err := fleetInputs(q)
 	if err != nil {
 		return nil, err
 	}
@@ -633,19 +657,39 @@ func buildExplore(ctx context.Context, q url.Values) (*report.Report, error) {
 // --------------------------------------------------------- fixed endpoints
 
 func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
-	stats := experiments.EngineStats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	// The cache block is read from the obs registry — the same func
+	// collectors /metrics scrapes — so the two endpoints cannot drift
+	// (TestHealthzMatchesMetrics pins the cross-check).
+	snap := obs.Default().Snapshot()
+	count := func(name string) int64 {
+		v, _ := snap[name].(float64)
+		return int64(v)
+	}
+	body := map[string]any{
 		"status": "ok",
 		//mcdlalint:allow nondeterminism -- uptime is operational telemetry, not report output
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"parallelism":    experiments.Parallelism(),
 		"cache": map[string]int64{
-			"hits":       stats.Hits,
-			"misses":     stats.Misses,
-			"store_hits": stats.StoreHits,
-			"simulated":  stats.Simulated,
+			"hits":       count("mcdla_cache_hits_total"),
+			"misses":     count("mcdla_cache_misses_total"),
+			"store_hits": count("mcdla_store_hits_total"),
+			"simulated":  count("mcdla_simulated_total"),
 		},
-	})
+	}
+	if s.store != nil {
+		depth := s.queueDepth()
+		body["queue"] = map[string]int{
+			"pending": depth.Pending,
+			"running": depth.Running,
+			"failed":  depth.Failed,
+		}
+		if owner, age, ok := s.store.LastWorkerHeartbeat(); ok {
+			body["last_worker"] = owner
+			body["last_worker_heartbeat_age_seconds"] = age.Seconds()
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) index(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,211 @@
+// Service-face telemetry: per-route request metrics, structured request
+// logging with per-request ids, and the /metrics Prometheus endpoint — the
+// wall-clock half of the telemetry plane. Everything here reads or feeds the
+// process obs registry; nothing here ever touches report bytes, store keys,
+// or timelines, so the deterministic surfaces stay byte-identical with
+// telemetry on or off.
+package server
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"sync/atomic"
+
+	"github.com/memcentric/mcdla/internal/experiments"
+	"github.com/memcentric/mcdla/internal/obs"
+	"github.com/memcentric/mcdla/internal/store"
+)
+
+// serverMetrics is the per-route instrumentation registered in the process
+// obs registry. Get-or-create registration makes repeated server.New calls
+// (tests) share one counter set, mirroring the shared experiments engine.
+type serverMetrics struct {
+	requests *obs.CounterVec   // mcdla_requests_total{route,code}
+	latency  *obs.HistogramVec // mcdla_request_seconds{route}
+	inFlight *obs.Gauge        // mcdla_requests_in_flight
+}
+
+func newServerMetrics(r *obs.Registry) *serverMetrics {
+	return &serverMetrics{
+		requests: r.CounterVec("mcdla_requests_total",
+			"HTTP requests served, by registered route pattern and status code.", "route", "code"),
+		latency: r.HistogramVec("mcdla_request_seconds",
+			"HTTP request latency in seconds, by registered route pattern.",
+			obs.DefaultLatencyBuckets, "route"),
+		inFlight: r.Gauge("mcdla_requests_in_flight",
+			"HTTP requests currently being served."),
+	}
+}
+
+// registerProcessCollectors wires the registry's func collectors to the
+// process's live state: the shared engine's cache accounting (read at scrape
+// time, so they track engine rebuilds), the store's queue census and worker
+// heartbeat age, and uptime. Re-registration replaces the closures, so the
+// newest Server owns the process gauges.
+func registerProcessCollectors(r *obs.Registry, s *Server) {
+	r.CounterFunc("mcdla_cache_hits_total",
+		"Simulation jobs served by the in-memory memo cache.",
+		func() float64 { return float64(experiments.EngineStats().Hits) })
+	r.CounterFunc("mcdla_cache_misses_total",
+		"Simulation jobs that fell through the in-memory memo cache.",
+		func() float64 { return float64(experiments.EngineStats().Misses) })
+	r.CounterFunc("mcdla_store_hits_total",
+		"Memo misses answered by the durable result store.",
+		func() float64 { return float64(experiments.EngineStats().StoreHits) })
+	r.CounterFunc("mcdla_simulated_total",
+		"Simulations actually executed.",
+		func() float64 { return float64(experiments.EngineStats().Simulated) })
+	r.GaugeFunc("mcdla_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return obs.SinceSeconds(s.start) }) //mcdlalint:allow nondeterminism -- uptime gauge is operational telemetry, never report output
+	if s.store != nil {
+		st := s.store
+		r.GaugeFunc("mcdla_jobs_pending", "Async jobs waiting in the store queue.",
+			func() float64 { return float64(st.QueueDepth().Pending) })
+		r.GaugeFunc("mcdla_jobs_running", "Async jobs currently claimed by an executor.",
+			func() float64 { return float64(st.QueueDepth().Running) })
+		r.GaugeFunc("mcdla_jobs_failed", "Async jobs in the failed terminal state.",
+			func() float64 { return float64(st.QueueDepth().Failed) })
+		r.GaugeFunc("mcdla_worker_last_heartbeat_age_seconds",
+			"Age of the most recent executor heartbeat on the store (-1: none yet).",
+			func() float64 {
+				if _, age, ok := st.LastWorkerHeartbeat(); ok {
+					return age.Seconds()
+				}
+				return -1
+			})
+	}
+}
+
+// ------------------------------------------------------------- request ids
+
+// reqCounter numbers requests process-wide; ids are "r" + a monotonically
+// increasing decimal, unique within the process and compact in log lines.
+var reqCounter atomic.Int64
+
+type requestIDKey struct{}
+
+// requestID returns the id assigned to the request, or "" outside the
+// telemetry middleware (direct handler tests).
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// ensureRequestID honors a caller-supplied X-Request-Id (so a client can
+// join its own traces to ours) and mints one otherwise.
+func ensureRequestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-Id"); id != "" {
+		if len(id) > 64 {
+			id = id[:64]
+		}
+		return id
+	}
+	return "r" + itoa(reqCounter.Add(1))
+}
+
+func itoa(n int64) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// --------------------------------------------------------------- middleware
+
+// statusRecorder captures the response status for the request log and the
+// requests_total code label.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusRecorder) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// flushRecorder preserves http.Flusher through the recorder — without it the
+// SSE handler's streaming assertion would fail behind the middleware.
+type flushRecorder struct {
+	statusRecorder
+	fl http.Flusher
+}
+
+func (w *flushRecorder) Flush() { w.fl.Flush() }
+
+// instrument wraps a route handler with the full service-face treatment:
+// request id assignment (echoed in X-Request-Id and threaded through the
+// context into SSE events), in-flight/count/latency metrics labelled by the
+// registered route pattern, and one structured log line per request.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := ensureRequestID(r)
+		w.Header().Set("X-Request-Id", id)
+		r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id))
+
+		var rec *statusRecorder
+		if fl, ok := w.(http.Flusher); ok {
+			fw := &flushRecorder{statusRecorder: statusRecorder{ResponseWriter: w}, fl: fl}
+			rec = &fw.statusRecorder
+			w = fw
+		} else {
+			rec = &statusRecorder{ResponseWriter: w}
+			w = rec
+		}
+
+		s.metrics.inFlight.Inc()
+		t := obs.StartTimer() //mcdlalint:allow nondeterminism -- request latency is service-face telemetry, outside the deterministic surfaces
+		defer func() {
+			sec := t.Seconds()
+			s.metrics.inFlight.Dec()
+			status := rec.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			s.metrics.requests.With(route, itoa(int64(status))).Inc()
+			s.metrics.latency.With(route).Observe(sec)
+			if s.logger != nil {
+				s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+					slog.String("id", id),
+					slog.String("method", r.Method),
+					slog.String("path", r.URL.Path),
+					slog.String("route", route),
+					slog.Int("status", status),
+					slog.Float64("seconds", sec),
+					slog.String("remote", r.RemoteAddr),
+				)
+			}
+		}()
+		h(w, r)
+	})
+}
+
+// metricsHandler serves the process registry as Prometheus text exposition.
+func (s *Server) metricsHandler(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.Default().WritePrometheus(w)
+}
+
+// queueDepth reads the store's queue census for /healthz; zero without a
+// store.
+func (s *Server) queueDepth() store.QueueDepth {
+	if s.store == nil {
+		return store.QueueDepth{}
+	}
+	return s.store.QueueDepth()
+}

@@ -1,0 +1,199 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// metricValue extracts one sample from a Prometheus text exposition: the
+// value of the line whose name-and-labels prefix equals sample exactly.
+func metricValue(t *testing.T, exposition, sample string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(exposition, "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, value, ok := strings.Cut(line, " ")
+		if !ok || name != sample {
+			continue
+		}
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			t.Fatalf("sample %q has unparseable value %q: %v", sample, value, err)
+		}
+		return v
+	}
+	t.Fatalf("sample %q not found in exposition:\n%s", sample, exposition)
+	return 0
+}
+
+// TestHealthzMatchesMetrics pins the agreement invariant: the cache block of
+// /healthz and the mcdla_cache_* counters of /metrics read the same registry
+// collectors, so after warming the engine the two endpoints report identical
+// numbers.
+func TestHealthzMatchesMetrics(t *testing.T) {
+	ts := newTestServer(t)
+	// Warm the engine: a miss, then a memo hit on the same point.
+	for i := 0; i < 2; i++ {
+		if status, body := get(t, ts.URL+"/v1/run?net=VGG-E&design=MC-DLA(B)"); status != http.StatusOK {
+			t.Fatalf("run status = %d: %s", status, body)
+		}
+	}
+	_, hb := get(t, ts.URL+"/healthz")
+	var h struct {
+		Cache map[string]int64 `json:"cache"`
+	}
+	if err := json.Unmarshal(hb, &h); err != nil {
+		t.Fatal(err)
+	}
+	_, mb := get(t, ts.URL+"/metrics")
+	exposition := string(mb)
+	for _, c := range []struct{ field, sample string }{
+		{"hits", "mcdla_cache_hits_total"},
+		{"misses", "mcdla_cache_misses_total"},
+		{"store_hits", "mcdla_store_hits_total"},
+		{"simulated", "mcdla_simulated_total"},
+	} {
+		if got, want := int64(metricValue(t, exposition, c.sample)), h.Cache[c.field]; got != want {
+			t.Errorf("%s = %d but healthz cache.%s = %d", c.sample, got, c.field, want)
+		}
+	}
+	if h.Cache["hits"] < 1 || h.Cache["simulated"] < 1 {
+		t.Fatalf("engine not warmed: cache = %+v", h.Cache)
+	}
+}
+
+// TestMetricsExposition checks the service face end-to-end: the endpoint
+// serves the Prometheus content type, every line parses, and the per-route
+// request counter has counted the warm-up request.
+func TestMetricsExposition(t *testing.T) {
+	ts := newTestServer(t)
+	if status, body := get(t, ts.URL+"/v1/run?net=VGG-E&design=MC-DLA(B)"); status != http.StatusOK {
+		t.Fatalf("run status = %d: %s", status, body)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body := readAll(t, resp)
+	if n := metricValue(t, string(body), `mcdla_requests_total{route="/v1/run",code="200"}`); n < 1 {
+		t.Fatalf("mcdla_requests_total for /v1/run = %v, want ≥ 1", n)
+	}
+	if metricValue(t, string(body), "mcdla_uptime_seconds") < 0 {
+		t.Fatal("uptime gauge is negative")
+	}
+}
+
+// TestRequestIDEchoed: the middleware echoes a caller-supplied X-Request-Id
+// and mints one otherwise.
+func TestRequestIDEchoed(t *testing.T) {
+	ts := newTestServer(t)
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-Id", "caller-7")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if id := resp.Header.Get("X-Request-Id"); id != "caller-7" {
+		t.Fatalf("echoed id = %q, want caller-7", id)
+	}
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if id := resp2.Header.Get("X-Request-Id"); !strings.HasPrefix(id, "r") || len(id) < 2 {
+		t.Fatalf("minted id = %q, want r<N>", id)
+	}
+}
+
+// TestTimelineEndpointMatchesCLI: ?timeline=1 on /v1/run and /v1/fleet
+// serves byte-for-byte the Chrome trace document the CLI -timeline flag
+// writes — the two faces of the export share the builders.
+func TestTimelineEndpointMatchesCLI(t *testing.T) {
+	ts := newTestServer(t)
+	for _, c := range []struct{ url, fixture string }{
+		{"/v1/run?timeline=1", "timeline_run_default"},
+		{"/v1/fleet?timeline=1", "timeline_fleet_default"},
+	} {
+		status, body := get(t, ts.URL+c.url)
+		if status != http.StatusOK {
+			t.Fatalf("%s status = %d: %s", c.url, status, body)
+		}
+		if got, want := string(body), cliGolden(t, c.fixture); got != want {
+			t.Fatalf("%s diverged from the CLI fixture %s.golden", c.url, c.fixture)
+		}
+	}
+}
+
+// TestTimelineEndpointBadParams keeps the timeline face's error path honest.
+func TestTimelineEndpointBadParams(t *testing.T) {
+	ts := newTestServer(t)
+	status, body := get(t, ts.URL+"/v1/run?timeline=1&batch=banana")
+	if status != http.StatusBadRequest || !strings.Contains(string(body), "batch") {
+		t.Fatalf("status = %d body = %s, want 400 naming batch", status, body)
+	}
+	status, _ = get(t, ts.URL+"/v1/run?timeline=banana")
+	if status != http.StatusBadRequest {
+		t.Fatalf("invalid timeline param status = %d, want 400", status)
+	}
+}
+
+// TestSSEEventsCarryCorrelation: every SSE payload names the job id and the
+// subscriber's request id, so a streamed event can be joined to both the
+// job record and the request log line.
+func TestSSEEventsCarryCorrelation(t *testing.T) {
+	s, ts := newStoreServer(t, t.TempDir())
+	_, body := post(t, ts.URL+submitQuery)
+	rec := decodeRecord(t, body)
+	s.jobs.drainQueue(context.Background())
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/"+rec.ID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-Id", "sse-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	var payloads []map[string]any
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &m); err != nil {
+			t.Fatalf("bad payload %q: %v", line, err)
+		}
+		payloads = append(payloads, m)
+		break // terminal event of an already-done job
+	}
+	if len(payloads) == 0 {
+		t.Fatal("stream carried no events")
+	}
+	for _, m := range payloads {
+		if m["job"] != rec.ID {
+			t.Fatalf("payload job = %v, want %s", m["job"], rec.ID)
+		}
+		if m["request_id"] != "sse-42" {
+			t.Fatalf("payload request_id = %v, want sse-42", m["request_id"])
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// HTTP face of the simulation-timeline export: /v1/run, /v1/plane and
+// /v1/fleet accept ?timeline=1 and answer with the Chrome trace-event JSON
+// document instead of the report — built by the same experiments builders
+// the CLI -timeline flag calls, so the two surfaces emit identical bytes
+// for the same parameters.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"github.com/memcentric/mcdla/internal/experiments"
+	"github.com/memcentric/mcdla/internal/fleet"
+	"github.com/memcentric/mcdla/internal/trace"
+	"github.com/memcentric/mcdla/internal/train"
+)
+
+// timelineBuilders maps the routes that can answer ?timeline=1 onto their
+// query→timeline builders. Parameters are parsed exactly as the report
+// builders parse them, so a request flips between report and timeline by
+// toggling one parameter.
+var timelineBuilders = map[string]func(context.Context, url.Values) (*trace.Timeline, error){
+	"/v1/run":   timelineRun,
+	"/v1/plane": timelinePlane,
+	"/v1/fleet": timelineFleet,
+}
+
+// withTimeline wraps a report handler: ?timeline=1 diverts to the timeline
+// builder, anything else falls through to the report.
+func withTimeline(path string, h http.HandlerFunc) http.HandlerFunc {
+	build, ok := timelineBuilders[path]
+	if !ok {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		want, err := boolParam(r.URL.Query(), "timeline")
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if !want {
+			h(w, r)
+			return
+		}
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+			return
+		}
+		t, err := build(r.Context(), r.URL.Query())
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		t.WriteChrome(w)
+	}
+}
+
+// timelineRun parses the /v1/run axes (the same spellings buildRun accepts)
+// and traces the single iteration.
+func timelineRun(_ context.Context, q url.Values) (*trace.Timeline, error) {
+	workload := firstNonEmpty(q.Get("net"), q.Get("workload"), "VGG-E")
+	strategy, err := strategyParam(q)
+	if err != nil {
+		return nil, err
+	}
+	batch, err := intParam(q, "batch", experiments.Batch)
+	if err != nil {
+		return nil, err
+	}
+	seqlen, err := intParam(q, "seqlen", 0)
+	if err != nil {
+		return nil, err
+	}
+	prec := train.FP16
+	if v := q.Get("precision"); v != "" {
+		if prec, err = train.ParsePrecision(v); err != nil {
+			return nil, fmt.Errorf("invalid precision parameter: %v", err)
+		}
+	}
+	workers, err := intParam(q, "workers", 0)
+	if err != nil {
+		return nil, err
+	}
+	d, err := runDesignPoint(q)
+	if err != nil {
+		return nil, err
+	}
+	return experiments.RunTimeline(d, workload, strategy, batch, seqlen, prec, workers)
+}
+
+// timelinePlane traces the §VI plane sweep at each requested node count.
+func timelinePlane(ctx context.Context, q url.Values) (*trace.Timeline, error) {
+	workload := firstNonEmpty(q.Get("net"), q.Get("workload"), "VGG-E")
+	counts, err := intsCSVParam(q, "nodes", []int{1, 2, 4, 8, 16})
+	if err != nil {
+		return nil, err
+	}
+	return experiments.PlaneTimeline(ctx, workload, counts)
+}
+
+// timelineFleet runs the fleet simulation and lays the job lifecycle onto
+// queue and pod lanes, one process per cluster.
+func timelineFleet(ctx context.Context, q url.Values) (*trace.Timeline, error) {
+	tr, clusters, err := fleetInputs(q)
+	if err != nil {
+		return nil, err
+	}
+	return experiments.FleetTimeline(ctx, tr, clusters)
+}
+
+// fleetInputs parses the shared /v1/fleet parameters (trace, jobs, pods,
+// designs) for both the report and the timeline face.
+func fleetInputs(q url.Values) ([]fleet.Job, []fleet.Cluster, error) {
+	jobs, err := intParam(q, "jobs", 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	pods, err := intParam(q, "pods", experiments.FleetPods)
+	if err != nil {
+		return nil, nil, err
+	}
+	var tr []fleet.Job
+	switch {
+	case q.Get("trace") != "" && jobs > 0:
+		return nil, nil, fmt.Errorf("trace and jobs parameters are mutually exclusive")
+	case q.Get("trace") != "":
+		if tr, err = fleet.ParseTrace([]byte(q.Get("trace"))); err != nil {
+			return nil, nil, err
+		}
+	case jobs > 0:
+		tr = fleet.SyntheticTrace(jobs)
+	default:
+		tr = fleet.DefaultTrace()
+	}
+	var designs []string
+	if v := q.Get("designs"); v != "" {
+		designs = strings.Split(v, ",")
+	}
+	clusters, err := experiments.FleetClusters(pods, designs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tr, clusters, nil
+}

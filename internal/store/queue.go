@@ -164,6 +164,85 @@ func (s *Store) Unclaim(id string) {
 	}
 }
 
+// QueueDepth is a point-in-time census of the job queue, the store-level
+// number behind /healthz's queue block and the mcdla_jobs_* gauges.
+type QueueDepth struct {
+	Pending, Running, Failed int
+}
+
+// QueueDepth scans the jobs directory and counts records by state. Done
+// records are omitted: they are results, not queue load.
+func (s *Store) QueueDepth() QueueDepth {
+	var d QueueDepth
+	recs, err := s.ListJobs()
+	if err != nil {
+		return d
+	}
+	for _, rec := range recs {
+		switch rec.State {
+		case JobPending:
+			d.Pending++
+		case JobRunning:
+			d.Running++
+		case JobFailed:
+			d.Failed++
+		case JobDone:
+		}
+	}
+	return d
+}
+
+// Heartbeat records executor liveness: it touches workers/<owner> in the
+// store directory, so any process sharing the store can see which executors
+// are alive and how recently each checked in. Owner names must be flat
+// (no path separators); the worker loop beats once per claim scan.
+func (s *Store) Heartbeat(owner string) error {
+	if owner == "" || strings.ContainsAny(owner, "/\\") {
+		return fmt.Errorf("store: invalid heartbeat owner %q", owner)
+	}
+	dir := filepath.Join(s.dir, "workers")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: %v", err)
+	}
+	path := filepath.Join(dir, owner)
+	//mcdlalint:allow nondeterminism -- heartbeats are wall-clock liveness markers; they never reach a record or report
+	now := time.Now()
+	if err := os.Chtimes(path, now, now); err == nil {
+		return nil
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %v", err)
+	}
+	return f.Close()
+}
+
+// LastWorkerHeartbeat reports the most recently seen executor and the age of
+// its heartbeat. ok is false when no executor has ever beaten on this store.
+func (s *Store) LastWorkerHeartbeat() (owner string, age time.Duration, ok bool) {
+	entries, err := os.ReadDir(filepath.Join(s.dir, "workers"))
+	if err != nil {
+		return "", 0, false
+	}
+	var newest time.Time
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		if !ok || info.ModTime().After(newest) {
+			newest = info.ModTime()
+			owner = e.Name()
+			ok = true
+		}
+	}
+	if !ok {
+		return "", 0, false
+	}
+	//mcdlalint:allow nondeterminism -- heartbeat age is operational telemetry read from file mtimes, never a record
+	return owner, time.Since(newest), true
+}
+
 // ClaimNextPending scans the queue for runnable work and claims the first
 // job it wins: pending records, plus running records whose claim has gone
 // stale or vanished (their executor crashed before writing a terminal

@@ -194,3 +194,56 @@ func TestClaimNextPending(t *testing.T) {
 		t.Fatalf("orphaned running job not reclaimed (ok=%v)", ok)
 	}
 }
+
+// TestQueueDepthCensus: the census counts records by state and omits done.
+func TestQueueDepthCensus(t *testing.T) {
+	s := open(t)
+	if d := s.QueueDepth(); d != (QueueDepth{}) {
+		t.Fatalf("empty store census = %+v", d)
+	}
+	a := pendingJob(t, s, "net=VGG-E")
+	b := pendingJob(t, s, "net=AlexNet")
+	c := pendingJob(t, s, "net=GoogLeNet")
+	d := pendingJob(t, s, "net=BERT-Large")
+	b.State = JobRunning
+	c.State = JobFailed
+	c.Error = "boom"
+	d.State = JobDone
+	for _, rec := range []JobRecord{b, c, d} {
+		if err := s.PutJob(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = a
+	if got, want := s.QueueDepth(), (QueueDepth{Pending: 1, Running: 1, Failed: 1}); got != want {
+		t.Fatalf("census = %+v, want %+v", got, want)
+	}
+}
+
+// TestHeartbeat: heartbeats land as worker files whose age is reported by
+// LastWorkerHeartbeat; repeated beats refresh the age, and owner names that
+// would escape the workers directory are rejected.
+func TestHeartbeat(t *testing.T) {
+	s := open(t)
+	if _, _, ok := s.LastWorkerHeartbeat(); ok {
+		t.Fatal("heartbeat reported before any beat")
+	}
+	if err := s.Heartbeat("worker-1"); err != nil {
+		t.Fatal(err)
+	}
+	owner, age, ok := s.LastWorkerHeartbeat()
+	if !ok || owner != "worker-1" {
+		t.Fatalf("LastWorkerHeartbeat = %q, %v, %v", owner, age, ok)
+	}
+	if age < 0 || age > time.Minute {
+		t.Fatalf("heartbeat age = %v, want a fresh beat", age)
+	}
+	if err := s.Heartbeat("worker-1"); err != nil {
+		t.Fatalf("refreshing a heartbeat: %v", err)
+	}
+	for _, bad := range []string{"", "../evil", "a/b"} {
+		if err := s.Heartbeat(bad); err == nil {
+			t.Fatalf("Heartbeat(%q) accepted a bad owner", bad)
+		}
+	}
+}

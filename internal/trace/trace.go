@@ -105,6 +105,11 @@ func track(cat Category) int {
 		return 3
 	case InterSync:
 		return 4
+	case Queue, Service:
+		// Fleet lifecycle categories: fleet timelines lay these out on
+		// explicit per-pod lanes, so the category track is only a fallback
+		// for logs that mix them in.
+		return 5
 	}
 	return 5
 }
